@@ -1,0 +1,62 @@
+"""Shared configuration for the benchmark harness.
+
+Environment knobs:
+
+``REPRO_BENCH_TRACE``
+    dynamic instructions per benchmark trace (default 400000, the suite
+    default).  Lower it for quick smoke runs.
+``REPRO_BENCH_SUITE``
+    comma-separated benchmark names, or ``all`` (default).
+
+Figure 7's engines feed Figures 8 and 9, so the realistic sweep runs
+once per session and is shared through :func:`realistic_results`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.workloads import BENCHMARK_NAMES
+from repro.workloads.suite import DEFAULT_TRACE_LENGTH
+
+
+def bench_trace_length() -> int:
+    return int(os.environ.get("REPRO_BENCH_TRACE", DEFAULT_TRACE_LENGTH))
+
+
+def bench_suite() -> Sequence[str]:
+    raw = os.environ.get("REPRO_BENCH_SUITE", "all")
+    if raw == "all":
+        return BENCHMARK_NAMES
+    names = tuple(name.strip() for name in raw.split(",") if name.strip())
+    unknown = [n for n in names if n not in BENCHMARK_NAMES]
+    if unknown:
+        raise ValueError(f"unknown benchmarks in REPRO_BENCH_SUITE: {unknown}")
+    return names
+
+
+_REALISTIC_CACHE: Dict[tuple, list] = {}
+
+
+def realistic_results(benchmarks, trace_length):
+    """Session-cached Figure 7 sweep (engines reused by Figures 8-9)."""
+    key = (tuple(benchmarks), trace_length)
+    if key not in _REALISTIC_CACHE:
+        from repro.analysis.experiments import figure7_realistic
+
+        _REALISTIC_CACHE[key] = figure7_realistic(
+            benchmarks, trace_length=trace_length)
+    return _REALISTIC_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return bench_suite()
+
+
+@pytest.fixture(scope="session")
+def trace_length():
+    return bench_trace_length()

@@ -1,0 +1,192 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not figures from the paper, but direct tests of its design arguments:
+
+* allocate-on-mispredict vs allocate-always in the Path Cache,
+* difficulty-aware LRU vs plain LRU,
+* training-interval sensitivity (8 / 32 / 128),
+* abort mechanism on vs off,
+* Prediction Cache size (the paper argues 128 entries suffice),
+* memory-dependence rebuild on vs off (stop-at-memdep always).
+
+Ablations run on a representative subset so the bench stays tractable.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.experiments import baseline_run
+from repro.core.ssmt import SSMTConfig, run_ssmt
+from repro.workloads import benchmark_trace
+
+ABLATION_BENCHMARKS = ("gcc", "go", "mcf_2k", "eon_2k", "comp", "parser_2k")
+
+
+def _sweep(benchmarks, trace_length, configs):
+    """Run each named config; return {config: {bench: (speedup, engine)}}."""
+    out = {label: {} for label in configs}
+    for name in benchmarks:
+        trace = benchmark_trace(name, trace_length)
+        base = baseline_run(trace)
+        for label, config in configs.items():
+            result, engine = run_ssmt(trace, config)
+            out[label][name] = (result.ipc / base.ipc, engine)
+    return out
+
+
+def _print_speedups(title, sweep):
+    labels = list(sweep)
+    benchmarks = list(next(iter(sweep.values())))
+    rows = []
+    for name in benchmarks:
+        rows.append([name] + [round(sweep[label][name][0], 3)
+                              for label in labels])
+    rows.append(["MEAN"] + [
+        round(statistics.mean(sweep[label][n][0] for n in benchmarks), 3)
+        for label in labels])
+    print()
+    print(format_table(["bench"] + labels, rows, title=title))
+    return {label: statistics.mean(sweep[label][n][0] for n in benchmarks)
+            for label in labels}
+
+
+class TestPathCachePolicies:
+    def test_allocation_policy(self, benchmark, trace_length):
+        configs = {
+            "on-mispredict": SSMTConfig(),
+            "always": SSMTConfig(allocate_on_mispredict_only=False),
+        }
+        sweep = benchmark.pedantic(
+            _sweep, args=(ABLATION_BENCHMARKS, trace_length, configs),
+            rounds=1, iterations=1)
+        means = _print_speedups("Ablation: Path Cache allocation policy",
+                                sweep)
+        # Both must work; allocate-on-mispredict must not lose materially
+        # while filtering most allocations (checked via engine stats).
+        assert means["on-mispredict"] > means["always"] - 0.02
+        engine = sweep["on-mispredict"][ABLATION_BENCHMARKS[0]][1]
+        assert engine.path_cache.stats.allocation_avoid_rate > 0.4
+
+    def test_replacement_policy(self, benchmark, trace_length):
+        configs = {
+            "difficulty-lru": SSMTConfig(),
+            "plain-lru": SSMTConfig(difficulty_aware_lru=False),
+        }
+        sweep = benchmark.pedantic(
+            _sweep, args=(ABLATION_BENCHMARKS, trace_length, configs),
+            rounds=1, iterations=1)
+        means = _print_speedups("Ablation: Path Cache replacement", sweep)
+        assert means["difficulty-lru"] > means["plain-lru"] - 0.02
+
+
+class TestTrainingInterval:
+    def test_interval_sensitivity(self, benchmark, trace_length):
+        configs = {
+            "interval-8": SSMTConfig(training_interval=8),
+            "interval-32": SSMTConfig(training_interval=32),
+            "interval-128": SSMTConfig(training_interval=128),
+        }
+        sweep = benchmark.pedantic(
+            _sweep, args=(ABLATION_BENCHMARKS, trace_length, configs),
+            rounds=1, iterations=1)
+        means = _print_speedups("Ablation: training interval", sweep)
+        # All intervals must produce a working mechanism.
+        for mean in means.values():
+            assert mean > 0.97
+
+
+class TestAbortMechanism:
+    def test_abort_on_off(self, benchmark, trace_length):
+        configs = {
+            "abort-on": SSMTConfig(),
+            "abort-off": SSMTConfig(abort_enabled=False),
+        }
+        sweep = benchmark.pedantic(
+            _sweep, args=(ABLATION_BENCHMARKS, trace_length, configs),
+            rounds=1, iterations=1)
+        means = _print_speedups("Ablation: abort mechanism", sweep)
+        # Aborts reclaim contexts: with aborts on, more spawns complete.
+        on_engine = sweep["abort-on"]["gcc"][1]
+        off_engine = sweep["abort-off"]["gcc"][1]
+        assert on_engine.spawner.stats.aborted_active > 0
+        assert off_engine.spawner.stats.aborted_active == 0
+        assert means["abort-on"] >= means["abort-off"] - 0.02
+
+
+class TestBuilderSensitivity:
+    def test_build_latency_insensitive_unless_extreme(self, benchmark,
+                                                      trace_length):
+        """Paper §4.2.2: "the microthread build latency, unless extreme,
+        does not significantly influence performance"."""
+        configs = {
+            "latency-10": SSMTConfig(build_latency=10),
+            "latency-100": SSMTConfig(build_latency=100),
+            "latency-1000": SSMTConfig(build_latency=1000),
+            "latency-50000": SSMTConfig(build_latency=50_000),
+        }
+        sweep = benchmark.pedantic(
+            _sweep, args=(ABLATION_BENCHMARKS, trace_length, configs),
+            rounds=1, iterations=1)
+        means = _print_speedups("Ablation: builder latency (paper §4.2.2)",
+                                sweep)
+        # 10..1000 cycles: insignificant differences
+        assert abs(means["latency-10"] - means["latency-100"]) < 0.03
+        assert abs(means["latency-1000"] - means["latency-100"]) < 0.05
+        # extreme latency erodes the benefit
+        assert means["latency-50000"] < means["latency-100"]
+
+    def test_second_builder_port_changes_little(self, benchmark,
+                                                trace_length):
+        """A single builder suffices (paper §4.2.2's design assumption)."""
+        configs = {
+            "one-builder": SSMTConfig(builder_ports=1),
+            "four-builders": SSMTConfig(builder_ports=4),
+        }
+        sweep = benchmark.pedantic(
+            _sweep, args=(ABLATION_BENCHMARKS, trace_length, configs),
+            rounds=1, iterations=1)
+        means = _print_speedups("Ablation: builder ports", sweep)
+        assert abs(means["one-builder"] - means["four-builders"]) < 0.05
+
+
+class TestClassificationGranularity:
+    def test_path_vs_branch_classification(self, benchmark, trace_length):
+        """The paper's central design choice (§3.2.1): classify
+        difficulty per *path*, not per *branch*.
+
+        Expected shape: path classification wins on average (higher
+        prediction precision, fewer useless spawns on easy paths);
+        branch classification can win on benchmarks with so many unique
+        paths that per-path training dilutes below the training interval
+        — the same Path Cache tracking limit the paper reports for
+        gcc/go in §5.2.
+        """
+        configs = {
+            "by-path": SSMTConfig(),
+            "by-branch": SSMTConfig(classify_by_branch=True),
+        }
+        sweep = benchmark.pedantic(
+            _sweep, args=(ABLATION_BENCHMARKS, trace_length, configs),
+            rounds=1, iterations=1)
+        means = _print_speedups("Ablation: classification granularity",
+                                sweep)
+        assert means["by-path"] > 1.0
+        assert means["by-path"] >= means["by-branch"] - 0.03
+
+
+class TestPredictionCacheSize:
+    def test_small_cache_suffices(self, benchmark, trace_length):
+        """Paper §4.3.3: 128 entries perform like a much larger cache."""
+        configs = {
+            "pc-16": SSMTConfig(prediction_cache_entries=16),
+            "pc-128": SSMTConfig(prediction_cache_entries=128),
+            "pc-4096": SSMTConfig(prediction_cache_entries=4096),
+        }
+        sweep = benchmark.pedantic(
+            _sweep, args=(ABLATION_BENCHMARKS, trace_length, configs),
+            rounds=1, iterations=1)
+        means = _print_speedups("Ablation: Prediction Cache size", sweep)
+        assert means["pc-128"] > means["pc-4096"] - 0.01, \
+            "128 entries must match a 4096-entry cache"

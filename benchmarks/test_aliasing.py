@@ -1,0 +1,51 @@
+"""Path_Id aliasing (paper §4.3.3: "aliasing is almost non-existent").
+
+Measures, per hash width, how many distinct paths collide and what
+fraction of dynamic occurrences land on collided ids.  At the default
+24-bit width aliasing should be negligible; narrow widths show the
+breakdown point.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis import collect_control_events, format_table
+from repro.analysis.aliasing import path_id_aliasing
+from repro.workloads import benchmark_trace
+
+ALIAS_BENCHMARKS = ("gcc", "go", "vpr_2k", "comp")
+BITS = (12, 16, 20, 24)
+
+
+def run_aliasing(benchmarks, trace_length):
+    table = {}
+    for name in benchmarks:
+        events = collect_control_events(benchmark_trace(name, trace_length))
+        table[name] = path_id_aliasing(events, n=10, bits_list=BITS)
+    return table
+
+
+def test_path_id_aliasing(benchmark, trace_length):
+    table = benchmark.pedantic(run_aliasing,
+                               args=(ALIAS_BENCHMARKS, trace_length),
+                               rounds=1, iterations=1)
+    rows = []
+    for name, results in table.items():
+        row = [name, results[0].unique_paths]
+        for r in results:
+            row.append(round(100 * r.occurrence_alias_rate, 3))
+        rows.append(row)
+    print()
+    print(format_table(
+        ["bench", "paths"] + [f"{b}b alias%" for b in BITS], rows,
+        title="Path_Id aliasing vs hash width (paper §4.3.3)"))
+
+    # at the default 24-bit width aliasing must be negligible
+    rates_24 = [results[-1].occurrence_alias_rate
+                for results in table.values()]
+    assert statistics.mean(rates_24) < 0.01
+    # aliasing decreases (weakly) with width
+    for results in table.values():
+        rates = [r.occurrence_alias_rate for r in results]
+        assert rates[0] >= rates[-1]

@@ -1,0 +1,38 @@
+"""Figure 6: potential speed-up from perfect prediction of difficult-path
+terminating branches (8K-entry Path Cache, training interval 32, T=.10,
+n in {4, 10, 16}).
+
+Expected shape (paper): clear gains well short of full perfect-prediction
+headroom — the realistic Path Cache cannot track the sheer number of
+difficult paths; moderate sensitivity to n.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.experiments import figure6_potential
+
+NS = (4, 10, 16)
+
+
+def test_figure6(benchmark, suite, trace_length):
+    results = benchmark.pedantic(
+        figure6_potential,
+        kwargs=dict(benchmarks=suite, ns=NS, threshold=0.10,
+                    trace_length=trace_length),
+        rounds=1, iterations=1)
+    rows = [[name] + [round(per_n[n], 3) for n in NS]
+            for name, per_n in results.items()]
+    means = [statistics.mean(per_n[n] for per_n in results.values())
+             for n in NS]
+    rows.append(["MEAN"] + [round(m, 3) for m in means])
+    print()
+    print(format_table(["bench"] + [f"n={n}" for n in NS], rows,
+                       title="Figure 6 (reproduced): potential speed-up"))
+
+    for n, mean in zip(NS, means):
+        assert mean > 1.0, f"potential at n={n} must be a net win"
+    # potential must stay below the intro's full perfect-prediction 2x
+    assert max(means) < 2.0

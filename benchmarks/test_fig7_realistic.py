@@ -1,0 +1,64 @@
+"""Figure 7: realistic speed-up of the full mechanism (n=10, T=.10,
+build latency 100): without pruning, with pruning, and overhead-only.
+
+Expected shape (paper): average gain of several percent (8.4% in the
+paper) with pruning > no-pruning; overhead-only near 1.0 with occasional
+losses (eon-like benchmarks) and prefetch-driven gains (mcf-like).
+
+Also reports the §4.3.2 abort-rate claims (~67% of attempted spawns
+aborted pre-allocation, ~66% of successful spawns aborted in flight) and
+the §4.1 claim that allocate-on-mispredict avoids ~45% of allocations.
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import realistic_results
+from repro.analysis import format_table
+
+
+def test_figure7(benchmark, suite, trace_length):
+    results = benchmark.pedantic(
+        realistic_results, args=(suite, trace_length), rounds=1, iterations=1)
+    rows = []
+    for r in results:
+        rows.append([
+            r.benchmark,
+            round(r.baseline_ipc, 2),
+            round(r.speedup_no_pruning, 3),
+            round(r.speedup_pruning, 3),
+            round(r.speedup_overhead_only, 3),
+        ])
+    mean_np = statistics.mean(r.speedup_no_pruning for r in results)
+    mean_p = statistics.mean(r.speedup_pruning for r in results)
+    mean_o = statistics.mean(r.speedup_overhead_only for r in results)
+    rows.append(["MEAN", "",
+                 round(mean_np, 3), round(mean_p, 3), round(mean_o, 3)])
+    print()
+    print(format_table(
+        ["bench", "base IPC", "no-pruning", "pruning", "overhead-only"],
+        rows, title="Figure 7 (reproduced): realistic speed-up"))
+
+    # paper-claim side-statistics
+    stat_rows = []
+    for r in results:
+        spawn = r.pruning_engine.spawner.stats
+        path_cache = r.pruning_engine.path_cache.stats
+        stat_rows.append([
+            r.benchmark,
+            round(100 * spawn.pre_allocation_abort_rate, 1),
+            round(100 * spawn.active_abort_rate, 1),
+            round(100 * path_cache.allocation_avoid_rate, 1),
+        ])
+    print()
+    print(format_table(
+        ["bench", "pre-alloc abort%", "active abort%", "alloc avoided%"],
+        stat_rows, title="Spawn/PathCache statistics (paper §4.3.2, §4.1)"))
+
+    assert mean_p > 1.0, "the mechanism must be a net average win"
+    assert mean_p >= mean_np - 0.005, "pruning should not lose on average"
+    assert 0.9 < mean_o < 1.15, "overhead-only must hover near 1.0"
+    # allocate-on-mispredict avoids a large share of allocations
+    avoid = statistics.mean(row[3] for row in stat_rows)
+    assert avoid > 40.0

@@ -1,0 +1,43 @@
+"""Figure 8: mean microthread routine size and mean longest dependence
+chain, with and without pruning.
+
+Expected shape (paper): pruning shortens the critical dependence chain
+everywhere; routine size usually shrinks, but can grow slightly where an
+Ap_Inst replaces a live-in (the paper's compress example).
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import realistic_results
+from repro.analysis import format_table
+from repro.analysis.experiments import figure8_routines
+
+
+def test_figure8(benchmark, suite, trace_length):
+    results = realistic_results(suite, trace_length)
+    rows_data = benchmark.pedantic(figure8_routines, args=(results,),
+                                   rounds=1, iterations=1)
+    rows = []
+    for name, d in rows_data.items():
+        rows.append([
+            name,
+            round(d["size_no_pruning"], 2), round(d["size_pruning"], 2),
+            round(d["chain_no_pruning"], 2), round(d["chain_pruning"], 2),
+        ])
+    means = [statistics.mean(d[k] for d in rows_data.values())
+             for k in ("size_no_pruning", "size_pruning",
+                       "chain_no_pruning", "chain_pruning")]
+    rows.append(["MEAN"] + [round(m, 2) for m in means])
+    print()
+    print(format_table(
+        ["bench", "size (np)", "size (p)", "chain (np)", "chain (p)"],
+        rows, title="Figure 8 (reproduced): routine size & dep chain"))
+
+    size_np, size_p, chain_np, chain_p = means
+    assert chain_p <= chain_np, \
+        "pruning must shorten the mean dependence chain"
+    assert size_p <= size_np * 1.15, \
+        "pruned routines must not balloon in size"
+    assert chain_np > 1.0 and size_np > 2.0

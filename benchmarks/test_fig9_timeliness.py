@@ -1,0 +1,50 @@
+"""Figure 9: prediction timeliness — early (before the branch is
+fetched), late (after fetch, before resolve) and useless (after resolve),
+with and without pruning.
+
+Expected shape (paper): pruning raises the early and useful (early+late)
+fractions and the total number of predictions; even with pruning the
+majority arrive late on this aggressive front-end.
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import realistic_results
+from repro.analysis import format_table
+from repro.analysis.experiments import figure9_timeliness
+
+
+def test_figure9(benchmark, suite, trace_length):
+    results = realistic_results(suite, trace_length)
+    data = benchmark.pedantic(figure9_timeliness, args=(results,),
+                              rounds=1, iterations=1)
+    rows = []
+    for name, d in data.items():
+        np_, p = d["no_pruning"], d["pruning"]
+        rows.append([
+            name,
+            round(100 * np_["early"], 1), round(100 * np_["late"], 1),
+            round(100 * np_["useless"], 1), np_["total"],
+            round(100 * p["early"], 1), round(100 * p["late"], 1),
+            round(100 * p["useless"], 1), p["total"],
+        ])
+    print()
+    print(format_table(
+        ["bench", "np:early%", "np:late%", "np:useless%", "np:total",
+         "p:early%", "p:late%", "p:useless%", "p:total"],
+        rows, title="Figure 9 (reproduced): prediction timeliness"))
+
+    populated = [d for d in data.values() if d["pruning"]["total"] > 20]
+    assert populated, "suite must produce consumed predictions"
+    useful_np = statistics.mean(
+        d["no_pruning"]["early"] + d["no_pruning"]["late"]
+        for d in populated)
+    useful_p = statistics.mean(
+        d["pruning"]["early"] + d["pruning"]["late"] for d in populated)
+    assert useful_p >= useful_np - 0.05, \
+        "pruning should not reduce the useful fraction"
+    mean_early_p = statistics.mean(d["pruning"]["early"] for d in populated)
+    assert mean_early_p < 0.8, \
+        "most predictions arrive after fetch on this fast front-end"

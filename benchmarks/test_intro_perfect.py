@@ -1,0 +1,30 @@
+"""§1 claim: "a futuristic 16-wide, deeply-pipelined machine with 95%
+branch prediction accuracy can achieve a twofold improvement in
+performance solely by eliminating the remaining mispredictions."
+
+This bench measures the speed-up of perfect direction/indirect-target
+prediction over the baseline hybrid, expecting a geometric mean around 2x
+with large spread (memory-bound and branchy benchmarks gain most).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.experiments import (
+    geometric_mean_speedup,
+    intro_perfect_prediction,
+)
+
+
+def test_intro_perfect_prediction(benchmark, suite, trace_length):
+    speedups = benchmark.pedantic(
+        intro_perfect_prediction, args=(suite, trace_length),
+        rounds=1, iterations=1)
+    rows = [[name, round(value, 3)] for name, value in speedups.items()]
+    geo = geometric_mean_speedup(speedups)
+    rows.append(["GEOMEAN", round(geo, 3)])
+    print()
+    print(format_table(["bench", "perfect/baseline"], rows,
+                       title="Intro claim: perfect-prediction headroom"))
+    assert 1.4 < geo < 3.5, "headroom should be around the paper's ~2x"
+    assert all(s >= 0.99 for s in speedups.values())

@@ -1,0 +1,52 @@
+"""Simulator throughput: the cost of the models themselves.
+
+Not a paper experiment — this measures the reproduction's own speed
+(instructions per second of the functional simulator, the baseline
+timing model and the full SSMT machine) so regressions in the hot loops
+are caught.  These run multiple rounds since they are cheap.
+"""
+
+import pytest
+
+from repro.branch.unit import BranchPredictorComplex
+from repro.core.ssmt import SSMTConfig, SSMTEngine
+from repro.sim.functional import FunctionalSimulator
+from repro.uarch.timing import OoOTimingModel
+from repro.workloads import benchmark_trace, build_benchmark
+
+BENCH = "gcc"
+LENGTH = 50_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return benchmark_trace(BENCH, LENGTH)
+
+
+def test_functional_simulator_throughput(benchmark):
+    program = build_benchmark(BENCH)
+
+    def run():
+        return FunctionalSimulator(program, max_instructions=LENGTH).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) == LENGTH
+
+
+def test_timing_model_throughput(benchmark, trace):
+    def run():
+        return OoOTimingModel().run(trace, BranchPredictorComplex())
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.instructions == LENGTH
+
+
+def test_ssmt_machine_throughput(benchmark, trace):
+    def run():
+        engine = SSMTEngine(SSMTConfig(),
+                            initial_memory=trace.initial_memory)
+        return OoOTimingModel().run(trace, BranchPredictorComplex(),
+                                    listener=engine)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.instructions == LENGTH

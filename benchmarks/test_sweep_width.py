@@ -1,0 +1,29 @@
+"""Machine-width sensitivity (paper §1 and §5.1 motivation).
+
+The paper argues the mechanism matters most on wide, deep machines:
+misprediction penalties grow relative to useful work, and wide machines
+have spare execution bandwidth for microthreads.  This bench sweeps the
+machine width (fetch/issue/retire) with per-width baselines.
+"""
+
+import pytest
+
+from repro.analysis.sweeps import sweep_machine_width, sweep_report
+
+WIDTH_BENCHMARKS = ("comp", "gcc", "mcf_2k", "parser_2k")
+WIDTHS = (4, 8, 16)
+
+
+def test_width_sweep(benchmark, trace_length):
+    points = benchmark.pedantic(
+        sweep_machine_width,
+        args=(WIDTHS, WIDTH_BENCHMARKS, trace_length),
+        rounds=1, iterations=1)
+    print()
+    print(sweep_report(points, "machine width"))
+    by_width = {p.setting: p.mean_speedup for p in points}
+    # The mechanism must help at the paper's 16-wide point...
+    assert by_width[16] > 1.0
+    # ...and a wide machine should benefit at least as much as a narrow
+    # one (spare capacity + bigger exposed penalties).
+    assert by_width[16] >= by_width[4] - 0.03

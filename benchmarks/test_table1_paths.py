@@ -1,0 +1,64 @@
+"""Table 1: unique paths, mean scope, difficult-path counts.
+
+Regenerates the paper's Table 1 over the synthetic suite: for each
+benchmark and n in {4, 10, 16}, the number of unique paths, the mean
+scope size in instructions, and the number of difficult paths at
+T in {.05, .10, .15}.
+
+Expected shape (paper): unique paths and scope grow steeply with n; the
+difficult-path count is remarkably stable across T; gcc/go dominate path
+counts while comp/li are small.
+"""
+
+import pytest
+
+from repro.analysis import (
+    characterize_paths,
+    collect_control_events,
+    format_table,
+)
+from repro.workloads import benchmark_trace
+
+NS = (4, 10, 16)
+THRESHOLDS = (0.05, 0.10, 0.15)
+
+
+def run_table1(benchmarks, trace_length):
+    rows = []
+    for name in benchmarks:
+        events = collect_control_events(benchmark_trace(name, trace_length))
+        row = [name]
+        for n in NS:
+            c = characterize_paths(events, n, THRESHOLDS)
+            row.extend([
+                c.unique_paths,
+                round(c.mean_scope, 2),
+                c.difficult_paths[0.05],
+                c.difficult_paths[0.10],
+                c.difficult_paths[0.15],
+            ])
+        rows.append(row)
+    return rows
+
+
+def test_table1(benchmark, suite, trace_length):
+    rows = benchmark.pedantic(run_table1, args=(suite, trace_length),
+                              rounds=1, iterations=1)
+    headers = ["bench"]
+    for n in NS:
+        headers += [f"n{n}:paths", f"n{n}:scope",
+                    f"n{n}:T.05", f"n{n}:T.10", f"n{n}:T.15"]
+    print()
+    print(format_table(headers, rows, title="Table 1 (reproduced)"))
+
+    by_name = {row[0]: row for row in rows}
+    for row in rows:
+        paths4, paths10, paths16 = row[1], row[6], row[11]
+        assert paths4 <= paths10 <= paths16, "paths must grow with n"
+        scope4, scope16 = row[2], row[12]
+        assert scope4 < scope16, "scope must grow with n"
+        # difficult counts decrease (weakly) as T rises
+        assert row[3] >= row[4] >= row[5]
+    if "gcc" in by_name and "comp" in by_name:
+        assert by_name["gcc"][1] > by_name["comp"][1], \
+            "gcc must have far more paths than comp"

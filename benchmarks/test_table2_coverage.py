@@ -1,0 +1,67 @@
+"""Table 2: misprediction and execution coverage of difficult branches
+vs difficult paths (n in {4, 10, 16}; T in {.05, .10, .15}).
+
+Expected shape (paper): moving from branch- to path-classification
+raises misprediction coverage while lowering execution coverage, and
+longer paths push further in the same direction.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis import collect_control_events, coverage_analysis, format_table
+from repro.workloads import benchmark_trace
+
+NS = (4, 10, 16)
+THRESHOLDS = (0.05, 0.10, 0.15)
+
+
+def run_table2(benchmarks, trace_length):
+    table = {}
+    for name in benchmarks:
+        events = collect_control_events(benchmark_trace(name, trace_length))
+        table[name] = coverage_analysis(events, ns=NS, thresholds=THRESHOLDS)
+    return table
+
+
+def test_table2(benchmark, suite, trace_length):
+    table = benchmark.pedantic(run_table2, args=(suite, trace_length),
+                               rounds=1, iterations=1)
+    schemes = ["branch"] + [f"path({n})" for n in NS]
+    for threshold in THRESHOLDS:
+        rows = []
+        for name, results in table.items():
+            row = [name]
+            for scheme in schemes:
+                r = next(x for x in results
+                         if x.scheme == scheme and x.threshold == threshold)
+                row += [round(100 * r.mispredict_coverage, 1),
+                        round(100 * r.execution_coverage, 1)]
+            rows.append(row)
+        headers = ["bench"]
+        for scheme in schemes:
+            headers += [f"{scheme}:mis%", f"{scheme}:exe%"]
+        print()
+        print(format_table(headers, rows,
+                           title=f"Table 2 (reproduced), T={threshold}"))
+
+    # Shape assertions at T=0.10, averaged over the suite (the paper's
+    # aggregate direction; individual benchmarks may deviate slightly).
+    def mean_coverage(scheme, threshold, attribute):
+        values = []
+        for results in table.values():
+            r = next(x for x in results
+                     if x.scheme == scheme and x.threshold == threshold)
+            values.append(getattr(r, attribute))
+        return statistics.mean(values)
+
+    branch_exe = mean_coverage("branch", 0.10, "execution_coverage")
+    path16_exe = mean_coverage("path(16)", 0.10, "execution_coverage")
+    assert path16_exe <= branch_exe, \
+        "paths must lower execution coverage on average"
+
+    branch_mis = mean_coverage("branch", 0.10, "mispredict_coverage")
+    path16_mis = mean_coverage("path(16)", 0.10, "mispredict_coverage")
+    assert path16_mis >= branch_mis - 0.02, \
+        "paths must not lose misprediction coverage on average"

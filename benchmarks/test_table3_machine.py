@@ -1,0 +1,67 @@
+"""Table 3: the baseline machine model.
+
+Table 3 is a configuration, not a measurement; this bench asserts that
+the default :class:`MachineConfig` matches the paper's parameters and
+prints the mapping, then measures baseline IPC and branch accuracy over
+the suite as the machine-sanity row.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.experiments import baseline_run
+from repro.branch.unit import default_complex
+from repro.uarch.config import TABLE3_BASELINE
+from repro.workloads import benchmark_trace
+
+
+def run_baseline(benchmarks, trace_length):
+    rows = []
+    for name in benchmarks:
+        trace = benchmark_trace(name, trace_length)
+        result = baseline_run(trace)
+        rows.append([
+            name,
+            round(result.ipc, 2),
+            result.hw_mispredicts,
+            round(100 * (1 - result.mispredict_rate()), 2),
+            round(result.cache.l1_hit_rate, 3),
+        ])
+    return rows
+
+
+def test_table3_configuration(benchmark):
+    def check():
+        return TABLE3_BASELINE
+
+    cfg = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert cfg.fetch_width == 16           # "16-wide decoder"
+    assert cfg.fetch_taken_limit == 3      # "3 predictions per cycle"
+    assert cfg.window_size == 512          # "512-entry out-of-order window"
+    assert cfg.issue_width == 16           # "16 all-purpose functional units"
+    assert cfg.mispredict_penalty == 20    # "total misprediction penalty"
+    assert cfg.l1_words == 8192            # 64KB / 8B
+    assert cfg.l1_assoc == 2
+    assert cfg.l2_words == 131072          # 1MB
+    assert cfg.l2_assoc == 8
+
+    unit = default_complex()
+    assert unit.btb.entries == 4096        # "4K-entry branch target buffer"
+    assert unit.ras.entries == 32          # "32-entry call/return stack"
+    assert unit.target_cache.entries == 64 * 1024  # "64K-entry target cache"
+    assert unit.direction.selector.entries == 64 * 1024
+
+
+def test_table3_baseline_sanity(benchmark, suite, trace_length):
+    rows = benchmark.pedantic(run_baseline, args=(suite, trace_length),
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["bench", "IPC", "mispredicts", "accuracy%", "L1 hit"],
+        rows, title="Baseline machine (Table 3 config)"))
+    accuracies = [row[3] for row in rows]
+    # The paper describes a ~95%-accurate aggressive baseline.
+    assert statistics.mean(accuracies) > 88.0
+    assert statistics.mean(row[1] for row in rows) > 1.5

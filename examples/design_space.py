@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Design-space exploration: the configurations the paper could not print.
+
+The paper notes it "simulated many other configurations that we cannot
+report due to space limitations" (§5.2).  This example sweeps the main
+knobs of the mechanism — path length n, difficulty threshold T, the
+training interval and machine width — and prints the sensitivity tables.
+
+Run:  python examples/design_space.py [instructions]
+"""
+
+import sys
+
+from repro.analysis.sweeps import (
+    sweep_machine_width,
+    sweep_report,
+    sweep_ssmt_knob,
+)
+
+BENCHMARKS = ("comp", "gcc", "mcf_2k")
+
+
+def main():
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 120_000
+    print(f"sweeping over {', '.join(BENCHMARKS)} "
+          f"({length} instructions each)...\n")
+
+    points = sweep_ssmt_knob("n", [4, 10, 16], BENCHMARKS, length)
+    print(sweep_report(points, "path length n"))
+    print()
+
+    points = sweep_ssmt_knob("difficulty_threshold", [0.05, 0.10, 0.15],
+                             BENCHMARKS, length)
+    print(sweep_report(points, "difficulty threshold T"))
+    print()
+
+    points = sweep_ssmt_knob("training_interval", [8, 32, 128],
+                             BENCHMARKS, length)
+    print(sweep_report(points, "training interval"))
+    print()
+
+    points = sweep_ssmt_knob("n_contexts", [4, 32, 128], BENCHMARKS, length)
+    print(sweep_report(points, "microcontexts"))
+    print()
+
+    points = sweep_machine_width([4, 8, 16], BENCHMARKS, length)
+    print(sweep_report(points, "machine width"))
+    print("\nNote: each width compares against its own same-width baseline.")
+
+
+if __name__ == "__main__":
+    main()

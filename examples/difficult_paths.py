@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Difficult-path profiling (the paper's Tables 1-2) on a suite benchmark.
+
+Shows why classifying predictability *per path* beats classifying per
+branch: difficult branches hide easy paths, and easy branches hide
+difficult paths.
+
+Run:  python examples/difficult_paths.py [benchmark] [instructions]
+"""
+
+import sys
+
+from repro.analysis import (
+    characterize_paths,
+    collect_control_events,
+    coverage_analysis,
+    format_table,
+)
+from repro.workloads import BENCHMARK_NAMES, benchmark_trace
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 200_000
+    if name not in BENCHMARK_NAMES:
+        raise SystemExit(f"unknown benchmark {name!r}; "
+                         f"choose from {', '.join(BENCHMARK_NAMES)}")
+
+    print(f"profiling {name} over {length} instructions...")
+    events = collect_control_events(benchmark_trace(name, length))
+
+    # Table 1 flavour: path population vs n
+    rows = []
+    for n in (4, 10, 16):
+        c = characterize_paths(events, n)
+        rows.append([n, c.unique_paths, round(c.mean_scope, 1),
+                     c.difficult_paths[0.05], c.difficult_paths[0.10],
+                     c.difficult_paths[0.15]])
+    print()
+    print(format_table(
+        ["n", "unique paths", "mean scope", "difficult T=.05",
+         "T=.10", "T=.15"], rows,
+        title=f"Path characterization of {name} (paper Table 1)"))
+
+    # Table 2 flavour: branch vs path coverage
+    results = coverage_analysis(events, ns=(4, 10, 16), thresholds=(0.10,))
+    rows = [[r.scheme, round(100 * r.mispredict_coverage, 1),
+             round(100 * r.execution_coverage, 1), r.difficult_count]
+            for r in results]
+    print()
+    print(format_table(
+        ["classification", "mispredict coverage %", "execution coverage %",
+         "difficult count"], rows,
+        title=f"Coverage of {name} at T=0.10 (paper Table 2)"))
+    print("\nReading: going from 'branch' to 'path(16)' should raise "
+          "misprediction\ncoverage while covering *fewer* dynamic branch "
+          "executions — the paper's\ncase for attacking difficult paths "
+          "rather than difficult branches.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Anatomy of a microthread: extraction, optimization, pruning.
+
+Builds microthreads for the same difficult branch with the MCB
+optimizations toggled, and shows how move elimination, constant
+propagation and pruning transform the routine — ending with the
+timeliness consequence (shorter dependence chain = earlier prediction).
+
+Run:  python examples/microthread_anatomy.py
+"""
+
+from repro.core.builder import BuilderConfig, MicrothreadBuilder
+from repro.core.path import PathTracker
+from repro.core.prb import PostRetirementBuffer
+from repro.isa.assembler import assemble
+from repro.sim.functional import run_program
+from repro.valuepred import PredictorTrainer
+
+# The branch predicate flows through: loop counter -> scaled index ->
+# address -> load -> compare.  A MOV and a foldable LI chain are included
+# so the optimizers have something to chew on.
+KERNEL = """
+.data table 64 57 3 91 22 68 14 77 41 5 99 33 60 12 84 29 50 73 8 66 95 17 38 55 81 26 62 44 70 11 88 35 58 2 92 20 65 16 79 40 6 97 31 59 13 86 28 52 74 9 67 94 18 39 56 80 27 63 45 71 10 89 36 53 24
+    li r1, 0
+    li r2, 2000
+loop:
+    mov r3, r1             ; move elimination target
+    li r4, 3
+    mul r3, r3, r4
+    andi r3, r3, 63
+    li r5, &table
+    add r6, r5, r3
+    ld r7, 0(r6)
+    jmp hop
+hop:
+    li r8, 40              ; constant chain: 40 + 10 = 50
+    addi r8, r8, 10
+    blt r7, r8, below      ; terminating branch
+    addi r9, r9, 1
+below:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+"""
+
+
+def build_with(config, trace, instance=30):
+    tracker = PathTracker(4)
+    prb = PostRetirementBuffer(512)
+    trainer = PredictorTrainer()
+    builder = MicrothreadBuilder(config)
+    target_pc = next(i.pc for i in assemble(KERNEL).instructions
+                     if i.opcode.name == "BLT" and i.rs1 == 7)
+    count = 0
+    for idx, rec in enumerate(trace):
+        flags = trainer.observe(rec)
+        prb.insert(rec, idx, *flags)
+        event = tracker.observe(rec, idx)
+        if rec.pc == target_pc and rec.is_path_terminating:
+            count += 1
+            if count == instance:
+                return builder.request(event, prb, now_cycle=0), builder
+    raise SystemExit("instance not reached")
+
+
+def describe(label, thread):
+    print(f"\n=== {label} ===")
+    print(f"routine size: {thread.routine_size} instructions, "
+          f"longest dependence chain: {thread.longest_chain}")
+    print(f"live-in registers: {thread.live_in_regs or 'none'}, "
+          f"spawn pc: {thread.spawn_pc}, "
+          f"separation: {thread.separation} instructions")
+    print(thread.listing())
+
+
+def main():
+    trace = run_program(assemble(KERNEL), max_instructions=40_000)
+
+    raw, _ = build_with(BuilderConfig(pruning=False, move_elimination=False,
+                                      constant_propagation=False), trace)
+    describe("raw extraction (no optimizations)", raw)
+
+    optimized, _ = build_with(BuilderConfig(pruning=False), trace)
+    describe("after move elimination + constant propagation", optimized)
+
+    pruned, builder = build_with(BuilderConfig(pruning=True), trace)
+    describe("after pruning (Vp_Inst/Ap_Inst)", pruned)
+    print(f"\nbuilder counters: {builder.stats.moves_eliminated} moves "
+          f"eliminated, {builder.stats.constants_folded} constants folded, "
+          f"{builder.stats.value_pruned} value-pruned, "
+          f"{builder.stats.address_pruned} address-pruned")
+
+    print("\nWhy it matters: the pruned routine's shorter dependence chain "
+          "means the\nStore_PCache completes sooner, turning late "
+          "predictions into early ones\n(paper Figures 8 and 9).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Pipeline diagrams: watch a misprediction bubble disappear.
+
+Renders instruction-by-instruction pipeline timing around a difficult
+branch, first under the baseline machine (20-cycle misprediction
+bubbles) and then under the SSMT mechanism once microthread predictions
+kick in.
+
+Run:  python examples/pipeline_diagram.py
+"""
+
+from repro.branch.unit import BranchPredictorComplex
+from repro.core.ssmt import SSMTConfig, SSMTEngine
+from repro.isa.assembler import assemble
+from repro.sim.functional import run_program
+from repro.uarch.pipeline_view import (
+    PipelineRecorder,
+    render_pipeline,
+    summarize_stalls,
+)
+from repro.uarch.timing import OoOTimingModel
+
+KERNEL = """
+.data table 64 57 3 91 22 68 14 77 41 5 99 33 60 12 84 29 50 73 8 66 95 17 38 55 81 26 62 44 70 11 88 35 58 2 92 20 65 16 79 40 6 97 31 59 13 86 28 52 74 9 67 94 18 39 56 80 27 63 45 71 10 89 36 53 24
+    li r1, 0
+    li r2, 100000
+loop:
+    li r14, 2654435761
+    mul r3, r1, r14
+    srli r3, r3, 5
+    andi r3, r3, 63
+    li r4, &table
+    add r5, r4, r3
+    ld r6, 0(r5)
+    jmp hop
+hop:
+    li r7, 50
+    blt r6, r7, below
+    addi r8, r8, 1
+below:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+"""
+
+
+def main():
+    trace = run_program(assemble(KERNEL), max_instructions=30_000)
+    window_start = 25_000  # well past predictor and Path Cache warm-up
+    window = 30
+
+    recorder = PipelineRecorder(start=window_start, count=window)
+    OoOTimingModel().run(trace, BranchPredictorComplex(), listener=recorder)
+    print("=== baseline machine (hardware hybrid only) ===")
+    print(render_pipeline(recorder.records))
+    print("mean stage gaps:", {k: round(v, 1) for k, v in
+                               summarize_stalls(recorder.records).items()})
+
+    engine = SSMTEngine(SSMTConfig(n=4, training_interval=8,
+                                   build_latency=20),
+                        initial_memory=trace.initial_memory)
+    recorder = PipelineRecorder(start=window_start, count=window,
+                                chain=engine)
+    OoOTimingModel().run(trace, BranchPredictorComplex(), listener=recorder)
+    print("\n=== with difficult-path microthreads ===")
+    print(render_pipeline(recorder.records))
+    print("mean stage gaps:", {k: round(v, 1) for k, v in
+                               summarize_stalls(recorder.records).items()})
+    print("\nReading: the baseline shows fetch gaps after each mispredicted "
+          "'blt r6, r7'\n(the 20-cycle bubble); with microthread predictions "
+          "the gap collapses or\nshrinks to the late-recovery distance.")
+
+
+if __name__ == "__main__":
+    main()

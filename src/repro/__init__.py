@@ -1,0 +1,46 @@
+"""repro — Difficult-Path Branch Prediction Using Subordinate Microthreads.
+
+A from-scratch Python reproduction of Chappell, Tseng, Yoaz & Patt
+(ISCA 2002).  See README.md for the architecture overview, DESIGN.md for
+the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Top-level convenience imports cover the public API most users need; the
+subpackages hold the full systems:
+
+* :mod:`repro.isa` — the RISC-like instruction set
+* :mod:`repro.workloads` — the synthetic 20-benchmark suite
+* :mod:`repro.sim` — functional simulation / trace generation
+* :mod:`repro.branch` — baseline branch predictor complex (Table 3)
+* :mod:`repro.valuepred` — value/address predictors for pruning
+* :mod:`repro.uarch` — the out-of-order timing model
+* :mod:`repro.core` — the paper's contribution (Path Cache, Microthread
+  Builder, pruning, Prediction Cache, SSMT machine)
+* :mod:`repro.analysis` — experiment drivers and table/figure formatters
+"""
+
+__version__ = "1.0.0"
+
+from repro.isa import Instruction, Opcode, Program, ProgramBuilder, assemble
+from repro.sim import FunctionalSimulator, Trace, run_program
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    benchmark_spec,
+    benchmark_trace,
+    build_benchmark,
+)
+
+__all__ = [
+    "__version__",
+    "Instruction",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "assemble",
+    "FunctionalSimulator",
+    "Trace",
+    "run_program",
+    "BENCHMARK_NAMES",
+    "benchmark_spec",
+    "benchmark_trace",
+    "build_benchmark",
+]

@@ -1,0 +1,74 @@
+"""Experiment drivers and report formatting.
+
+Every table and figure of the paper's evaluation has a driver here:
+
+* Table 1 — :func:`repro.analysis.characterize.characterize_paths`
+* Table 2 — :func:`repro.analysis.coverage.coverage_analysis`
+* Figure 6 — :func:`repro.analysis.experiments.figure6_potential`
+* Figure 7 — :func:`repro.analysis.experiments.figure7_realistic`
+* Figure 8 — :func:`repro.analysis.experiments.figure8_routines`
+* Figure 9 — :func:`repro.analysis.experiments.figure9_timeliness`
+* §1 intro claim — :func:`repro.analysis.experiments.intro_perfect_prediction`
+
+:mod:`repro.analysis.report` renders the results as aligned text tables,
+which is what the benchmark harness prints.
+"""
+
+from repro.analysis.events import ControlEvent, collect_control_events
+from repro.analysis.characterize import PathCharacterization, characterize_paths
+from repro.analysis.coverage import CoverageResult, coverage_analysis
+from repro.analysis.experiments import (
+    figure6_potential,
+    figure7_realistic,
+    figure8_routines,
+    figure9_timeliness,
+    intro_perfect_prediction,
+)
+from repro.analysis.report import format_table
+from repro.analysis.confidence import (
+    ConfidenceCoverage,
+    compare_confidence_schemes,
+    confidence_coverage,
+)
+from repro.analysis.sweeps import (
+    SweepPoint,
+    sweep_machine_width,
+    sweep_report,
+    sweep_ssmt_knob,
+)
+from repro.analysis.charts import bar_chart, grouped_bar_chart, timeliness_stack
+from repro.analysis.timeline import (
+    TimelinePoint,
+    ipc_timeline,
+    sparkline,
+    speedup_timeline,
+)
+
+__all__ = [
+    "ControlEvent",
+    "collect_control_events",
+    "PathCharacterization",
+    "characterize_paths",
+    "CoverageResult",
+    "coverage_analysis",
+    "figure6_potential",
+    "figure7_realistic",
+    "figure8_routines",
+    "figure9_timeliness",
+    "intro_perfect_prediction",
+    "format_table",
+    "ConfidenceCoverage",
+    "compare_confidence_schemes",
+    "confidence_coverage",
+    "SweepPoint",
+    "sweep_machine_width",
+    "sweep_report",
+    "sweep_ssmt_knob",
+    "bar_chart",
+    "grouped_bar_chart",
+    "timeliness_stack",
+    "TimelinePoint",
+    "ipc_timeline",
+    "sparkline",
+    "speedup_timeline",
+]

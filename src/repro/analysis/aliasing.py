@@ -1,0 +1,92 @@
+"""Path_Id hash aliasing study (paper §4.3.3).
+
+The Prediction Cache keys on ``(Path_Id, Seq_Num)`` and the paper argues
+"aliasing is almost non-existent" because both components must match.
+The Path Cache, however, indexes and (in real hardware) partially tags
+by ``Path_Id`` alone, so distinct paths hashing to the same id *could*
+corrupt each other's difficulty statistics.
+
+:func:`path_id_aliasing` measures it: over a trace, how many distinct
+exact paths share each hashed id at a given width, and what fraction of
+dynamic occurrences land on an aliased id.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.events import ControlEvent
+from repro.core.path import PathKey, path_id_hash
+
+
+@dataclass
+class AliasingResult:
+    """Aliasing at one hash width."""
+
+    bits: int
+    unique_paths: int
+    used_ids: int
+    aliased_ids: int            # ids claimed by >1 distinct path
+    aliased_occurrences: int    # dynamic occurrences landing on such ids
+    total_occurrences: int
+
+    @property
+    def path_alias_rate(self) -> float:
+        """Fraction of distinct paths sharing an id with another path."""
+        if not self.unique_paths:
+            return 0.0
+        return 1.0 - self.used_ids / self.unique_paths \
+            if self.used_ids < self.unique_paths else 0.0
+
+    @property
+    def occurrence_alias_rate(self) -> float:
+        if not self.total_occurrences:
+            return 0.0
+        return self.aliased_occurrences / self.total_occurrences
+
+
+def path_id_aliasing(
+    events: Iterable[ControlEvent],
+    n: int = 10,
+    bits_list: Sequence[int] = (12, 16, 20, 24),
+) -> List[AliasingResult]:
+    """Measure Path_Id collisions over a control-event stream.
+
+    A collision is two *different* exact paths (``PathKey``) hashing to
+    the same ``(id, terminating pc)`` pair — what would conflate Path
+    Cache statistics.
+    """
+    events = list(events)
+    history: deque = deque(maxlen=n)
+    occurrences: Dict[PathKey, int] = defaultdict(int)
+    for event in events:
+        if event.terminating and event.measured and len(history) == n:
+            key = PathKey(event.pc, tuple(history))
+            occurrences[key] += 1
+        if event.taken:
+            history.append(event.pc)
+
+    results: List[AliasingResult] = []
+    total = sum(occurrences.values())
+    for bits in bits_list:
+        ids: Dict[Tuple[int, int], List[PathKey]] = defaultdict(list)
+        for key in occurrences:
+            hashed = (path_id_hash(key.branches, bits), key.term_pc)
+            ids[hashed].append(key)
+        aliased_ids = {h for h, keys in ids.items() if len(keys) > 1}
+        aliased_occurrences = sum(
+            occurrences[key]
+            for h in aliased_ids
+            for key in ids[h]
+        )
+        results.append(AliasingResult(
+            bits=bits,
+            unique_paths=len(occurrences),
+            used_ids=len(ids),
+            aliased_ids=len(aliased_ids),
+            aliased_occurrences=aliased_occurrences,
+            total_occurrences=total,
+        ))
+    return results

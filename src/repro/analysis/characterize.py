@@ -1,0 +1,94 @@
+"""Path characterization (paper Table 1).
+
+For a given path length ``n``, measures over a trace:
+
+* the number of unique paths (exact path keys, oracle tracking),
+* the mean scope size in instructions over unique paths, and
+* the number of *difficult* paths for each threshold ``T``.
+
+The paper's counts come from full SPEC runs; ours come from synthetic
+traces orders of magnitude shorter, so absolute counts are smaller but
+the relationships the paper highlights (growth with ``n``, stability of
+the difficult set across ``T``, per-benchmark ordering) are preserved.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.events import ControlEvent
+from repro.core.path import PathKey
+
+
+@dataclass
+class PathCharacterization:
+    """Table 1 row for one (benchmark, n)."""
+
+    n: int
+    unique_paths: int
+    mean_scope: float
+    difficult_paths: Dict[float, int]  # threshold -> count
+    total_occurrences: int = 0
+
+    def difficult_fraction(self, threshold: float) -> float:
+        if not self.unique_paths:
+            return 0.0
+        return self.difficult_paths[threshold] / self.unique_paths
+
+
+class _PathStat:
+    __slots__ = ("occurrences", "mispredicts", "scope")
+
+    def __init__(self, scope: int):
+        self.occurrences = 0
+        self.mispredicts = 0
+        self.scope = scope
+
+
+def characterize_paths(
+    events: Iterable[ControlEvent],
+    n: int,
+    thresholds: Sequence[float] = (0.05, 0.10, 0.15),
+) -> PathCharacterization:
+    """Compute Table 1 statistics for path length ``n``.
+
+    ``events`` is the control-event stream from
+    :func:`repro.analysis.events.collect_control_events`; only measured
+    (post-warm-up) terminating branches contribute to statistics, but the
+    path history warms up over the full stream.
+    """
+    history: deque = deque(maxlen=n)  # (pc, idx)
+    stats: Dict[PathKey, _PathStat] = {}
+    total = 0
+    for event in events:
+        if event.terminating and event.measured and len(history) == n:
+            key = PathKey(event.pc, tuple(pc for pc, _ in history))
+            stat = stats.get(key)
+            if stat is None:
+                scope = event.idx - history[0][1]
+                stat = stats[key] = _PathStat(scope)
+            stat.occurrences += 1
+            total += 1
+            if event.mispredicted:
+                stat.mispredicts += 1
+        if event.taken:
+            history.append((event.pc, event.idx))
+
+    unique = len(stats)
+    mean_scope = (
+        sum(s.scope for s in stats.values()) / unique if unique else 0.0
+    )
+    difficult = {
+        t: sum(1 for s in stats.values()
+               if s.occurrences and s.mispredicts / s.occurrences > t)
+        for t in thresholds
+    }
+    return PathCharacterization(
+        n=n,
+        unique_paths=unique,
+        mean_scope=mean_scope,
+        difficult_paths=difficult,
+        total_occurrences=total,
+    )

@@ -1,0 +1,114 @@
+"""Text bar charts for figure-style output.
+
+The paper presents Figures 6-9 as grouped bar charts; these helpers
+render the same shapes in a terminal so examples and the CLI can show
+them without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: glyph cycle for grouped series
+_GLYPHS = ("█", "▓", "░", "▒")
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    title: str = "",
+    baseline: Optional[float] = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart of (label, value) pairs.
+
+    ``baseline`` draws values relative to a reference (e.g. 1.0 for
+    speed-ups): bars start at the baseline and grow right for gains,
+    with losses marked by shorter bars and a negative annotation.
+    """
+    if not items:
+        return title
+    values = [value for _, value in items]
+    low = min(values + ([baseline] if baseline is not None else []))
+    high = max(values + ([baseline] if baseline is not None else []))
+    span = (high - low) or 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        filled = int(round(width * (value - low) / span))
+        bar = _GLYPHS[0] * filled
+        lines.append(f"{label.rjust(label_width)} |{bar.ljust(width)}| "
+                     + fmt.format(value))
+    if baseline is not None:
+        marker = int(round(width * (baseline - low) / span))
+        ruler = [" "] * (width + 2)
+        ruler[min(marker + 1, width + 1)] = "^"
+        lines.append(" " * label_width + " " + "".join(ruler)
+                     + f" baseline={fmt.format(baseline)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Dict[str, Dict[str, float]],
+    width: int = 40,
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Grouped bars: ``{group: {series: value}}`` (one row per series).
+
+    Mirrors the paper's per-benchmark grouped figures: each group is a
+    benchmark, each series a configuration.
+    """
+    if not groups:
+        return title
+    all_values = [v for series in groups.values() for v in series.values()]
+    low, high = min(all_values), max(all_values)
+    span = (high - low) or 1.0
+    series_names: List[str] = []
+    for series in groups.values():
+        for name in series:
+            if name not in series_names:
+                series_names.append(name)
+    label_width = max(len(g) for g in groups)
+    series_width = max(len(s) for s in series_names)
+    lines = [title] if title else []
+    legend = "  ".join(f"{_GLYPHS[i % len(_GLYPHS)]}={name}"
+                       for i, name in enumerate(series_names))
+    lines.append(legend)
+    for group, series in groups.items():
+        for i, name in enumerate(series_names):
+            if name not in series:
+                continue
+            value = series[name]
+            filled = int(round(width * (value - low) / span))
+            glyph = _GLYPHS[i % len(_GLYPHS)]
+            prefix = group.rjust(label_width) if i == 0 else " " * label_width
+            lines.append(f"{prefix} {name.rjust(series_width)} "
+                         f"|{(glyph * filled).ljust(width)}| "
+                         + fmt.format(value))
+    return "\n".join(lines)
+
+
+def timeliness_stack(
+    breakdowns: Dict[str, Dict[str, float]],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Stacked early/late/useless bars (the shape of paper Figure 9)."""
+    lines = [title] if title else []
+    lines.append(f"legend: {_GLYPHS[0]}=early {_GLYPHS[1]}=late "
+                 f"{_GLYPHS[2]}=useless")
+    label_width = max((len(k) for k in breakdowns), default=0)
+    for name, parts in breakdowns.items():
+        early = int(round(width * parts.get("early", 0.0)))
+        late = int(round(width * parts.get("late", 0.0)))
+        useless = max(0, width - early - late) \
+            if parts.get("useless", 0.0) > 0 else 0
+        bar = (_GLYPHS[0] * early + _GLYPHS[1] * late
+               + _GLYPHS[2] * useless).ljust(width)
+        lines.append(
+            f"{name.rjust(label_width)} |{bar}| "
+            f"e={100 * parts.get('early', 0):.0f}% "
+            f"l={100 * parts.get('late', 0):.0f}% "
+            f"u={100 * parts.get('useless', 0):.0f}%")
+    return "\n".join(lines)

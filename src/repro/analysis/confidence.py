@@ -1,0 +1,92 @@
+"""Confidence-based difficulty classification (comparison substrate).
+
+The paper motivates difficult paths with path-based *confidence*
+research (reference [10], Jacobsen/Rotenberg/Smith).  This analysis runs
+a JRS miss-distance-counter estimator over a trace — indexed either by
+branch PC or by PC hashed with the current ``Path_Id`` — and measures
+the same coverage pair as Table 2: what fraction of mispredictions fall
+in low-confidence instances, and what fraction of executions are flagged
+low-confidence.
+
+This is *instance-level* classification (each dynamic branch instance is
+flagged at prediction time), complementing Table 2's *set-level*
+classification; comparing the two shows how much of the coverage win
+comes from the path information itself versus from the classifier.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.analysis.events import ControlEvent
+from repro.branch.confidence import ConfidenceEstimator
+from repro.core.path import path_id_hash
+
+
+@dataclass
+class ConfidenceCoverage:
+    """Coverage achieved by flagging low-confidence instances."""
+
+    scheme: str                    # "jrs-pc" or "jrs-path(n)"
+    mispredict_coverage: float     # mispredicts flagged / all mispredicts
+    execution_coverage: float      # instances flagged / all instances
+    flagged: int
+    total: int
+
+
+def confidence_coverage(
+    events: Iterable[ControlEvent],
+    n: int = 10,
+    estimator_entries: int = 4096,
+    threshold: int = 8,
+    use_path: bool = True,
+) -> ConfidenceCoverage:
+    """Run a JRS estimator over the control-event stream.
+
+    ``use_path`` selects path-hashed indexing (PC xor ``Path_Id``) versus
+    plain PC indexing.
+    """
+    estimator = ConfidenceEstimator(entries=estimator_entries,
+                                    threshold=threshold)
+    history: deque = deque(maxlen=n)
+    flagged = total = 0
+    flagged_mispredicts = total_mispredicts = 0
+    for event in events:
+        if event.terminating:
+            if use_path:
+                index = event.pc ^ path_id_hash(tuple(history))
+            else:
+                index = event.pc
+            low_confidence = not estimator.is_confident(index)
+            if event.measured:
+                total += 1
+                total_mispredicts += event.mispredicted
+                if low_confidence:
+                    flagged += 1
+                    flagged_mispredicts += event.mispredicted
+            estimator.update(index, not event.mispredicted)
+        if event.taken:
+            history.append(event.pc)
+    scheme = f"jrs-path({n})" if use_path else "jrs-pc"
+    return ConfidenceCoverage(
+        scheme=scheme,
+        mispredict_coverage=(flagged_mispredicts / total_mispredicts
+                             if total_mispredicts else 0.0),
+        execution_coverage=flagged / total if total else 0.0,
+        flagged=flagged,
+        total=total,
+    )
+
+
+def compare_confidence_schemes(
+    events: Iterable[ControlEvent],
+    ns: Sequence[int] = (4, 10, 16),
+) -> List[ConfidenceCoverage]:
+    """PC-indexed JRS plus path-indexed JRS at each ``n``."""
+    events = list(events)
+    results = [confidence_coverage(events, use_path=False)]
+    for n in ns:
+        results.append(confidence_coverage(events, n=n, use_path=True))
+    return results

@@ -1,0 +1,103 @@
+"""Misprediction / execution coverage (paper Table 2).
+
+Compares classifying by *difficult branches* (static terminating-branch
+PCs whose aggregate misprediction rate exceeds ``T``) against *difficult
+paths* for several path lengths.  Coverage is the fraction of all
+mispredictions (respectively, dynamic terminating-branch executions)
+attributable to the difficult set.
+
+The paper's headline: paths raise misprediction coverage while lowering
+execution coverage — difficult branches have many easy paths, and easy
+branches hide a few difficult paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.events import ControlEvent
+from repro.core.path import PathKey
+
+
+@dataclass
+class CoverageResult:
+    """Coverage of one classification scheme at one threshold."""
+
+    scheme: str            # "branch" or "path(n)"
+    threshold: float
+    mispredict_coverage: float
+    execution_coverage: float
+    difficult_count: int
+    total_mispredicts: int
+    total_executions: int
+
+
+class _Stat:
+    __slots__ = ("executions", "mispredicts")
+
+    def __init__(self):
+        self.executions = 0
+        self.mispredicts = 0
+
+
+def _coverage(stats: Dict, threshold: float, scheme: str) -> CoverageResult:
+    total_exec = sum(s.executions for s in stats.values())
+    total_mis = sum(s.mispredicts for s in stats.values())
+    difficult = [
+        s for s in stats.values()
+        if s.executions and s.mispredicts / s.executions > threshold
+    ]
+    mis_cov = (sum(s.mispredicts for s in difficult) / total_mis
+               if total_mis else 0.0)
+    exe_cov = (sum(s.executions for s in difficult) / total_exec
+               if total_exec else 0.0)
+    return CoverageResult(
+        scheme=scheme,
+        threshold=threshold,
+        mispredict_coverage=mis_cov,
+        execution_coverage=exe_cov,
+        difficult_count=len(difficult),
+        total_mispredicts=total_mis,
+        total_executions=total_exec,
+    )
+
+
+def coverage_analysis(
+    events: Iterable[ControlEvent],
+    ns: Sequence[int] = (4, 10, 16),
+    thresholds: Sequence[float] = (0.05, 0.10, 0.15),
+) -> List[CoverageResult]:
+    """Table 2: branch-based and path-based coverages.
+
+    Returns one :class:`CoverageResult` per (scheme, threshold), where
+    schemes are ``"branch"`` plus ``"path(n)"`` for each ``n``.
+    """
+    events = list(events)
+
+    branch_stats: Dict[int, _Stat] = {}
+    for event in events:
+        if event.terminating and event.measured:
+            stat = branch_stats.setdefault(event.pc, _Stat())
+            stat.executions += 1
+            stat.mispredicts += event.mispredicted
+
+    results: List[CoverageResult] = []
+    for t in thresholds:
+        results.append(_coverage(branch_stats, t, "branch"))
+
+    for n in ns:
+        history: deque = deque(maxlen=n)
+        path_stats: Dict[PathKey, _Stat] = {}
+        for event in events:
+            if event.terminating and event.measured and len(history) == n:
+                key = PathKey(event.pc, tuple(pc for pc, _ in history))
+                stat = path_stats.setdefault(key, _Stat())
+                stat.executions += 1
+                stat.mispredicts += event.mispredicted
+            if event.taken:
+                history.append((event.pc, event.idx))
+        for t in thresholds:
+            results.append(_coverage(path_stats, t, f"path({n})"))
+    return results

@@ -1,0 +1,67 @@
+"""Compact control-flow event streams for the path analyses.
+
+Tables 1 and 2 need several passes over the same trace with different
+path lengths ``n``.  Running the branch predictor once and keeping only
+the control transfers (with their misprediction flags) makes the per-``n``
+passes cheap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.branch.unit import BranchPredictorComplex
+from repro.sim.trace import Trace
+
+
+class ControlEvent:
+    """One dynamic control transfer.
+
+    ``terminating`` marks conditional/indirect branches (the kinds that
+    can terminate a difficult path); ``measured`` marks events past the
+    warm-up boundary.
+    """
+
+    __slots__ = ("idx", "pc", "taken", "terminating", "mispredicted",
+                 "measured")
+
+    def __init__(self, idx: int, pc: int, taken: bool, terminating: bool,
+                 mispredicted: bool, measured: bool):
+        self.idx = idx
+        self.pc = pc
+        self.taken = taken
+        self.terminating = terminating
+        self.mispredicted = mispredicted
+        self.measured = measured
+
+
+def collect_control_events(
+    trace: Trace,
+    warmup: Optional[int] = None,
+    predictor: Optional[BranchPredictorComplex] = None,
+) -> List[ControlEvent]:
+    """Run the hardware predictor over ``trace`` and keep control events.
+
+    ``warmup`` (instruction count) marks the measurement boundary; the
+    predictor trains throughout, but events before the boundary carry
+    ``measured=False`` so analyses can skip cold-start noise.  Default
+    warm-up is a quarter of the trace.
+    """
+    if warmup is None:
+        warmup = len(trace) // 4
+    unit = predictor if predictor is not None else BranchPredictorComplex()
+    events: List[ControlEvent] = []
+    append = events.append
+    for idx, rec in enumerate(trace.records):
+        if not rec.inst.is_control:
+            continue
+        outcome = unit.process(rec)
+        append(ControlEvent(
+            idx=idx,
+            pc=rec.pc,
+            taken=rec.taken,
+            terminating=rec.inst.is_path_terminating,
+            mispredicted=outcome.mispredicted,
+            measured=idx >= warmup,
+        ))
+    return events

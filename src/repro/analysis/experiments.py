@@ -1,0 +1,192 @@
+"""Drivers for the paper's figures (speed-up and microthread studies).
+
+Each function runs the relevant machine configurations over suite
+benchmarks and returns plain data structures (dicts of floats) that the
+benchmark harness prints and EXPERIMENTS.md records.  All drivers accept
+``trace_length`` so tests can run them on short traces.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.branch.unit import BranchPredictorComplex, oracle_complex
+from repro.core.oracle import PotentialConfig, run_potential
+from repro.core.ssmt import SSMTConfig, SSMTEngine, run_ssmt
+from repro.sim.trace import Trace
+from repro.uarch.config import MachineConfig, TABLE3_BASELINE
+from repro.uarch.timing import OoOTimingModel, TimingResult
+from repro.workloads import benchmark_trace
+from repro.workloads.suite import DEFAULT_TRACE_LENGTH
+
+
+def baseline_run(trace: Trace,
+                 machine: MachineConfig = TABLE3_BASELINE) -> TimingResult:
+    """The Table 3 baseline machine with the hardware hybrid predictor."""
+    return OoOTimingModel(machine).run(trace, BranchPredictorComplex())
+
+
+def intro_perfect_prediction(
+    benchmarks: Sequence[str],
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+) -> Dict[str, float]:
+    """§1 claim: speed-up from eliminating all remaining mispredictions.
+
+    Returns per-benchmark speed-up of oracle direction/target prediction
+    over the baseline (the paper quotes ~2x on average).
+    """
+    speedups: Dict[str, float] = {}
+    for name in benchmarks:
+        trace = benchmark_trace(name, trace_length)
+        base = baseline_run(trace)
+        perfect = OoOTimingModel().run(trace, oracle_complex())
+        speedups[name] = perfect.ipc / base.ipc
+    return speedups
+
+
+def figure6_potential(
+    benchmarks: Sequence[str],
+    ns: Sequence[int] = (4, 10, 16),
+    threshold: float = 0.10,
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    path_cache_entries: int = 8192,
+    training_interval: int = 32,
+) -> Dict[str, Dict[int, float]]:
+    """Figure 6: potential speed-up from perfectly predicting the
+    terminating branches of promoted difficult paths.
+
+    Returns ``{benchmark: {n: speedup}}``.
+    """
+    results: Dict[str, Dict[int, float]] = {}
+    for name in benchmarks:
+        trace = benchmark_trace(name, trace_length)
+        base = baseline_run(trace)
+        per_n: Dict[int, float] = {}
+        for n in ns:
+            config = PotentialConfig(
+                n=n,
+                difficulty_threshold=threshold,
+                path_cache_entries=path_cache_entries,
+                training_interval=training_interval,
+            )
+            result, _ = run_potential(trace, config)
+            per_n[n] = result.ipc / base.ipc
+        results[name] = per_n
+    return results
+
+
+@dataclass
+class RealisticResult:
+    """Figure 7 bars plus the engine statistics behind Figures 8-9."""
+
+    benchmark: str
+    baseline_ipc: float
+    speedup_no_pruning: float
+    speedup_pruning: float
+    speedup_overhead_only: float
+    no_pruning_engine: SSMTEngine = None
+    pruning_engine: SSMTEngine = None
+
+
+def figure7_realistic(
+    benchmarks: Sequence[str],
+    n: int = 10,
+    threshold: float = 0.10,
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    build_latency: int = 100,
+) -> List[RealisticResult]:
+    """Figure 7: realistic speed-up with/without pruning and overhead-only.
+
+    The returned engines also carry the builder and timeliness statistics
+    that Figures 8 and 9 report.
+    """
+    results: List[RealisticResult] = []
+    for name in benchmarks:
+        trace = benchmark_trace(name, trace_length)
+        base = baseline_run(trace)
+
+        def config(**overrides) -> SSMTConfig:
+            return SSMTConfig(n=n, difficulty_threshold=threshold,
+                              build_latency=build_latency, **overrides)
+
+        no_prune, engine_np = run_ssmt(trace, config(pruning=False))
+        prune, engine_p = run_ssmt(trace, config(pruning=True))
+        overhead, _ = run_ssmt(trace, config(pruning=False,
+                                             use_predictions=False))
+        results.append(RealisticResult(
+            benchmark=name,
+            baseline_ipc=base.ipc,
+            speedup_no_pruning=no_prune.ipc / base.ipc,
+            speedup_pruning=prune.ipc / base.ipc,
+            speedup_overhead_only=overhead.ipc / base.ipc,
+            no_pruning_engine=engine_np,
+            pruning_engine=engine_p,
+        ))
+    return results
+
+
+def figure8_routines(
+    realistic: List[RealisticResult],
+) -> Dict[str, Dict[str, float]]:
+    """Figure 8: mean routine size and longest dependence chain, ±pruning.
+
+    Consumes the engines from :func:`figure7_realistic`.
+    Returns ``{benchmark: {size_np, size_p, chain_np, chain_p}}``.
+    """
+    rows: Dict[str, Dict[str, float]] = {}
+    for r in realistic:
+        np_stats = r.no_pruning_engine.builder.stats
+        p_stats = r.pruning_engine.builder.stats
+        rows[r.benchmark] = {
+            "size_no_pruning": np_stats.mean_routine_size,
+            "size_pruning": p_stats.mean_routine_size,
+            "chain_no_pruning": np_stats.mean_chain_length,
+            "chain_pruning": p_stats.mean_chain_length,
+        }
+    return rows
+
+
+def figure9_timeliness(
+    realistic: List[RealisticResult],
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Figure 9: prediction arrival breakdown (early/late/useless), ±pruning.
+
+    ``late`` aggregates the engine's late_agree/late_useful/late_harmful
+    kinds.  Fractions are of predictions that reached their branch
+    ("useless does not include predictions for branches never reached").
+    """
+    def breakdown(engine: SSMTEngine) -> Dict[str, float]:
+        kinds = engine.prediction_kind_counts
+        early = kinds.get("early", 0)
+        late = (kinds.get("late_agree", 0) + kinds.get("late_useful", 0)
+                + kinds.get("late_harmful", 0))
+        useless = kinds.get("useless", 0)
+        total = early + late + useless
+        if not total:
+            return {"early": 0.0, "late": 0.0, "useless": 0.0, "total": 0}
+        return {
+            "early": early / total,
+            "late": late / total,
+            "useless": useless / total,
+            "total": total,
+        }
+
+    return {
+        r.benchmark: {
+            "no_pruning": breakdown(r.no_pruning_engine),
+            "pruning": breakdown(r.pruning_engine),
+        }
+        for r in realistic
+    }
+
+
+def geometric_mean_speedup(speedups: Dict[str, float]) -> float:
+    """Geometric mean over a per-benchmark speed-up dict."""
+    return statistics.geometric_mean(list(speedups.values()))
+
+
+def mean_speedup_percent(speedups: Dict[str, float]) -> float:
+    """Arithmetic mean gain in percent (the paper reports '8.4%')."""
+    return 100.0 * (statistics.mean(list(speedups.values())) - 1.0)

@@ -1,0 +1,152 @@
+"""The paper's published numbers, transcribed for side-by-side comparison.
+
+Sources: Chappell et al., "Difficult-Path Branch Prediction Using
+Subordinate Microthreads", ISCA 2002 — Table 1, Table 2 (T=0.10 slice),
+and the quantitative claims in the text.  Benchmarks are keyed by the
+same names the synthetic suite uses.
+
+These values came from full SPECint95/2000 reference runs on the
+authors' simulator; the reproduction's absolute values differ (traces
+are orders of magnitude shorter, the substrate is synthetic), so
+comparisons should be made on *shape*: orderings, growth directions and
+ratios.  :func:`shape_checks` encodes those shapes as predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Table 1 — unique paths and mean scope per benchmark, for n=4/10/16.
+#: Values: {bench: {n: (unique_paths, mean_scope)}}.
+TABLE1_PATHS_SCOPE: Dict[str, Dict[int, Tuple[int, float]]] = {
+    "comp":       {4: (1332, 49.38),    10: (3320, 123.77),    16: (8205, 195.64)},
+    "gcc":        {4: (131967, 37.14),  10: (428613, 89.18),   16: (886147, 137.82)},
+    "go":         {4: (113825, 51.16),  10: (681239, 113.49),  16: (1697537, 171.80)},
+    "ijpeg":      {4: (7679, 62.98),    10: (30624, 153.64),   16: (94023, 228.17)},
+    "li":         {4: (4095, 36.16),    10: (8933, 88.13),     16: (16602, 142.26)},
+    "m88ksim":    {4: (5342, 41.20),    10: (12397, 99.60),    16: (23460, 164.51)},
+    "perl":       {4: (11003, 39.75),   10: (26572, 91.98),    16: (47152, 137.67)},
+    "vortex":     {4: (36951, 48.12),   10: (76350, 114.28),   16: (119339, 178.32)},
+    "bzip2_2k":   {4: (23585, 216.94),  10: (836082, 551.77),  16: (4455846, 541.59)},
+    "crafty_2k":  {4: (59559, 83.76),   10: (361879, 214.84),  16: (942334, 351.84)},
+    "eon_2k":     {4: (15986, 44.77),   10: (32789, 102.88),   16: (48633, 160.16)},
+    "gap_2k":     {4: (28760, 52.17),   10: (84630, 131.52),   16: (165838, 217.80)},
+    "gcc_2k":     {4: (203334, 55.63),  10: (671250, 132.41),  16: (1191885, 205.37)},
+    "gzip_2k":    {4: (21942, 100.94),  10: (472396, 267.46),  16: (1973159, 412.21)},
+    "mcf_2k":     {4: (7707, 46.05),    10: (65498, 118.08),   16: (232125, 165.48)},
+    "parser_2k":  {4: (22174, 49.65),   10: (105758, 119.59),  16: (374747, 181.99)},
+    "perlbmk_2k": {4: (12608, 47.38),   10: (22337, 112.44),   16: (28475, 175.75)},
+    "twolf_2k":   {4: (24280, 62.46),   10: (91321, 162.95),   16: (240853, 251.63)},
+    "vortex_2k":  {4: (57718, 65.13),   10: (130800, 148.84),  16: (208697, 229.24)},
+    "vpr_2k":     {4: (34589, 111.11),  10: (1330809, 348.34), 16: (4895234, 550.59)},
+}
+
+#: Table 1 — difficult path counts at T=0.10 per n (suite averages).
+TABLE1_AVG_DIFFICULT_T10: Dict[int, int] = {4: 12686, 10: 66396, 16: 166125}
+TABLE1_AVG_PATHS: Dict[int, int] = {4: 41222, 10: 273680, 16: 882515}
+TABLE1_AVG_SCOPE: Dict[int, float] = {4: 65.09, 10: 164.26, 16: 239.99}
+
+#: Table 2 at T=0.10 — suite-average coverages per scheme:
+#: (mispredict_coverage_percent, execution_coverage_percent).
+TABLE2_AVERAGE_T10: Dict[str, Tuple[float, float]] = {
+    "branch": (71.6, 15.0),
+    "path(4)": (79.0, 13.0),
+    "path(10)": (84.3, 11.6),
+    "path(16)": (87.4, 10.4),
+}
+
+#: Table 2 at T=0.10 — per-benchmark branch vs path(16) coverages.
+TABLE2_T10_BRANCH_VS_PATH16: Dict[str, Tuple[float, float, float, float]] = {
+    # bench: (branch mis%, branch exe%, path16 mis%, path16 exe%)
+    "comp": (94.6, 16.5, 94.9, 13.2),
+    "gcc": (63.6, 17.6, 81.4, 14.1),
+    "go": (85.2, 49.0, 90.0, 31.3),
+    "perl": (68.4, 4.2, 94.1, 3.7),
+    "eon_2k": (65.4, 4.0, 78.3, 3.5),
+    "mcf_2k": (47.7, 9.8, 73.6, 7.2),
+    "vpr_2k": (90.9, 24.4, 98.4, 13.3),
+}
+
+# -- headline claims -----------------------------------------------------------
+
+#: §Abstract/§5.3: average and maximum realistic speed-up.
+FIG7_MEAN_GAIN_PERCENT = 8.4
+FIG7_MAX_GAIN_PERCENT = 42.0
+
+#: §1: perfect prediction of remaining mispredictions gives ~2x.
+INTRO_PERFECT_SPEEDUP = 2.0
+
+#: §4.1: allocate-on-mispredict ignores ~45% of possible allocations.
+PATH_CACHE_ALLOCATIONS_AVOIDED_PERCENT = 45.0
+
+#: §4.3.2: spawn abort rates.
+PRE_ALLOCATION_ABORT_PERCENT = 67.0
+ACTIVE_ABORT_PERCENT = 66.0
+
+#: §5.1/§5.2 experiment parameters.
+PATH_CACHE_ENTRIES = 8192
+TRAINING_INTERVAL = 32
+MICRORAM_ENTRIES = 8192
+PREDICTION_CACHE_ENTRIES = 128
+PRB_ENTRIES = 512
+BUILD_LATENCY_CYCLES = 100
+FIG7_N = 10
+FIG7_THRESHOLD = 0.10
+
+
+@dataclass
+class ShapeCheck:
+    """A qualitative relationship the reproduction should preserve."""
+
+    name: str
+    description: str
+
+
+SHAPE_CHECKS = (
+    ShapeCheck(
+        "paths-grow-with-n",
+        "Table 1: unique path counts rise steeply from n=4 to n=16 "
+        "(paper averages 41K -> 882K).",
+    ),
+    ShapeCheck(
+        "scope-grows-with-n",
+        "Table 1: mean scope grows with n (paper averages 65 -> 240 "
+        "instructions).",
+    ),
+    ShapeCheck(
+        "difficult-stable-across-T",
+        "Table 1: the difficult-path count changes little between "
+        "T=.05 and T=.15.",
+    ),
+    ShapeCheck(
+        "paths-beat-branches",
+        "Table 2: path classification raises misprediction coverage "
+        "(71.6% -> 87.4% at T=.10) while lowering execution coverage "
+        "(15.0% -> 10.4%).",
+    ),
+    ShapeCheck(
+        "perfect-prediction-2x",
+        "§1: eliminating remaining mispredictions on the 16-wide "
+        "baseline roughly doubles performance.",
+    ),
+    ShapeCheck(
+        "realistic-mean-gain",
+        "Figure 7: the full mechanism averages ~8.4% with pruning >= "
+        "no-pruning and overhead-only near 1.0.",
+    ),
+    ShapeCheck(
+        "pruning-shortens-chains",
+        "Figure 8: pruning shortens the mean longest dependence chain.",
+    ),
+    ShapeCheck(
+        "late-dominates",
+        "Figure 9: most consumed predictions arrive after the branch is "
+        "fetched, even with pruning.",
+    ),
+)
+
+
+def paper_table1_row(bench: str, n: int) -> Tuple[int, float]:
+    """(unique paths, mean scope) the paper reports for (bench, n)."""
+    return TABLE1_PATHS_SCOPE[bench][n]

@@ -1,0 +1,32 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: List[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned, pipe-separated text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 100 else f"{cell:.1f}"
+    return str(cell)

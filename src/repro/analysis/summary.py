@@ -1,0 +1,153 @@
+"""Full experiment report generation (markdown).
+
+``generate_report`` runs every experiment the benchmark harness covers
+and renders a markdown document with measured values next to the
+paper's published ones — the machinery behind ``python -m repro report``
+and the recorded ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List, Optional, Sequence
+
+from repro.analysis import paper_data
+from repro.analysis.characterize import characterize_paths
+from repro.analysis.coverage import coverage_analysis
+from repro.analysis.events import collect_control_events
+from repro.analysis.experiments import (
+    figure6_potential,
+    figure7_realistic,
+    figure8_routines,
+    figure9_timeliness,
+    intro_perfect_prediction,
+)
+from repro.workloads import BENCHMARK_NAMES, benchmark_trace
+
+
+def _md_table(headers: Sequence[str], rows: List[Sequence[object]]) -> str:
+    def fmt(cell):
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    lines += ["| " + " | ".join(fmt(c) for c in row) + " |" for row in rows]
+    return "\n".join(lines)
+
+
+def generate_report(
+    benchmarks: Optional[Sequence[str]] = None,
+    trace_length: int = 200_000,
+) -> str:
+    """Run all experiments and return the markdown report."""
+    benchmarks = tuple(benchmarks) if benchmarks else BENCHMARK_NAMES
+    sections: List[str] = [
+        "# Experiment report (generated)",
+        f"\nBenchmarks: {', '.join(benchmarks)}; trace length "
+        f"{trace_length} instructions per benchmark.\n",
+    ]
+
+    # -- Tables 1 & 2 -----------------------------------------------------
+    events_by_bench = {
+        name: collect_control_events(benchmark_trace(name, trace_length))
+        for name in benchmarks
+    }
+
+    rows = []
+    for name, events in events_by_bench.items():
+        row = [name]
+        for n in (4, 10, 16):
+            c = characterize_paths(events, n)
+            row += [c.unique_paths, round(c.mean_scope, 1),
+                    c.difficult_paths[0.10]]
+        rows.append(row)
+    sections.append("## Table 1 — paths, scope, difficult paths (T=.10)\n")
+    sections.append(_md_table(
+        ["bench", "n4 paths", "n4 scope", "n4 diff",
+         "n10 paths", "n10 scope", "n10 diff",
+         "n16 paths", "n16 scope", "n16 diff"], rows))
+    sections.append(
+        f"\nPaper suite averages: paths "
+        f"{paper_data.TABLE1_AVG_PATHS}, scope "
+        f"{paper_data.TABLE1_AVG_SCOPE}, difficult@T=.10 "
+        f"{paper_data.TABLE1_AVG_DIFFICULT_T10}.\n")
+
+    rows = []
+    for name, events in events_by_bench.items():
+        results = coverage_analysis(events, ns=(4, 10, 16),
+                                    thresholds=(0.10,))
+        row = [name]
+        for scheme in ("branch", "path(4)", "path(10)", "path(16)"):
+            r = next(x for x in results if x.scheme == scheme)
+            row += [round(100 * r.mispredict_coverage, 1),
+                    round(100 * r.execution_coverage, 1)]
+        rows.append(row)
+    sections.append("## Table 2 — coverage at T=.10 (mis%, exe%)\n")
+    sections.append(_md_table(
+        ["bench", "br mis", "br exe", "p4 mis", "p4 exe",
+         "p10 mis", "p10 exe", "p16 mis", "p16 exe"], rows))
+    sections.append(
+        f"\nPaper suite averages at T=.10: "
+        f"{paper_data.TABLE2_AVERAGE_T10}.\n")
+
+    # -- intro claim --------------------------------------------------------
+    speedups = intro_perfect_prediction(benchmarks, trace_length)
+    geo = statistics.geometric_mean(list(speedups.values()))
+    sections.append("## §1 claim — perfect-prediction headroom\n")
+    sections.append(_md_table(
+        ["bench", "speed-up"],
+        [[k, round(v, 3)] for k, v in speedups.items()]
+        + [["GEOMEAN", round(geo, 3)]]))
+    sections.append(f"\nPaper: ~{paper_data.INTRO_PERFECT_SPEEDUP}x.\n")
+
+    # -- Figure 6 -----------------------------------------------------------
+    fig6 = figure6_potential(benchmarks, trace_length=trace_length)
+    sections.append("## Figure 6 — potential speed-up (T=.10)\n")
+    sections.append(_md_table(
+        ["bench", "n=4", "n=10", "n=16"],
+        [[k, round(v[4], 3), round(v[10], 3), round(v[16], 3)]
+         for k, v in fig6.items()]))
+
+    # -- Figures 7-9 ---------------------------------------------------------
+    realistic = figure7_realistic(benchmarks, trace_length=trace_length)
+    mean_gain = 100 * (statistics.mean(
+        r.speedup_pruning for r in realistic) - 1)
+    sections.append("\n## Figure 7 — realistic speed-up (n=10, T=.10)\n")
+    sections.append(_md_table(
+        ["bench", "base IPC", "no-pruning", "pruning", "overhead-only"],
+        [[r.benchmark, round(r.baseline_ipc, 2),
+          round(r.speedup_no_pruning, 3), round(r.speedup_pruning, 3),
+          round(r.speedup_overhead_only, 3)] for r in realistic]))
+    sections.append(
+        f"\nMeasured mean gain {mean_gain:.1f}% vs paper "
+        f"{paper_data.FIG7_MEAN_GAIN_PERCENT}%.\n")
+
+    fig8 = figure8_routines(realistic)
+    sections.append("## Figure 8 — routine size & dependence chain\n")
+    sections.append(_md_table(
+        ["bench", "size np", "size p", "chain np", "chain p"],
+        [[k, round(v["size_no_pruning"], 2), round(v["size_pruning"], 2),
+          round(v["chain_no_pruning"], 2), round(v["chain_pruning"], 2)]
+         for k, v in fig8.items()]))
+
+    fig9 = figure9_timeliness(realistic)
+    sections.append("\n## Figure 9 — prediction timeliness\n")
+    sections.append(_md_table(
+        ["bench", "np early%", "np late%", "np useless%",
+         "p early%", "p late%", "p useless%"],
+        [[k,
+          round(100 * v["no_pruning"]["early"], 1),
+          round(100 * v["no_pruning"]["late"], 1),
+          round(100 * v["no_pruning"]["useless"], 1),
+          round(100 * v["pruning"]["early"], 1),
+          round(100 * v["pruning"]["late"], 1),
+          round(100 * v["pruning"]["useless"], 1)]
+         for k, v in fig9.items()]))
+
+    sections.append("\n## Shape checks\n")
+    for check in paper_data.SHAPE_CHECKS:
+        sections.append(f"* **{check.name}** — {check.description}")
+
+    return "\n".join(sections) + "\n"

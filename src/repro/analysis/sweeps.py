@@ -1,0 +1,108 @@
+"""Configuration sensitivity sweeps.
+
+The paper notes it "simulated many other configurations that we cannot
+report due to space limitations" (§5.2).  These helpers sweep one knob
+of the mechanism (or of the machine) at a time over a benchmark set and
+report mean speed-up per setting, so a user can reproduce that design
+space exploration.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import baseline_run
+from repro.core.ssmt import SSMTConfig, run_ssmt
+from repro.uarch.config import MachineConfig, TABLE3_BASELINE
+from repro.uarch.timing import OoOTimingModel
+from repro.branch.unit import BranchPredictorComplex
+from repro.workloads import benchmark_trace
+
+
+@dataclass
+class SweepPoint:
+    """Result at one setting of the swept knob."""
+
+    setting: object
+    per_benchmark: Dict[str, float]
+
+    @property
+    def mean_speedup(self) -> float:
+        return statistics.mean(self.per_benchmark.values())
+
+    @property
+    def geomean_speedup(self) -> float:
+        return statistics.geometric_mean(list(self.per_benchmark.values()))
+
+
+def sweep_ssmt_knob(
+    knob: str,
+    settings: Sequence[object],
+    benchmarks: Sequence[str],
+    trace_length: int,
+    base_config: Optional[SSMTConfig] = None,
+    machine: MachineConfig = TABLE3_BASELINE,
+) -> List[SweepPoint]:
+    """Sweep one :class:`SSMTConfig` field across ``settings``.
+
+    Example::
+
+        sweep_ssmt_knob("n", [4, 10, 16], ("gcc", "comp"), 100_000)
+    """
+    base_config = base_config or SSMTConfig()
+    if not hasattr(base_config, knob):
+        raise ValueError(f"SSMTConfig has no knob {knob!r}")
+    baselines = {
+        name: baseline_run(benchmark_trace(name, trace_length)).ipc
+        for name in benchmarks
+    }
+    points: List[SweepPoint] = []
+    for setting in settings:
+        per_benchmark: Dict[str, float] = {}
+        for name in benchmarks:
+            trace = benchmark_trace(name, trace_length)
+            config = replace(base_config, **{knob: setting})
+            result, _ = run_ssmt(trace, config, machine=machine)
+            per_benchmark[name] = result.ipc / baselines[name]
+        points.append(SweepPoint(setting, per_benchmark))
+    return points
+
+
+def sweep_machine_width(
+    widths: Sequence[int],
+    benchmarks: Sequence[str],
+    trace_length: int,
+    config: Optional[SSMTConfig] = None,
+) -> List[SweepPoint]:
+    """How does the mechanism's gain scale with machine width?
+
+    The paper argues wide machines both need the mechanism more (larger
+    penalties relative to work) and feed it better (spare execution
+    capacity).  Each width uses its own baseline.
+    """
+    config = config or SSMTConfig()
+    points: List[SweepPoint] = []
+    for width in widths:
+        machine = TABLE3_BASELINE.scaled(
+            fetch_width=width, issue_width=width, retire_width=width)
+        per_benchmark: Dict[str, float] = {}
+        for name in benchmarks:
+            trace = benchmark_trace(name, trace_length)
+            base = OoOTimingModel(machine).run(trace,
+                                               BranchPredictorComplex())
+            result, _ = run_ssmt(trace, config, machine=machine)
+            per_benchmark[name] = result.ipc / base.ipc
+        points.append(SweepPoint(width, per_benchmark))
+    return points
+
+
+def sweep_report(points: List[SweepPoint], knob: str) -> str:
+    """Render sweep results as a small text table."""
+    from repro.analysis.report import format_table
+
+    rows = [[p.setting, round(p.mean_speedup, 3), round(p.geomean_speedup, 3)]
+            for p in points]
+    return format_table([knob, "mean speed-up", "geomean"], rows,
+                        title=f"Sensitivity to {knob}")

@@ -1,0 +1,121 @@
+"""Windowed time-series measurement: watching the mechanism learn.
+
+The hardware mechanism ramps: the Path Cache needs a training interval
+per path, the builder works one routine at a time, and benefits accrue
+as the MicroRAM fills.  :func:`ipc_timeline` measures windowed IPC and
+misprediction rate across a run, and :func:`sparkline` renders compact
+in-terminal series — used by ``examples/rampup.py`` to visualize the
+difference between cold-start dynamic identification and the
+profile-guided variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.branch.unit import BranchPredictorComplex
+from repro.sim.trace import Trace
+from repro.uarch.config import MachineConfig, TABLE3_BASELINE
+from repro.uarch.timing import OoOTimingModel
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class TimelinePoint:
+    """One measurement window."""
+
+    start_idx: int
+    end_idx: int
+    cycles: int
+    instructions: int
+    mispredicts: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class _WindowCollector:
+    """Listener recording retire cycles at window boundaries."""
+
+    def __init__(self, window: int, chain=None):
+        self.window = window
+        self.boundaries: List[Tuple[int, int]] = []  # (idx, retire_cycle)
+        self._chain = chain
+        if chain is not None:
+            for hook in ("on_fetch", "lookup_prediction", "on_control",
+                         "on_prediction_outcome"):
+                target = getattr(chain, hook, None)
+                if target is not None:
+                    setattr(self, hook, target)
+
+    def on_retire(self, idx, rec, retire_cycle):
+        if idx % self.window == self.window - 1:
+            self.boundaries.append((idx, retire_cycle))
+        chained = getattr(self._chain, "on_retire", None)
+        if chained is not None:
+            chained(idx, rec, retire_cycle)
+
+
+def ipc_timeline(
+    trace: Trace,
+    window: int = 20_000,
+    machine: MachineConfig = TABLE3_BASELINE,
+    listener=None,
+) -> List[TimelinePoint]:
+    """Windowed IPC over a timing run (optionally with an SSMT listener)."""
+    collector = _WindowCollector(window, chain=listener)
+    model = OoOTimingModel(machine)
+    model.run(trace, BranchPredictorComplex(), listener=collector)
+
+    points: List[TimelinePoint] = []
+    prev_idx, prev_cycle = -1, 0
+    for idx, cycle in collector.boundaries:
+        instructions = idx - prev_idx
+        points.append(TimelinePoint(
+            start_idx=prev_idx + 1,
+            end_idx=idx,
+            cycles=max(1, cycle - prev_cycle),
+            instructions=instructions,
+            mispredicts=0,
+        ))
+        prev_idx, prev_cycle = idx, cycle
+    return points
+
+
+def speedup_timeline(
+    trace: Trace,
+    make_listener,
+    window: int = 20_000,
+    machine: MachineConfig = TABLE3_BASELINE,
+) -> List[Tuple[int, float]]:
+    """Per-window speed-up of a listener-equipped run over the baseline.
+
+    ``make_listener`` is a zero-argument factory (a fresh engine per
+    run).  Returns ``[(window_end_idx, speedup), ...]``.
+    """
+    base = ipc_timeline(trace, window, machine)
+    enhanced = ipc_timeline(trace, window, machine,
+                            listener=make_listener())
+    series: List[Tuple[int, float]] = []
+    for b, e in zip(base, enhanced):
+        series.append((b.end_idx, b.cycles / e.cycles))
+    return series
+
+
+def sparkline(values: List[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """Render a numeric series as a unicode sparkline."""
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = (hi - lo) or 1.0
+    glyphs = []
+    for value in values:
+        level = int((value - lo) / span * (len(_SPARK_GLYPHS) - 1))
+        glyphs.append(_SPARK_GLYPHS[max(0, min(level,
+                                               len(_SPARK_GLYPHS) - 1))])
+    return "".join(glyphs)

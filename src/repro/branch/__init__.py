@@ -1,0 +1,42 @@
+"""Baseline hardware branch prediction.
+
+Implements the paper's baseline predictor complex (Table 3): a
+128K-entry gshare/PAs hybrid with a 64K-entry selector, a 4K-entry branch
+target buffer, a 32-entry call/return stack, and a 64K-entry target cache
+for indirect branches.
+
+:class:`BranchPredictorComplex` bundles all of these behind the interface
+the timing model and the difficult-path profiler consume.
+"""
+
+from repro.branch.base import (
+    DirectionPredictor,
+    SaturatingCounterTable,
+    AlwaysTakenPredictor,
+    OraclePredictor,
+)
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GsharePredictor
+from repro.branch.pas import PAsPredictor
+from repro.branch.hybrid import HybridPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.target_cache import TargetCache
+from repro.branch.unit import BranchPredictorComplex, BranchOutcome, default_complex
+
+__all__ = [
+    "DirectionPredictor",
+    "SaturatingCounterTable",
+    "AlwaysTakenPredictor",
+    "OraclePredictor",
+    "BimodalPredictor",
+    "GsharePredictor",
+    "PAsPredictor",
+    "HybridPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "TargetCache",
+    "BranchPredictorComplex",
+    "BranchOutcome",
+    "default_complex",
+]

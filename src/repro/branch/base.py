@@ -1,0 +1,85 @@
+"""Direction-predictor interface and shared counter-table machinery."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def _check_power_of_two(value: int, what: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+
+
+class SaturatingCounterTable:
+    """A table of n-bit saturating up/down counters.
+
+    Counters start at the weak boundary between taken and not-taken
+    (``2**(bits-1)``), i.e. weakly taken.
+    """
+
+    def __init__(self, entries: int, bits: int = 2):
+        _check_power_of_two(entries, "entries")
+        if bits < 1:
+            raise ValueError("counter width must be >= 1")
+        self.entries = entries
+        self.bits = bits
+        self.max_value = (1 << bits) - 1
+        self.threshold = 1 << (bits - 1)
+        self.mask = entries - 1
+        self.table: List[int] = [self.threshold] * entries
+
+    def predict(self, index: int) -> bool:
+        return self.table[index & self.mask] >= self.threshold
+
+    def counter(self, index: int) -> int:
+        return self.table[index & self.mask]
+
+    def update(self, index: int, taken: bool) -> None:
+        index &= self.mask
+        value = self.table[index]
+        if taken:
+            if value < self.max_value:
+                self.table[index] = value + 1
+        elif value > 0:
+            self.table[index] = value - 1
+
+
+class DirectionPredictor:
+    """Interface for conditional-branch direction predictors."""
+
+    def predict(self, pc: int) -> bool:
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        raise NotImplementedError
+
+
+class AlwaysTakenPredictor(DirectionPredictor):
+    """Degenerate predictor used in tests and as an overhead floor."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class OraclePredictor(DirectionPredictor):
+    """Perfect direction prediction (used for the intro's 2x headroom claim).
+
+    The caller primes the next outcome before asking for a prediction;
+    :class:`~repro.branch.unit.BranchPredictorComplex` does this when
+    constructed in oracle mode.
+    """
+
+    def __init__(self):
+        self._next_outcome = False
+
+    def prime(self, taken: bool) -> None:
+        self._next_outcome = taken
+
+    def predict(self, pc: int) -> bool:
+        return self._next_outcome
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass

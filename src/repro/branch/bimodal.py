@@ -1,0 +1,22 @@
+"""Bimodal (per-PC two-bit counter) predictor.
+
+Not part of the paper's baseline, but used in tests and as an ablation
+point for the predictor complex.
+"""
+
+from __future__ import annotations
+
+from repro.branch.base import DirectionPredictor, SaturatingCounterTable
+
+
+class BimodalPredictor(DirectionPredictor):
+    """Classic Smith predictor: a PC-indexed table of 2-bit counters."""
+
+    def __init__(self, entries: int = 4096, counter_bits: int = 2):
+        self.table = SaturatingCounterTable(entries, counter_bits)
+
+    def predict(self, pc: int) -> bool:
+        return self.table.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.table.update(pc, taken)

@@ -1,0 +1,63 @@
+"""JRS branch-confidence estimation (Jacobsen, Rotenberg & Smith, 1996).
+
+The paper's difficult-path idea builds on path-based confidence work
+(its reference [10]): "Path-based confidence mechanisms have demonstrated
+that the predictability of a branch is correlated to the control-flow
+path leading up to it."  This module provides the classic estimator —
+a table of *miss distance counters* (resetting counters that count
+correct predictions since the last mispredict) — both PC-indexed and
+path-indexed, so analyses can compare confidence-based difficulty
+classification against the Path Cache's misprediction-rate intervals.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.branch.base import _check_power_of_two
+
+
+class ConfidenceEstimator:
+    """Miss distance counters: high count == high confidence.
+
+    ``update(index, correct)`` increments (saturating) on a correct
+    prediction and resets to zero on a mispredict.  A branch instance is
+    *high confidence* when its counter is at or above ``threshold``.
+    """
+
+    def __init__(self, entries: int = 4096, max_count: int = 15,
+                 threshold: int = 8):
+        _check_power_of_two(entries, "entries")
+        if not 0 < threshold <= max_count:
+            raise ValueError("need 0 < threshold <= max_count")
+        self.entries = entries
+        self.mask = entries - 1
+        self.max_count = max_count
+        self.threshold = threshold
+        self._counters: List[int] = [0] * entries
+        self.high_confidence_queries = 0
+        self.low_confidence_queries = 0
+
+    def is_confident(self, index: int) -> bool:
+        confident = self._counters[index & self.mask] >= self.threshold
+        if confident:
+            self.high_confidence_queries += 1
+        else:
+            self.low_confidence_queries += 1
+        return confident
+
+    def counter(self, index: int) -> int:
+        return self._counters[index & self.mask]
+
+    def update(self, index: int, correct: bool) -> None:
+        slot = index & self.mask
+        if correct:
+            if self._counters[slot] < self.max_count:
+                self._counters[slot] += 1
+        else:
+            self._counters[slot] = 0
+
+    @property
+    def low_confidence_fraction(self) -> float:
+        total = self.high_confidence_queries + self.low_confidence_queries
+        return self.low_confidence_queries / total if total else 0.0

@@ -1,0 +1,31 @@
+"""gshare global-history predictor (McFarling).
+
+The pattern history table is indexed by the XOR of the branch PC and the
+global branch-history register.  The paper's baseline uses a 128K-entry
+gshare component inside the hybrid.
+"""
+
+from __future__ import annotations
+
+from repro.branch.base import DirectionPredictor, SaturatingCounterTable
+
+
+class GsharePredictor(DirectionPredictor):
+    """PC xor global-history indexed table of saturating counters."""
+
+    def __init__(self, entries: int = 128 * 1024, history_bits: int = 17,
+                 counter_bits: int = 2):
+        self.table = SaturatingCounterTable(entries, counter_bits)
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.history = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self.history) & self.table.mask
+
+    def predict(self, pc: int) -> bool:
+        return self.table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.table.update(self._index(pc), taken)
+        self.history = ((self.history << 1) | (1 if taken else 0)) & self.history_mask

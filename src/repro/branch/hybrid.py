@@ -1,0 +1,52 @@
+"""gshare/PAs hybrid with a selector (the paper's baseline direction
+predictor: "128K-entry gshare/PAs hybrid with 64K-entry hybrid selector").
+
+The selector is a table of 2-bit counters indexed by PC xor global
+history; high counter values favour the gshare component.  Both
+components always train; the selector trains only when they disagree.
+"""
+
+from __future__ import annotations
+
+from repro.branch.base import DirectionPredictor, SaturatingCounterTable
+from repro.branch.gshare import GsharePredictor
+from repro.branch.pas import PAsPredictor
+
+
+class HybridPredictor(DirectionPredictor):
+    """McFarling-style combining predictor over gshare and PAs."""
+
+    def __init__(
+        self,
+        gshare: GsharePredictor = None,
+        pas: PAsPredictor = None,
+        selector_entries: int = 64 * 1024,
+    ):
+        self.gshare = gshare if gshare is not None else GsharePredictor()
+        self.pas = pas if pas is not None else PAsPredictor()
+        self.selector = SaturatingCounterTable(selector_entries)
+        self.used_gshare_count = 0
+        self.used_pas_count = 0
+
+    def _selector_index(self, pc: int) -> int:
+        # PC-indexed (not history-hashed) so per-branch component choice
+        # converges quickly; the paper only fixes the selector's size.
+        return pc & self.selector.mask
+
+    def predict(self, pc: int) -> bool:
+        gshare_pred = self.gshare.predict(pc)
+        pas_pred = self.pas.predict(pc)
+        if self.selector.predict(self._selector_index(pc)):
+            self.used_gshare_count += 1
+            return gshare_pred
+        self.used_pas_count += 1
+        return pas_pred
+
+    def update(self, pc: int, taken: bool) -> None:
+        gshare_pred = self.gshare.predict(pc)
+        pas_pred = self.pas.predict(pc)
+        if gshare_pred != pas_pred:
+            # Train the selector toward whichever component was right.
+            self.selector.update(self._selector_index(pc), gshare_pred == taken)
+        self.gshare.update(pc, taken)
+        self.pas.update(pc, taken)

@@ -1,0 +1,58 @@
+"""PAs two-level local-history predictor (Yeh & Patt).
+
+A per-address branch history table feeds per-set pattern history tables.
+This is the second component of the paper's baseline hybrid; it captures
+short repeating local patterns (loop trip counts, alternating branches)
+that gshare's global history dilutes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.branch.base import (
+    DirectionPredictor,
+    SaturatingCounterTable,
+    _check_power_of_two,
+)
+
+
+class PAsPredictor(DirectionPredictor):
+    """Two-level predictor with per-address history, set-shared PHTs."""
+
+    def __init__(
+        self,
+        history_entries: int = 4096,
+        history_bits: int = 12,
+        pht_sets: int = 64,
+        counter_bits: int = 2,
+    ):
+        _check_power_of_two(history_entries, "history_entries")
+        _check_power_of_two(pht_sets, "pht_sets")
+        self.history_entries = history_entries
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.bht: List[int] = [0] * history_entries
+        self.pht_sets = pht_sets
+        self.pht = SaturatingCounterTable(pht_sets << history_bits, counter_bits)
+
+    def _pht_index(self, pc: int) -> int:
+        local_history = self.bht[pc & (self.history_entries - 1)]
+        # Fold a multiplicative PC hash over the whole PHT rather than
+        # concatenating a small set index: branches overwhelmingly share
+        # saturated local histories, and pure concatenation makes them
+        # collide pairwise within a set.
+        return (local_history ^ (pc * 0x9E3779B1)) & self.pht.mask
+
+    def predict(self, pc: int) -> bool:
+        return self.pht.predict(self._pht_index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.pht.update(self._pht_index(pc), taken)
+        slot = pc & (self.history_entries - 1)
+        self.bht[slot] = ((self.bht[slot] << 1) | (1 if taken else 0)) & self.history_mask
+
+    @property
+    def total_entries(self) -> int:
+        """Total PHT counters (for reporting against the paper's 128K)."""
+        return self.pht.entries

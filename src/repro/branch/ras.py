@@ -1,0 +1,37 @@
+"""Return address stack (32 entries in the paper's baseline).
+
+Pushed by calls, popped by returns.  On overflow the oldest entry is
+dropped (circular); on underflow the prediction is a miss.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """Circular call/return stack."""
+
+    def __init__(self, entries: int = 32):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._stack: List[int] = []
+        self.overflows = 0
+        self.underflows = 0
+
+    def push(self, return_address: int) -> None:
+        if len(self._stack) == self.entries:
+            del self._stack[0]
+            self.overflows += 1
+        self._stack.append(return_address)
+
+    def pop(self) -> Optional[int]:
+        """Pop and return the predicted return address (None if empty)."""
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,37 @@
+"""Target cache for indirect branches (64K entries in the baseline).
+
+A tagless table indexed by PC xor global history holding the last
+observed target for that (branch, history) context — the classic
+Chang/Hao/Patt target cache.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.branch.base import _check_power_of_two
+
+
+class TargetCache:
+    """History-indexed last-target predictor for indirect branches."""
+
+    def __init__(self, entries: int = 64 * 1024, history_bits: int = 16):
+        _check_power_of_two(entries, "entries")
+        self.entries = entries
+        self.mask = entries - 1
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.history = 0
+        self._targets: List[int] = [0] * entries
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self.history) & self.mask
+
+    def predict(self, pc: int) -> int:
+        return self._targets[self._index(pc)]
+
+    def update(self, pc: int, target: int) -> None:
+        self._targets[self._index(pc)] = target
+        # Fold target bits into the path history so successive indirect
+        # branches see distinct contexts.
+        self.history = ((self.history << 2) ^ target) & self.history_mask

@@ -1,0 +1,172 @@
+"""The full front-end branch prediction complex.
+
+Bundles the direction hybrid, BTB, return address stack and indirect
+target cache behind one ``process()`` call per dynamic control transfer,
+used both by the timing model and by the difficult-path profiler.
+
+``process`` performs predict-then-update in retirement order, which for a
+trace-driven model is equivalent to an in-order machine with retire-time
+predictor training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.branch.base import DirectionPredictor, OraclePredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.hybrid import HybridPredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.target_cache import TargetCache
+from repro.isa.instructions import Opcode
+from repro.sim.trace import DynamicInstruction
+
+
+@dataclass
+class BranchOutcome:
+    """Result of predicting one dynamic control transfer."""
+
+    predicted_taken: bool
+    predicted_target: int
+    actual_taken: bool
+    actual_target: int
+    mispredicted: bool
+    btb_miss: bool = False
+
+    @property
+    def correct(self) -> bool:
+        return not self.mispredicted
+
+
+class BranchPredictorComplex:
+    """Direction + target prediction for every control-transfer kind."""
+
+    def __init__(
+        self,
+        direction: Optional[DirectionPredictor] = None,
+        btb: Optional[BranchTargetBuffer] = None,
+        ras: Optional[ReturnAddressStack] = None,
+        target_cache: Optional[TargetCache] = None,
+    ):
+        self.direction = direction if direction is not None else HybridPredictor()
+        self.btb = btb if btb is not None else BranchTargetBuffer()
+        self.ras = ras if ras is not None else ReturnAddressStack()
+        self.target_cache = target_cache if target_cache is not None else TargetCache()
+        self._oracle = isinstance(self.direction, OraclePredictor)
+        # Statistics
+        self.conditional_count = 0
+        self.conditional_mispredicts = 0
+        self.indirect_count = 0
+        self.indirect_mispredicts = 0
+        self.return_count = 0
+        self.return_mispredicts = 0
+        self.unconditional_count = 0
+
+    # -- main entry point -------------------------------------------------
+
+    def process(self, rec: DynamicInstruction) -> BranchOutcome:
+        """Predict ``rec``, then train on its actual outcome."""
+        op = rec.opcode
+        if rec.inst.is_conditional_branch:
+            return self._process_conditional(rec)
+        if op == Opcode.JMP:
+            return self._process_direct(rec, push_ras=False)
+        if op == Opcode.CALL:
+            return self._process_direct(rec, push_ras=True)
+        if op == Opcode.RET:
+            return self._process_return(rec)
+        if op == Opcode.JR:
+            return self._process_indirect(rec)
+        raise ValueError(f"not a control transfer: {rec!r}")
+
+    # -- per-kind handling -------------------------------------------------
+
+    def _process_conditional(self, rec: DynamicInstruction) -> BranchOutcome:
+        self.conditional_count += 1
+        pc = rec.pc
+        if self._oracle:
+            self.direction.prime(rec.taken)
+        predicted_taken = self.direction.predict(pc)
+        btb_miss = False
+        if predicted_taken:
+            predicted_target = self.btb.lookup(pc)
+            if predicted_target is None:
+                # Target recovered at decode from the instruction word.
+                predicted_target = rec.inst.target
+                btb_miss = True
+        else:
+            predicted_target = pc + 1
+        mispredicted = predicted_taken != rec.taken
+        if mispredicted:
+            self.conditional_mispredicts += 1
+        self.direction.update(pc, rec.taken)
+        if rec.taken:
+            self.btb.update(pc, rec.next_pc)
+        return BranchOutcome(
+            predicted_taken, predicted_target, rec.taken, rec.next_pc,
+            mispredicted, btb_miss,
+        )
+
+    def _process_direct(self, rec: DynamicInstruction, push_ras: bool) -> BranchOutcome:
+        self.unconditional_count += 1
+        predicted_target = self.btb.lookup(rec.pc)
+        btb_miss = predicted_target is None
+        if btb_miss:
+            predicted_target = rec.next_pc
+        self.btb.update(rec.pc, rec.next_pc)
+        if push_ras:
+            self.ras.push(rec.pc + 1)
+        return BranchOutcome(True, predicted_target, True, rec.next_pc,
+                             mispredicted=False, btb_miss=btb_miss)
+
+    def _process_return(self, rec: DynamicInstruction) -> BranchOutcome:
+        self.return_count += 1
+        predicted_target = self.ras.pop()
+        if predicted_target is None:
+            predicted_target = self.target_cache.predict(rec.pc)
+        mispredicted = predicted_target != rec.next_pc
+        if mispredicted:
+            self.return_mispredicts += 1
+        self.target_cache.update(rec.pc, rec.next_pc)
+        return BranchOutcome(True, predicted_target, True, rec.next_pc, mispredicted)
+
+    def _process_indirect(self, rec: DynamicInstruction) -> BranchOutcome:
+        self.indirect_count += 1
+        if self._oracle:
+            predicted_target = rec.next_pc
+        else:
+            predicted_target = self.target_cache.predict(rec.pc)
+        mispredicted = predicted_target != rec.next_pc
+        if mispredicted:
+            self.indirect_mispredicts += 1
+        self.target_cache.update(rec.pc, rec.next_pc)
+        return BranchOutcome(True, predicted_target, True, rec.next_pc, mispredicted)
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def total_predicted(self) -> int:
+        return (self.conditional_count + self.indirect_count
+                + self.return_count + self.unconditional_count)
+
+    @property
+    def total_mispredicts(self) -> int:
+        return (self.conditional_mispredicts + self.indirect_mispredicts
+                + self.return_mispredicts)
+
+    def accuracy(self) -> float:
+        """Direction accuracy over conditional branches."""
+        if self.conditional_count == 0:
+            return 1.0
+        return 1.0 - self.conditional_mispredicts / self.conditional_count
+
+
+def default_complex() -> BranchPredictorComplex:
+    """The paper's Table 3 baseline predictor complex."""
+    return BranchPredictorComplex()
+
+
+def oracle_complex() -> BranchPredictorComplex:
+    """Perfect direction and indirect-target prediction."""
+    return BranchPredictorComplex(direction=OraclePredictor())

@@ -1,0 +1,287 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the main workflows:
+
+* ``suite`` — list the synthetic benchmarks,
+* ``run`` — baseline vs SSMT comparison on one benchmark,
+* ``profile`` — Table 1/2-style difficult-path profiling,
+* ``experiment`` — regenerate one of the paper's tables/figures,
+* ``disasm`` — disassemble a generated benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    characterize_paths,
+    collect_control_events,
+    coverage_analysis,
+    format_table,
+)
+from repro.analysis.experiments import (
+    baseline_run,
+    figure6_potential,
+    figure7_realistic,
+    figure8_routines,
+    figure9_timeliness,
+    intro_perfect_prediction,
+)
+from repro.core.ssmt import SSMTConfig, run_ssmt
+from repro.core.static import run_profile_guided
+from repro.workloads import BENCHMARK_NAMES, benchmark_trace, build_benchmark
+from repro.workloads.suite import DEFAULT_TRACE_LENGTH
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--instructions", type=int,
+                        default=DEFAULT_TRACE_LENGTH,
+                        help="dynamic instructions to simulate")
+
+
+def _check_benchmark(name: str) -> str:
+    if name not in BENCHMARK_NAMES:
+        raise SystemExit(
+            f"unknown benchmark {name!r}; run 'python -m repro suite'")
+    return name
+
+
+def cmd_suite(_args) -> int:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        program = build_benchmark(name)
+        rows.append([name, len(program), program.static_branch_count()])
+    print(format_table(["benchmark", "static insts", "static controls"],
+                       rows, title="Synthetic suite"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    name = _check_benchmark(args.benchmark)
+    trace = benchmark_trace(name, args.instructions)
+    base = baseline_run(trace)
+    config = SSMTConfig(n=args.n, difficulty_threshold=args.threshold,
+                        pruning=not args.no_pruning)
+    if args.profile_guided:
+        result, engine = run_profile_guided(trace, config)
+        label = "profile-guided SSMT"
+    else:
+        result, engine = run_ssmt(trace, config)
+        label = "dynamic SSMT"
+    print(format_table(
+        ["configuration", "IPC", "mispredicts", "speed-up"],
+        [
+            ["baseline", round(base.ipc, 3), base.effective_mispredicts, 1.0],
+            [label, round(result.ipc, 3), result.effective_mispredicts,
+             round(result.ipc / base.ipc, 3)],
+        ],
+        title=f"{name} ({args.instructions} instructions)"))
+    spawn = engine.spawner.stats
+    print(f"\nroutines: {len(engine.microram)}  spawned: {spawn.spawned}  "
+          f"aborted: {spawn.aborted_active}  "
+          f"arrivals: {dict(engine.prediction_kind_counts)}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    name = _check_benchmark(args.benchmark)
+    events = collect_control_events(benchmark_trace(name, args.instructions))
+    rows = []
+    for n in args.n:
+        c = characterize_paths(events, n)
+        rows.append([n, c.unique_paths, round(c.mean_scope, 1),
+                     c.difficult_paths[0.05], c.difficult_paths[0.10],
+                     c.difficult_paths[0.15]])
+    print(format_table(
+        ["n", "paths", "scope", "difficult@.05", "@.10", "@.15"],
+        rows, title=f"{name}: path characterization (Table 1)"))
+    results = coverage_analysis(events, ns=tuple(args.n),
+                                thresholds=(args.threshold,))
+    rows = [[r.scheme, round(100 * r.mispredict_coverage, 1),
+             round(100 * r.execution_coverage, 1)] for r in results]
+    print()
+    print(format_table(["scheme", "mis%", "exe%"], rows,
+                       title=f"{name}: coverage at T={args.threshold} (Table 2)"))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    benchmarks = tuple(args.benchmarks) if args.benchmarks else BENCHMARK_NAMES
+    for name in benchmarks:
+        _check_benchmark(name)
+    length = args.instructions
+
+    if args.which == "intro":
+        speedups = intro_perfect_prediction(benchmarks, length)
+        rows = [[k, round(v, 3)] for k, v in speedups.items()]
+        print(format_table(["bench", "speed-up"], rows,
+                           title="Perfect-prediction headroom (§1)"))
+    elif args.which == "fig6":
+        results = figure6_potential(benchmarks, trace_length=length)
+        rows = [[k] + [round(v[n], 3) for n in (4, 10, 16)]
+                for k, v in results.items()]
+        print(format_table(["bench", "n=4", "n=10", "n=16"], rows,
+                           title="Figure 6: potential speed-up"))
+    elif args.which == "fig7":
+        results = figure7_realistic(benchmarks, trace_length=length)
+        rows = [[r.benchmark, round(r.baseline_ipc, 2),
+                 round(r.speedup_no_pruning, 3), round(r.speedup_pruning, 3),
+                 round(r.speedup_overhead_only, 3)] for r in results]
+        mean_gain = 100 * (statistics.mean(
+            r.speedup_pruning for r in results) - 1)
+        print(format_table(
+            ["bench", "base IPC", "no-pruning", "pruning", "overhead"],
+            rows, title="Figure 7: realistic speed-up"))
+        print(f"\nmean gain with pruning: {mean_gain:.1f}% "
+              f"(paper: 8.4%)")
+        if args.chart:
+            from repro.analysis.charts import grouped_bar_chart
+
+            print()
+            print(grouped_bar_chart(
+                {r.benchmark: {"pruning": r.speedup_pruning,
+                               "no-pruning": r.speedup_no_pruning,
+                               "overhead": r.speedup_overhead_only}
+                 for r in results},
+                title="Figure 7 (bars)"))
+    elif args.which == "fig8":
+        realistic = figure7_realistic(benchmarks, trace_length=length)
+        rows = [[k, round(v["size_no_pruning"], 2),
+                 round(v["size_pruning"], 2),
+                 round(v["chain_no_pruning"], 2),
+                 round(v["chain_pruning"], 2)]
+                for k, v in figure8_routines(realistic).items()]
+        print(format_table(
+            ["bench", "size np", "size p", "chain np", "chain p"],
+            rows, title="Figure 8: routine size & dependence chain"))
+    elif args.which == "fig9":
+        realistic = figure7_realistic(benchmarks, trace_length=length)
+        rows = []
+        for k, v in figure9_timeliness(realistic).items():
+            p = v["pruning"]
+            rows.append([k, round(100 * p["early"], 1),
+                         round(100 * p["late"], 1),
+                         round(100 * p["useless"], 1), p["total"]])
+        print(format_table(["bench", "early%", "late%", "useless%", "total"],
+                           rows, title="Figure 9: timeliness (pruning)"))
+    else:  # table1 / table2 via profile over all benchmarks
+        for name in benchmarks:
+            events = collect_control_events(benchmark_trace(name, length))
+            if args.which == "table1":
+                rows = []
+                for n in (4, 10, 16):
+                    c = characterize_paths(events, n)
+                    rows.append([n, c.unique_paths, round(c.mean_scope, 1),
+                                 c.difficult_paths[0.10]])
+                print(format_table(["n", "paths", "scope", "difficult@.10"],
+                                   rows, title=f"Table 1: {name}"))
+            else:
+                results = coverage_analysis(events, thresholds=(0.10,))
+                rows = [[r.scheme, round(100 * r.mispredict_coverage, 1),
+                         round(100 * r.execution_coverage, 1)]
+                        for r in results]
+                print(format_table(["scheme", "mis%", "exe%"], rows,
+                                   title=f"Table 2: {name}"))
+            print()
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    name = _check_benchmark(args.benchmark)
+    listing = build_benchmark(name).disassemble()
+    lines = listing.splitlines()
+    if args.head and len(lines) > args.head:
+        lines = lines[:args.head] + [f"... ({len(lines) - args.head} more lines)"]
+    print("\n".join(lines))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Difficult-path branch prediction using subordinate "
+                    "microthreads (ISCA 2002) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("suite", help="list the synthetic benchmarks")
+
+    run_parser = sub.add_parser("run", help="baseline vs SSMT on a benchmark")
+    run_parser.add_argument("benchmark")
+    _add_common(run_parser)
+    run_parser.add_argument("--n", type=int, default=10)
+    run_parser.add_argument("--threshold", type=float, default=0.10)
+    run_parser.add_argument("--no-pruning", action="store_true")
+    run_parser.add_argument("--profile-guided", action="store_true",
+                            help="use the compile-time variant")
+
+    profile_parser = sub.add_parser("profile",
+                                    help="difficult-path profiling")
+    profile_parser.add_argument("benchmark")
+    _add_common(profile_parser)
+    profile_parser.add_argument("--n", type=int, nargs="+",
+                                default=[4, 10, 16])
+    profile_parser.add_argument("--threshold", type=float, default=0.10)
+
+    experiment_parser = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure")
+    experiment_parser.add_argument(
+        "which", choices=["intro", "table1", "table2", "fig6", "fig7",
+                          "fig8", "fig9"])
+    _add_common(experiment_parser)
+    experiment_parser.add_argument("--benchmarks", nargs="*",
+                                   help="subset (default: all 20)")
+    experiment_parser.add_argument("--chart", action="store_true",
+                                   help="also draw text bar charts")
+
+    disasm_parser = sub.add_parser("disasm", help="disassemble a benchmark")
+    disasm_parser.add_argument("benchmark")
+    disasm_parser.add_argument("--head", type=int, default=80)
+
+    report_parser = sub.add_parser(
+        "report", help="generate the full markdown experiment report")
+    _add_common(report_parser)
+    report_parser.add_argument("--benchmarks", nargs="*")
+    report_parser.add_argument("--output", default="-",
+                               help="output file ('-' = stdout)")
+
+    return parser
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.summary import generate_report
+
+    benchmarks = tuple(args.benchmarks) if args.benchmarks else None
+    if benchmarks:
+        for name in benchmarks:
+            _check_benchmark(name)
+    report = generate_report(benchmarks, trace_length=args.instructions)
+    if args.output == "-":
+        print(report)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "suite": cmd_suite,
+    "run": cmd_run,
+    "profile": cmd_profile,
+    "experiment": cmd_experiment,
+    "disasm": cmd_disasm,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

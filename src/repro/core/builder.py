@@ -1,0 +1,329 @@
+"""The Microthread Builder (paper §4.2).
+
+On a promotion request the builder freezes the PRB (whose youngest entry
+is the just-retired terminating branch) and scans youngest-to-oldest,
+extracting the branch's backward data-flow tree into the MCB.  Tree
+construction terminates when (paper §4.2.2):
+
+1. the MCB fills up,
+2. the next instruction examined lies outside the path's scope, or
+3. a memory dependence is encountered (the store is not included; the
+   spawn point is constrained to fall after it — §4.2.4).
+
+The extracted graph then runs through the MCB optimizations (move
+elimination, constant propagation, optional pruning) and a spawn point is
+selected: the earliest instruction inside the scope that satisfies every
+surviving live-in register and memory dependence.
+
+The builder is a single, serially-occupied unit with a fixed build
+latency (100 cycles in the paper's experiments); requests that arrive
+while it is busy are refused, leaving the path unpromoted so the request
+naturally retries at a later retire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core import mcb
+from repro.core.microthread import Microthread, MicroOp, topological_order
+from repro.core.path import PathEvent
+from repro.core.prb import PostRetirementBuffer, PRBEntry
+from repro.isa.instructions import Opcode
+
+
+@dataclass
+class BuilderConfig:
+    mcb_capacity: int = 64
+    build_latency: int = 100
+    pruning: bool = True
+    move_elimination: bool = True
+    constant_propagation: bool = True
+    #: number of concurrently-building units.  The paper assumes one
+    #: ("our current design assumes there is only one Microthread
+    #: Builder"); more ports let promotion requests that arrive while a
+    #: build is in flight be served instead of refused.
+    ports: int = 1
+
+    def __post_init__(self):
+        if self.mcb_capacity <= 0:
+            raise ValueError("mcb_capacity must be positive")
+        if self.build_latency < 0:
+            raise ValueError("build_latency must be >= 0")
+        if self.ports <= 0:
+            raise ValueError("need at least one builder port")
+
+
+@dataclass
+class BuildStats:
+    requests: int = 0
+    built: int = 0
+    refused_busy: int = 0
+    failed_no_spawn: int = 0
+    failed_empty: int = 0
+    moves_eliminated: int = 0
+    constants_folded: int = 0
+    value_pruned: int = 0
+    address_pruned: int = 0
+    total_routine_size: int = 0
+    total_chain_length: int = 0
+    rebuilds: int = 0
+
+    @property
+    def mean_routine_size(self) -> float:
+        return self.total_routine_size / self.built if self.built else 0.0
+
+    @property
+    def mean_chain_length(self) -> float:
+        return self.total_chain_length / self.built if self.built else 0.0
+
+
+def _instances_ahead(prb: PostRetirementBuffer, pc: int, spawn_idx: int,
+                     target_idx: int) -> int:
+    """Dynamic instances of ``pc`` between spawn point and target.
+
+    Positive when the target instance executes at or after the spawn
+    point (the common case); negative when the target already retired
+    and *newer* instances have trained the predictor since.
+    """
+    if target_idx >= spawn_idx:
+        count = 0
+        for pos in range(spawn_idx, target_idx + 1):
+            entry = prb.get(pos)
+            if entry is not None and entry.rec.pc == pc:
+                count += 1
+        return count
+    count = 0
+    for pos in range(target_idx + 1, spawn_idx):
+        entry = prb.get(pos)
+        if entry is not None and entry.rec.pc == pc:
+            count += 1
+    return -count
+
+
+class MicrothreadBuilder:
+    """Single-ported builder with a fixed build latency."""
+
+    def __init__(self, config: Optional[BuilderConfig] = None):
+        self.config = config or BuilderConfig()
+        self._port_busy_until: List[int] = [0] * self.config.ports
+        self.stats = BuildStats()
+
+    @property
+    def busy_until(self) -> int:
+        """Cycle the next port frees (single-port: the busy horizon)."""
+        return min(self._port_busy_until)
+
+    @busy_until.setter
+    def busy_until(self, cycle: int) -> None:
+        self._port_busy_until = [cycle] * self.config.ports
+
+    def request(self, event: PathEvent, prb: PostRetirementBuffer,
+                now_cycle: int) -> Optional[Microthread]:
+        """Attempt to build a microthread for ``event``'s path.
+
+        Returns the routine (available in the MicroRAM after the build
+        latency) or ``None`` if every builder port is busy or the build
+        fails.
+        """
+        self.stats.requests += 1
+        port = None
+        for i, free_at in enumerate(self._port_busy_until):
+            if now_cycle >= free_at:
+                port = i
+                break
+        if port is None:
+            self.stats.refused_busy += 1
+            return None
+        thread = self._build(event, prb)
+        if thread is None:
+            return None
+        self._port_busy_until[port] = now_cycle + self.config.build_latency
+        thread.available_cycle = now_cycle + self.config.build_latency
+        self.stats.built += 1
+        self.stats.total_routine_size += thread.routine_size
+        self.stats.total_chain_length += thread.longest_chain
+        return thread
+
+    # -- extraction -----------------------------------------------------------
+
+    def _build(self, event: PathEvent,
+               prb: PostRetirementBuffer) -> Optional[Microthread]:
+        branch_idx = event.branch_idx
+        branch_entry = prb.get(branch_idx)
+        if branch_entry is None or branch_entry.idx != branch_idx:
+            self.stats.failed_empty += 1
+            return None
+        scope_start = event.scope_start_idx
+        # The builder can only see what is resident in the PRB.
+        oldest_visible = max(scope_start + 1, branch_idx - prb.capacity + 1)
+
+        needed: Set[int] = {branch_idx}
+        included: Dict[int, PRBEntry] = {}
+        memdep_constraints: List[int] = []
+        memdep_speculative = False
+        capacity = self.config.mcb_capacity
+
+        # Youngest-to-oldest scan; producers always sit at lower positions,
+        # so a single descending pass collects the whole tree.
+        for pos in range(branch_idx, oldest_visible - 1, -1):
+            if pos not in needed:
+                continue
+            entry = prb.get(pos)
+            if entry is None:
+                continue
+            if len(included) >= capacity:
+                break  # termination condition 1: MCB full
+            included[pos] = entry
+            for producer in entry.src_producers:
+                if producer is not None and producer >= oldest_visible:
+                    needed.add(producer)
+                # else: live-in (outside scope / fallen out of the PRB)
+            if entry.rec.inst.is_load:
+                store_pos = entry.mem_producer
+                if store_pos is not None and store_pos > scope_start:
+                    # condition 3: stop at the store; spawn after it.
+                    memdep_constraints.append(store_pos)
+                elif store_pos is None:
+                    memdep_speculative = True
+
+        if branch_idx not in included:
+            self.stats.failed_empty += 1
+            return None
+
+        root = self._graph_from_entries(included, branch_idx)
+        root = self._optimize(root, included)
+        nodes = topological_order(root)
+
+        spawn_idx = self._select_spawn(nodes, memdep_constraints,
+                                       scope_start, oldest_visible)
+        if spawn_idx is None or spawn_idx >= branch_idx:
+            self.stats.failed_no_spawn += 1
+            return None
+        spawn_entry = prb.get(spawn_idx)
+        if spawn_entry is None:
+            self.stats.failed_no_spawn += 1
+            return None
+
+        # Look-ahead distances for Vp/Ap (paper §4.2.5: "compute the
+        # number of predictions that the Vp_Inst/Ap_Inst is ahead").  At
+        # spawn the predictor has trained on every instance retired
+        # before the spawn point, so the distance to the target instance
+        # is the count of dynamic instances of the pruned PC between the
+        # spawn point and the target, inclusive; targets that retired
+        # before the spawn point get non-positive distances.
+        for node in nodes:
+            if node.kind in ("vp", "ap"):
+                node.ahead = _instances_ahead(prb, node.pc, spawn_idx,
+                                              node.order)
+
+        expected_suffix = tuple(
+            prb.get(pos).rec.pc
+            for pos in range(spawn_idx, branch_idx)
+            if prb.get(pos) is not None and prb.get(pos).rec.is_taken_control
+        )
+        prefix = tuple(
+            pc for pc, idx in zip(event.key.branches, event.branch_idxs)
+            if idx < spawn_idx
+        )
+        live_in_regs = tuple(sorted({
+            n.reg for n in nodes if n.kind == "livein"
+        }))
+
+        branch_inst = branch_entry.rec.inst
+        taken_target = branch_inst.target if branch_inst.target is not None else 0
+
+        return Microthread(
+            key=event.key,
+            path_id=event.path_id,
+            root=root,
+            nodes=nodes,
+            live_in_regs=live_in_regs,
+            spawn_pc=spawn_entry.rec.pc,
+            separation=branch_idx - spawn_idx,
+            term_pc=event.key.term_pc,
+            term_taken_target=taken_target,
+            prefix=prefix,
+            expected_suffix=expected_suffix,
+            built_from_idx=branch_idx,
+            pruned=self.config.pruning,
+            memdep_speculative=memdep_speculative,
+        )
+
+    def _graph_from_entries(self, included: Dict[int, PRBEntry],
+                            branch_idx: int) -> MicroOp:
+        """Turn the extracted PRB entries into a data-flow graph."""
+        nodes: Dict[int, MicroOp] = {}
+        liveins: Dict[Tuple[int, Optional[int]], MicroOp] = {}
+
+        def livein_for(reg: int, producer: Optional[int]) -> MicroOp:
+            key = (reg, producer)
+            if key not in liveins:
+                liveins[key] = MicroOp("livein", reg=reg, producer_idx=producer,
+                                       order=producer if producer is not None else -1)
+            return liveins[key]
+
+        for pos in sorted(included):
+            entry = included[pos]
+            inst = entry.rec.inst
+            op = inst.opcode
+            srcs = inst.src_regs()
+            inputs: List[MicroOp] = []
+            for reg, producer in zip(srcs, entry.src_producers):
+                if producer is not None and producer in included:
+                    inputs.append(nodes[producer])
+                else:
+                    inputs.append(livein_for(reg, producer))
+            if pos == branch_idx:
+                node = MicroOp("branch", op=op, pc=inst.pc, inputs=inputs,
+                               order=pos)
+            elif op == Opcode.LI:
+                node = MicroOp("const", imm=inst.imm, pc=inst.pc, order=pos)
+            elif op == Opcode.CALL:
+                # A CALL's register product is the constant return address.
+                node = MicroOp("const", imm=inst.pc + 1, pc=inst.pc, order=pos)
+            elif inst.is_load:
+                node = MicroOp("load", op=op, imm=inst.imm, pc=inst.pc,
+                               inputs=inputs, order=pos)
+            else:
+                node = MicroOp("op", op=op, imm=inst.imm, pc=inst.pc,
+                               inputs=inputs, order=pos)
+            nodes[pos] = node
+        return nodes[branch_idx]
+
+    def _optimize(self, root: MicroOp,
+                  included: Dict[int, PRBEntry]) -> MicroOp:
+        cfg = self.config
+        if cfg.move_elimination:
+            root, eliminated = mcb.move_elimination(root)
+            self.stats.moves_eliminated += eliminated
+        if cfg.constant_propagation:
+            root, folded = mcb.constant_propagation(root)
+            self.stats.constants_folded += folded
+        if cfg.pruning:
+            def value_conf(node: MicroOp) -> bool:
+                entry = included.get(node.order)
+                return entry is not None and entry.value_confident
+
+            def addr_conf(node: MicroOp) -> bool:
+                entry = included.get(node.order)
+                return entry is not None and entry.address_confident
+
+            root, vp, ap = mcb.prune(root, value_conf, addr_conf)
+            self.stats.value_pruned += vp
+            self.stats.address_pruned += ap
+        return root
+
+    def _select_spawn(self, nodes: List[MicroOp],
+                      memdep_constraints: List[int], scope_start: int,
+                      oldest_visible: int) -> Optional[int]:
+        """Earliest in-scope instruction satisfying all dependences."""
+        spawn = oldest_visible
+        for node in nodes:
+            if node.kind == "livein" and node.producer_idx is not None \
+                    and node.producer_idx > scope_start:
+                spawn = max(spawn, node.producer_idx + 1)
+        for store_pos in memdep_constraints:
+            spawn = max(spawn, store_pos + 1)
+        return spawn

@@ -1,0 +1,77 @@
+"""Structured event logging for the SSMT engine.
+
+Attach an :class:`EventLog` to :class:`~repro.core.ssmt.SSMTEngine` to
+record the mechanism's decisions — promotions, demotions, builds,
+spawns, aborts, violations, prediction consumptions — with their trace
+indices and cycles.  Useful for debugging workload/mechanism
+interactions ("why did this path never get promoted?") and for the
+narrated walkthrough in ``examples/event_log.py``.
+
+The log is bounded (a ring) so attaching it to long runs is safe.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+#: event kinds, for filtering
+KINDS = (
+    "promote", "demote", "build", "build_failed", "spawn",
+    "pre_alloc_abort", "active_abort", "violation", "prediction",
+)
+
+
+@dataclass
+class Event:
+    """One mechanism decision."""
+
+    kind: str
+    idx: int                 # trace index where it happened
+    cycle: int               # machine cycle (0 when not cycle-anchored)
+    term_pc: int             # terminating branch PC of the path involved
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (f"[{self.idx:>8}] {self.kind:<16} branch@{self.term_pc}"
+                + (f"  {self.detail}" if self.detail else ""))
+
+
+class EventLog:
+    """Bounded event recorder with per-kind counters."""
+
+    def __init__(self, capacity: int = 10_000,
+                 kinds: Optional[Iterable[str]] = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._filter = frozenset(kinds) if kinds is not None else None
+        self.events: Deque[Event] = deque(maxlen=capacity)
+        self.counts: Counter = Counter()
+
+    def emit(self, kind: str, idx: int, cycle: int, term_pc: int,
+             detail: str = "") -> None:
+        if kind not in KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        self.counts[kind] += 1
+        if self._filter is None or kind in self._filter:
+            self.events.append(Event(kind, idx, cycle, term_pc, detail))
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_branch(self, term_pc: int) -> List[Event]:
+        """The life story of one terminating branch's paths."""
+        return [e for e in self.events if e.term_pc == term_pc]
+
+    def summary(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+    def narrate(self, limit: int = 40) -> str:
+        """The most recent events, one line each."""
+        recent = list(self.events)[-limit:]
+        return "\n".join(str(e) for e in recent)
+
+    def __len__(self) -> int:
+        return len(self.events)

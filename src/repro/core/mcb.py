@@ -1,0 +1,131 @@
+"""Microthread Construction Buffer optimizations (paper §4.2.3, §4.2.5).
+
+All passes are rewrites of the microthread data-flow graph:
+
+* **Move elimination** — ``MOV`` nodes forward their input.
+* **Constant propagation** — operations whose inputs are all constants
+  fold into ``const`` nodes (the hardware analogue lives in fill-unit
+  literature the paper cites).
+* **Pruning** — nodes whose producing instruction is value-confident are
+  replaced by ``Vp_Inst`` nodes; loads whose base address is
+  address-confident get their base sub-tree replaced by an ``Ap_Inst``.
+  Dead sub-trees disappear because the final routine is rebuilt from
+  whatever remains reachable from the ``Store_PCache`` root.
+
+Each pass returns the (possibly unchanged) root; callers re-linearize
+with :func:`repro.core.microthread.topological_order`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.microthread import MicroOp, topological_order
+from repro.isa.instructions import Opcode
+from repro.sim.functional import alu_op
+
+_MASK = (1 << 64) - 1
+
+_IMM_TO_REG = {
+    Opcode.ANDI: Opcode.AND,
+    Opcode.ORI: Opcode.OR,
+    Opcode.XORI: Opcode.XOR,
+    Opcode.SLLI: Opcode.SLL,
+    Opcode.SRLI: Opcode.SRL,
+    Opcode.SLTI: Opcode.SLT,
+}
+
+
+def _rewire(root: MicroOp, replacements: Dict[int, MicroOp]) -> MicroOp:
+    """Apply a uid->node replacement map across the whole graph."""
+    if not replacements:
+        return root
+
+    def resolve(node: MicroOp) -> MicroOp:
+        while node.uid in replacements:
+            node = replacements[node.uid]
+        return node
+
+    for node in topological_order(root):
+        node.inputs = [resolve(child) for child in node.inputs]
+    return resolve(root)
+
+
+def move_elimination(root: MicroOp) -> Tuple[MicroOp, int]:
+    """Drop MOV nodes, wiring consumers directly to the moved value."""
+    replacements: Dict[int, MicroOp] = {}
+    for node in topological_order(root):
+        if node.kind == "op" and node.op == Opcode.MOV and node.inputs:
+            replacements[node.uid] = node.inputs[0]
+    return _rewire(root, replacements), len(replacements)
+
+
+def constant_propagation(root: MicroOp) -> Tuple[MicroOp, int]:
+    """Fold operations over known constants into ``const`` nodes."""
+    replacements: Dict[int, MicroOp] = {}
+    folded = 0
+
+    def as_const(node: MicroOp) -> Optional[int]:
+        node = replacements.get(node.uid, node)
+        return node.imm if node.kind == "const" else None
+
+    for node in topological_order(root):
+        if node.kind != "op" or node.op in (Opcode.LI, Opcode.MOV):
+            continue
+        const_inputs = [as_const(child) for child in node.inputs]
+        if any(value is None for value in const_inputs) or not const_inputs:
+            continue
+        value = _fold(node, const_inputs)
+        if value is None:
+            continue
+        replacements[node.uid] = MicroOp("const", imm=value, pc=node.pc,
+                                         order=node.order)
+        folded += 1
+    return _rewire(root, replacements), folded
+
+
+def _fold(node: MicroOp, const_inputs: List[int]) -> Optional[int]:
+    op = node.op
+    a = const_inputs[0]
+    if op == Opcode.ADDI:
+        return (a + node.imm) & _MASK
+    if op in _IMM_TO_REG:
+        return alu_op(_IMM_TO_REG[op], a, node.imm & _MASK)
+    if len(const_inputs) > 1:
+        try:
+            return alu_op(op, a, const_inputs[1])
+        except Exception:
+            return None
+    return None
+
+
+def prune(
+    root: MicroOp,
+    value_confident: Callable[[MicroOp], bool],
+    address_confident: Callable[[MicroOp], bool],
+) -> Tuple[MicroOp, int, int]:
+    """Replace predictable sub-trees with ``Vp_Inst``/``Ap_Inst`` nodes.
+
+    ``value_confident`` / ``address_confident`` are predicates over nodes
+    (the builder wires them to the confidence snapshots stored in the
+    PRB).  Returns ``(root, value_pruned, address_pruned)``.
+    """
+    replacements: Dict[int, MicroOp] = {}
+    value_pruned = 0
+    address_pruned = 0
+    for node in topological_order(root):
+        if node.kind in ("op", "load") and value_confident(node):
+            replacements[node.uid] = MicroOp(
+                "vp", pc=node.pc, order=node.order, ahead=1
+            )
+            value_pruned += 1
+        elif node.kind == "load" and node.inputs and address_confident(node):
+            base = node.inputs[0]
+            if base.kind in ("const", "ap", "livein"):
+                continue  # nothing to win
+            # The Ap_Inst supplies the base register value; the load stays.
+            node.inputs[0] = MicroOp("ap", pc=node.pc, order=node.order,
+                                     ahead=1)
+            address_pruned += 1
+    root = _rewire(root, replacements)
+    return root, value_pruned, address_pruned

@@ -1,0 +1,83 @@
+"""MicroRAM: storage for microthread routines (paper §4.3.1, §5.2).
+
+The MicroRAM holds the routines of currently promoted paths and is
+indexed two ways: by :class:`~repro.core.path.PathKey` for promotion /
+demotion, and by spawn PC for the front-end spawn check.  Its size (8K
+routines in the paper's experiments) bounds the number of concurrently
+promoted paths; on overflow the least-recently-spawned routine is
+evicted, which demotes its path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.microthread import Microthread
+from repro.core.path import PathKey
+
+
+class MicroRAM:
+    """Routine store with LRU eviction and a spawn-PC index."""
+
+    def __init__(self, capacity: int = 8192):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._by_key: Dict[PathKey, Microthread] = {}
+        self._by_spawn_pc: Dict[int, List[Microthread]] = {}
+        self._lru: Dict[PathKey, int] = {}
+        self._stamp = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def insert(self, thread: Microthread) -> Optional[PathKey]:
+        """Store a routine; returns the evicted path's key, if any."""
+        evicted: Optional[PathKey] = None
+        if thread.key in self._by_key:
+            self._unlink(thread.key)
+        elif len(self._by_key) >= self.capacity:
+            victim = min(self._lru, key=self._lru.get)
+            self._unlink(victim)
+            self.evictions += 1
+            evicted = victim
+        self._by_key[thread.key] = thread
+        self._by_spawn_pc.setdefault(thread.spawn_pc, []).append(thread)
+        self._stamp += 1
+        self._lru[thread.key] = self._stamp
+        self.insertions += 1
+        return evicted
+
+    def remove(self, key: PathKey) -> bool:
+        """Demotion: drop the routine for ``key`` if present."""
+        if key not in self._by_key:
+            return False
+        self._unlink(key)
+        return True
+
+    def _unlink(self, key: PathKey) -> None:
+        thread = self._by_key.pop(key)
+        self._lru.pop(key, None)
+        bucket = self._by_spawn_pc.get(thread.spawn_pc)
+        if bucket is not None:
+            bucket[:] = [t for t in bucket if t.key != key]
+            if not bucket:
+                del self._by_spawn_pc[thread.spawn_pc]
+
+    def routines_at(self, spawn_pc: int) -> List[Microthread]:
+        """Routines whose spawn point is ``spawn_pc`` (front-end check)."""
+        return self._by_spawn_pc.get(spawn_pc, [])
+
+    def get(self, key: PathKey) -> Optional[Microthread]:
+        return self._by_key.get(key)
+
+    def touch(self, key: PathKey) -> None:
+        """Record a spawn use for LRU purposes."""
+        if key in self._lru:
+            self._stamp += 1
+            self._lru[key] = self._stamp
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __contains__(self, key: PathKey) -> bool:
+        return key in self._by_key

@@ -1,0 +1,260 @@
+"""Microthread routines as data-flow graphs.
+
+The Microthread Builder extracts the backward slice of a terminating
+branch into a small DAG of :class:`MicroOp` nodes.  Keeping the routine
+as a graph (rather than re-registered instructions) makes the MCB
+optimizations — move elimination, constant propagation, pruning, dead
+code elimination — simple rewrites, and makes both functional execution
+(does the microthread predict correctly?) and timing (when does
+``Store_PCache`` complete?) a single topological walk.
+
+Node kinds
+----------
+``op``      an ALU instruction (inputs = register sources)
+``load``    a load; input 0 is the base address, ``imm`` the displacement
+``const``   a known constant (an ``LI`` in instruction terms)
+``livein``  a register value read from the primary thread at spawn
+``vp``      a ``Vp_Inst``: queries the value predictor for ``pc``
+``ap``      an ``Ap_Inst``: queries the address predictor for ``pc``
+``branch``  the terminating branch, converted to ``Store_PCache``
+
+``livein`` nodes cost no instruction; every other kind counts toward the
+routine size reported in Figure 8.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.path import PathKey
+from repro.isa.instructions import (
+    CONDITIONAL_BRANCHES,
+    Opcode,
+)
+from repro.sim.functional import alu_op, to_signed
+
+_node_ids = itertools.count()
+
+
+class MicroOp:
+    """One node of a microthread's data-flow graph."""
+
+    __slots__ = ("uid", "kind", "op", "imm", "pc", "inputs", "reg",
+                 "producer_idx", "ahead", "order")
+
+    def __init__(self, kind: str, op: Optional[Opcode] = None, imm: int = 0,
+                 pc: int = -1, inputs: Optional[List["MicroOp"]] = None,
+                 reg: int = -1, producer_idx: Optional[int] = None,
+                 ahead: int = 1, order: int = 0):
+        self.uid = next(_node_ids)
+        self.kind = kind
+        self.op = op
+        self.imm = imm
+        self.pc = pc
+        self.inputs: List[MicroOp] = inputs if inputs is not None else []
+        self.reg = reg
+        self.producer_idx = producer_idx
+        self.ahead = ahead
+        self.order = order  # original trace position, for stable listing
+
+    @property
+    def is_instruction(self) -> bool:
+        """Does this node occupy an instruction slot in the routine?"""
+        return self.kind != "livein"
+
+    def describe(self) -> str:
+        if self.kind == "livein":
+            return f"livein r{self.reg}"
+        if self.kind == "const":
+            return f"li {self.imm}"
+        if self.kind == "vp":
+            return f"vp_inst pc={self.pc} ahead={self.ahead}"
+        if self.kind == "ap":
+            return f"ap_inst pc={self.pc} ahead={self.ahead}"
+        if self.kind == "load":
+            return f"ld [{self.imm}+...] pc={self.pc}"
+        if self.kind == "branch":
+            return f"store_pcache ({self.op.name.lower()}) pc={self.pc}"
+        return f"{self.op.name.lower()} pc={self.pc}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MicroOp {self.describe()}>"
+
+
+@dataclass
+class MicrothreadPrediction:
+    """The outcome a microthread wrote to the Prediction Cache."""
+
+    taken: bool
+    target: int
+    loads_read: Tuple[int, ...]  # effective addresses read (violation check)
+
+
+@dataclass
+class Microthread:
+    """A built microthread routine for one difficult path."""
+
+    key: PathKey
+    path_id: int
+    root: MicroOp                        # the Store_PCache node
+    nodes: List[MicroOp]                 # topological order (inputs first)
+    live_in_regs: Tuple[int, ...]
+    spawn_pc: int
+    separation: int                      # instructions from spawn to branch
+    term_pc: int
+    term_taken_target: int               # taken target for conditional term
+    prefix: Tuple[int, ...]              # path branches before the spawn point
+    expected_suffix: Tuple[int, ...]     # taken-branch PCs spawn -> terminator
+    built_from_idx: int = 0
+    pruned: bool = False
+    memdep_speculative: bool = False     # load with no in-scope store seen
+    available_cycle: int = 0             # MicroRAM delivery time (build latency)
+    rebuild_count: int = 0
+
+    @property
+    def routine_size(self) -> int:
+        """Instruction count (Figure 8 'routine size')."""
+        return sum(1 for n in self.nodes if n.is_instruction)
+
+    @property
+    def longest_chain(self) -> int:
+        """Longest dependence chain in instructions (Figure 8)."""
+        depth: Dict[int, int] = {}
+        for node in self.nodes:  # topological: inputs precede users
+            d = max((depth[i.uid] for i in node.inputs), default=0)
+            depth[node.uid] = d + (1 if node.is_instruction else 0)
+        return depth[self.root.uid] if self.nodes else 0
+
+    def listing(self) -> str:
+        """Human-readable routine listing (for examples and debugging)."""
+        return "\n".join(n.describe() for n in self.nodes)
+
+    # -- functional execution ---------------------------------------------
+
+    def execute(
+        self,
+        live_in_values: Dict[int, int],
+        memory_read: Callable[[int], int],
+        value_predict: Callable[[int, int], Optional[int]],
+        address_predict: Callable[[int, int], Optional[int]],
+    ) -> MicrothreadPrediction:
+        """Evaluate the routine and produce the branch prediction.
+
+        ``memory_read`` sees the architectural memory image as of the
+        spawn point — stores that retire between spawn and the branch are
+        invisible, which is exactly the memory-dependence speculation the
+        abort/rebuild machinery guards (paper §4.2.4).
+        """
+        values: Dict[int, int] = {}
+        loads_read: List[int] = []
+        mask = (1 << 64) - 1
+        for node in self.nodes:
+            kind = node.kind
+            if kind == "livein":
+                values[node.uid] = live_in_values.get(node.reg, 0)
+            elif kind == "const":
+                values[node.uid] = node.imm & mask
+            elif kind == "vp":
+                predicted = value_predict(node.pc, node.ahead)
+                values[node.uid] = (predicted or 0) & mask
+            elif kind == "ap":
+                predicted = address_predict(node.pc, node.ahead)
+                values[node.uid] = (predicted or 0) & mask
+            elif kind == "load":
+                base = values[node.inputs[0].uid]
+                ea = (base + node.imm) & mask
+                loads_read.append(ea)
+                values[node.uid] = memory_read(ea) & mask
+            elif kind == "op":
+                values[node.uid] = self._eval_op(node, values)
+            elif kind == "branch":
+                return self._eval_branch(node, values, tuple(loads_read))
+            else:  # pragma: no cover - construction guarantees kinds
+                raise ValueError(f"unknown node kind {kind!r}")
+        raise ValueError("microthread has no branch node")
+
+    def _eval_op(self, node: MicroOp, values: Dict[int, int]) -> int:
+        mask = (1 << 64) - 1
+        op = node.op
+        a = values[node.inputs[0].uid] if node.inputs else 0
+        if op == Opcode.LI:
+            return node.imm & mask
+        if op == Opcode.MOV:
+            return a
+        if op in (Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+                  Opcode.SLLI, Opcode.SRLI, Opcode.SLTI):
+            reg_op = _IMM_FORMS[op]
+            if reg_op is None:  # ADDI
+                return (a + node.imm) & mask
+            return alu_op(reg_op, a, node.imm & mask)
+        b = values[node.inputs[1].uid] if len(node.inputs) > 1 else 0
+        return alu_op(op, a, b)
+
+    def _eval_branch(self, node: MicroOp, values: Dict[int, int],
+                     loads_read: Tuple[int, ...]) -> MicrothreadPrediction:
+        op = node.op
+        if op in CONDITIONAL_BRANCHES:
+            a = values[node.inputs[0].uid] if node.inputs else 0
+            b = values[node.inputs[1].uid] if len(node.inputs) > 1 else 0
+            if op == Opcode.BEQ:
+                taken = a == b
+            elif op == Opcode.BNE:
+                taken = a != b
+            elif op == Opcode.BLT:
+                taken = to_signed(a) < to_signed(b)
+            else:  # BGE
+                taken = to_signed(a) >= to_signed(b)
+            target = self.term_taken_target if taken else self.term_pc + 1
+            return MicrothreadPrediction(taken, target, loads_read)
+        # Indirect terminator: the computed value *is* the target.
+        target = values[node.inputs[0].uid] if node.inputs else 0
+        return MicrothreadPrediction(True, target, loads_read)
+
+
+_IMM_FORMS = {
+    Opcode.ADDI: None,
+    Opcode.ANDI: Opcode.AND,
+    Opcode.ORI: Opcode.OR,
+    Opcode.XORI: Opcode.XOR,
+    Opcode.SLLI: Opcode.SLL,
+    Opcode.SRLI: Opcode.SRL,
+    Opcode.SLTI: Opcode.SLT,
+}
+
+
+def topological_order(root: MicroOp) -> List[MicroOp]:
+    """Inputs-first ordering of the graph reachable from ``root``.
+
+    Iterative, so deep extraction chains (up to the PRB capacity) cannot
+    hit the interpreter recursion limit.
+    """
+    nodes: Dict[int, MicroOp] = {}
+    stack: List[MicroOp] = [root]
+    while stack:
+        node = stack.pop()
+        if node.uid in nodes:
+            continue
+        nodes[node.uid] = node
+        stack.extend(node.inputs)
+
+    pending = {uid: len({i.uid for i in n.inputs}) for uid, n in nodes.items()}
+    users: Dict[int, List[int]] = {}
+    for node in nodes.values():
+        for input_uid in {i.uid for i in node.inputs}:
+            users.setdefault(input_uid, []).append(node.uid)
+
+    ready = sorted((uid for uid, count in pending.items() if count == 0),
+                   key=lambda uid: nodes[uid].order)
+    order: List[MicroOp] = []
+    while ready:
+        uid = ready.pop(0)
+        order.append(nodes[uid])
+        for user_uid in users.get(uid, ()):
+            pending[user_uid] -= 1
+            if pending[user_uid] == 0:
+                ready.append(user_uid)
+    if len(order) != len(nodes):
+        raise ValueError("cycle in microthread data-flow graph")
+    return order

@@ -1,0 +1,117 @@
+"""Potential study: perfect prediction of difficult-path branches.
+
+Figure 6 of the paper measures the speed-up available if the terminating
+branch of every *promoted* difficult path were predicted perfectly — with
+realistic difficult-path identification (an 8K-entry Path Cache, a
+training interval of 32, and a MicroRAM-sized bound on concurrently
+promoted paths) but idealized microthreads (always correct, always early,
+zero overhead).
+
+:class:`PotentialEngine` implements the same listener protocol as the
+full SSMT engine but swaps the microthread machinery for an oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.branch.unit import BranchPredictorComplex
+from repro.core.path import PathKey, PathTracker, DEFAULT_PATH_ID_BITS
+from repro.core.path_cache import PathCache, PathCacheConfig
+from repro.sim.trace import Trace
+from repro.uarch.config import MachineConfig, TABLE3_BASELINE
+from repro.uarch.timing import OoOTimingModel, PredictionEntry, TimingResult
+
+
+@dataclass
+class PotentialConfig:
+    n: int = 10
+    difficulty_threshold: float = 0.10
+    path_id_bits: int = DEFAULT_PATH_ID_BITS
+    path_cache_entries: int = 8192
+    path_cache_assoc: int = 8
+    training_interval: int = 32
+    #: bound on concurrently promoted paths (the MicroRAM size).
+    promoted_capacity: int = 8192
+
+
+class PotentialEngine:
+    """Oracle predictions for promoted difficult paths; zero overhead."""
+
+    def __init__(self, config: Optional[PotentialConfig] = None):
+        self.config = config or PotentialConfig()
+        cfg = self.config
+        self.tracker = PathTracker(cfg.n, cfg.path_id_bits)
+        self.path_cache = PathCache(PathCacheConfig(
+            entries=cfg.path_cache_entries,
+            assoc=cfg.path_cache_assoc,
+            training_interval=cfg.training_interval,
+            difficulty_threshold=cfg.difficulty_threshold,
+        ))
+        self._promoted: Dict[PathKey, int] = {}
+        self._stamp = 0
+        self._pending_mispredict: Dict[int, bool] = {}
+        self.oracle_predictions = 0
+
+    # -- listener protocol ------------------------------------------------------
+
+    def lookup_prediction(self, idx: int, rec,
+                          fetch_cycle: int) -> Optional[PredictionEntry]:
+        key = PathKey(rec.pc, self.tracker.current_branches())
+        if key not in self._promoted:
+            return None
+        self.oracle_predictions += 1
+        self._stamp += 1
+        self._promoted[key] = self._stamp
+        # Perfect and early: arrival before fetch.
+        return PredictionEntry(rec.taken, rec.next_pc, arrival_cycle=0)
+
+    def on_control(self, idx: int, rec, outcome, fetch_cycle: int,
+                   resolve_cycle: int) -> None:
+        if rec.inst.is_path_terminating:
+            self._pending_mispredict[idx] = outcome.mispredicted
+
+    def on_retire(self, idx: int, rec, retire_cycle: int) -> None:
+        event = self.tracker.observe(rec, idx)
+        if event is None or event.partial:
+            return
+        mispredicted = self._pending_mispredict.pop(idx, False)
+        promotion = self.path_cache.update(event.key, event.path_id,
+                                           mispredicted)
+        if promotion is None:
+            return
+        if promotion.promote:
+            self._promote(event.key, event.path_id)
+        else:
+            self._promoted.pop(event.key, None)
+            self.path_cache.mark_promoted(event.key, event.path_id, False)
+
+    def _promote(self, key: PathKey, path_id: int) -> None:
+        if len(self._promoted) >= self.config.promoted_capacity:
+            victim = min(self._promoted, key=self._promoted.get)
+            del self._promoted[victim]
+            self.path_cache.mark_promoted(
+                victim, victim.path_id(self.config.path_id_bits), False
+            )
+        self._stamp += 1
+        self._promoted[key] = self._stamp
+        self.path_cache.mark_promoted(key, path_id, True)
+
+    @property
+    def promoted_count(self) -> int:
+        return len(self._promoted)
+
+
+def run_potential(
+    trace: Trace,
+    config: Optional[PotentialConfig] = None,
+    machine: MachineConfig = TABLE3_BASELINE,
+    predictor: Optional[BranchPredictorComplex] = None,
+) -> Tuple[TimingResult, PotentialEngine]:
+    """Figure 6 potential run: oracle difficult-path prediction."""
+    engine = PotentialEngine(config)
+    model = OoOTimingModel(machine)
+    predictor = predictor if predictor is not None else BranchPredictorComplex()
+    result = model.run(trace, predictor, listener=engine)
+    return result, engine

@@ -1,0 +1,128 @@
+"""Path identification (paper §3).
+
+A *path* is the sequence of the ``n`` taken-branch addresses prior to a
+terminating branch (conditional or indirect).  The ``Path_Id`` is a
+shift-XOR hash of those addresses; the exact tuple plus the terminating
+branch PC forms the full :class:`PathKey` used by oracle analyses and as
+the Path Cache tag.
+
+The *scope* of a path is the set of instructions in the ``n`` control-flow
+blocks of the path: everything retired after the oldest path branch up to
+the terminating branch (paper Figure 1).  In trace terms the scope is the
+half-open index interval ``(oldest_idx, branch_idx]`` and its size is
+``branch_idx - oldest_idx``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from repro.sim.trace import DynamicInstruction
+
+DEFAULT_PATH_ID_BITS = 24
+
+
+_ROTATE = 7
+
+
+def path_id_hash(branch_pcs: Tuple[int, ...], bits: int = DEFAULT_PATH_ID_BITS) -> int:
+    """Shift-XOR hash over taken-branch addresses, oldest first.
+
+    Each step rotates the accumulator left by 7 and XORs in the next
+    address, so order matters — the hardware-friendly hash family the
+    paper assumes the front-end can generate trivially.
+
+    The rotation amount must not divide the hash width: a rotate-3 /
+    24-bit variant wraps a branch 8 positions back exactly onto the
+    newest branch's bits, creating systematic collisions between paths
+    that differ only at that depth (measured in
+    ``benchmarks/test_aliasing.py``).  7 is coprime to all common widths.
+    """
+    mask = (1 << bits) - 1
+    rot = _ROTATE % bits
+    h = 0
+    for pc in branch_pcs:
+        h = (((h << rot) & mask) | (h >> (bits - rot))) ^ (pc & mask)
+    return h
+
+
+@dataclass(frozen=True)
+class PathKey:
+    """Exact identity of a path: terminating PC + prior taken branches."""
+
+    term_pc: int
+    branches: Tuple[int, ...]
+
+    def path_id(self, bits: int = DEFAULT_PATH_ID_BITS) -> int:
+        """The hardware ``Path_Id`` hash for this path."""
+        return path_id_hash(self.branches, bits)
+
+
+@dataclass
+class PathEvent:
+    """Emitted once per retired terminating branch."""
+
+    key: PathKey
+    path_id: int
+    branch_idx: int          # trace index of the terminating branch
+    scope_start_idx: int     # trace index of the oldest path branch
+    partial: bool            # fewer than n taken branches seen yet
+    #: trace indices of the path's taken branches (parallel to key.branches)
+    branch_idxs: Tuple[int, ...] = ()
+
+    @property
+    def scope_size(self) -> int:
+        """Scope size in instructions (paper Table 1's 'scope')."""
+        return self.branch_idx - self.scope_start_idx
+
+
+class PathTracker:
+    """Tracks the last ``n`` taken control transfers along the trace.
+
+    Call :meth:`observe` for every retired instruction, in order.  For a
+    terminating branch it returns the :class:`PathEvent` *before* folding
+    the branch itself into the history (the path consists of branches
+    *prior* to the terminator).
+    """
+
+    def __init__(self, n: int, id_bits: int = DEFAULT_PATH_ID_BITS):
+        if n <= 0:
+            raise ValueError("path length n must be positive")
+        self.n = n
+        self.id_bits = id_bits
+        self._history: Deque[Tuple[int, int]] = deque(maxlen=n)  # (pc, idx)
+
+    def observe(self, rec: DynamicInstruction, idx: int) -> Optional[PathEvent]:
+        event = None
+        if rec.is_path_terminating:
+            event = self._make_event(rec, idx)
+        if rec.is_taken_control:
+            self._history.append((rec.pc, idx))
+        return event
+
+    def _make_event(self, rec: DynamicInstruction, idx: int) -> PathEvent:
+        branches = tuple(pc for pc, _ in self._history)
+        idxs = tuple(i for _, i in self._history)
+        partial = len(branches) < self.n
+        scope_start = idxs[0] if idxs else idx
+        key = PathKey(term_pc=rec.pc, branches=branches)
+        return PathEvent(
+            key=key,
+            path_id=path_id_hash(branches, self.id_bits),
+            branch_idx=idx,
+            scope_start_idx=scope_start,
+            partial=partial,
+            branch_idxs=idxs,
+        )
+
+    def current_branches(self) -> Tuple[int, ...]:
+        """The taken-branch addresses currently in the history window."""
+        return tuple(pc for pc, _ in self._history)
+
+    def current_path_id(self) -> int:
+        return path_id_hash(self.current_branches(), self.id_bits)
+
+    def reset(self) -> None:
+        self._history.clear()

@@ -1,0 +1,190 @@
+"""The Path Cache (paper §4.1, §4.2.1).
+
+A back-end, set-associative structure indexed by ``Path_Id`` that tracks
+per-path occurrence and misprediction counters over a *training
+interval*.  At the end of each interval the measured misprediction rate
+is compared to the difficulty threshold ``T`` and the entry's
+``Difficult`` bit is set accordingly; the counters then reset.
+
+Two paper-specific policies:
+
+* **Allocate on mispredict** — a new entry is allocated only when the
+  retiring terminating branch was mispredicted by the hardware predictor
+  ("roughly 45% of the possible allocations can be ignored").
+* **Difficulty-aware LRU** — replacement prefers invalid entries, then
+  the LRU entry among those without the Difficult bit, then plain LRU.
+
+Promotion logic (§4.2.1): on every update, if ``Difficult`` is set but
+``Promoted`` is not, a promotion request is emitted; a demotion request
+is emitted when the Difficult bit falls while Promoted is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.path import PathKey
+
+
+@dataclass
+class PathCacheConfig:
+    entries: int = 8192
+    assoc: int = 8
+    training_interval: int = 32
+    difficulty_threshold: float = 0.10
+    #: allocate entries only for mispredicted terminating branches
+    allocate_on_mispredict_only: bool = True
+    #: prefer evicting non-difficult entries
+    difficulty_aware_lru: bool = True
+
+    def __post_init__(self):
+        if self.entries % self.assoc:
+            raise ValueError("entries must be divisible by assoc")
+        sets = self.entries // self.assoc
+        if sets & (sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        if not 0.0 <= self.difficulty_threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        if self.training_interval <= 0:
+            raise ValueError("training interval must be positive")
+
+
+class _Entry:
+    __slots__ = ("key", "occurrences", "mispredicts", "difficult",
+                 "promoted", "lru_stamp")
+
+    def __init__(self, key: PathKey, stamp: int):
+        self.key = key
+        self.occurrences = 0
+        self.mispredicts = 0
+        self.difficult = False
+        self.promoted = False
+        self.lru_stamp = stamp
+
+
+@dataclass
+class PromotionEvent:
+    """A promotion or demotion request emitted by the Path Cache."""
+
+    key: PathKey
+    promote: bool  # True = promote, False = demote
+
+
+@dataclass
+class PathCacheStats:
+    updates: int = 0
+    hits: int = 0
+    allocations: int = 0
+    allocations_avoided: int = 0  # misses not allocated (correctly predicted)
+    evictions: int = 0
+    difficult_evictions: int = 0
+    promotions: int = 0
+    demotions: int = 0
+
+    @property
+    def allocation_avoid_rate(self) -> float:
+        total = self.allocations + self.allocations_avoided
+        return self.allocations_avoided / total if total else 0.0
+
+
+class PathCache:
+    """Set-associative difficulty tracker; see module docstring."""
+
+    def __init__(self, config: Optional[PathCacheConfig] = None):
+        self.config = config or PathCacheConfig()
+        self.n_sets = self.config.entries // self.config.assoc
+        self._set_mask = self.n_sets - 1
+        self._sets: List[Dict[PathKey, _Entry]] = [dict() for _ in range(self.n_sets)]
+        self._stamp = 0
+        self.stats = PathCacheStats()
+
+    # -- main update (called at terminating-branch retire) -------------------
+
+    def update(self, key: PathKey, path_id: int,
+               mispredicted: bool) -> Optional[PromotionEvent]:
+        """Record one dynamic occurrence of ``key``.
+
+        ``path_id`` selects the set (it is what the hardware indexes by);
+        ``key`` is the tag.  Returns a promotion/demotion request or None.
+        """
+        cfg = self.config
+        self.stats.updates += 1
+        self._stamp += 1
+        ways = self._sets[path_id & self._set_mask]
+        entry = ways.get(key)
+        if entry is None:
+            if cfg.allocate_on_mispredict_only and not mispredicted:
+                self.stats.allocations_avoided += 1
+                return None
+            entry = self._allocate(ways, key)
+        else:
+            self.stats.hits += 1
+        entry.lru_stamp = self._stamp
+        entry.occurrences += 1
+        if mispredicted:
+            entry.mispredicts += 1
+        if entry.occurrences >= cfg.training_interval:
+            rate = entry.mispredicts / entry.occurrences
+            entry.difficult = rate > cfg.difficulty_threshold
+            entry.occurrences = 0
+            entry.mispredicts = 0
+        return self._promotion_check(entry)
+
+    def _promotion_check(self, entry: _Entry) -> Optional[PromotionEvent]:
+        if entry.difficult and not entry.promoted:
+            return PromotionEvent(entry.key, promote=True)
+        if not entry.difficult and entry.promoted:
+            return PromotionEvent(entry.key, promote=False)
+        return None
+
+    def mark_promoted(self, key: PathKey, path_id: int, promoted: bool) -> None:
+        """Set/clear the Promoted bit (called by the SSMT engine once the
+        Microthread Builder accepts the request or the routine is evicted)."""
+        ways = self._sets[path_id & self._set_mask]
+        entry = ways.get(key)
+        if entry is not None:
+            entry.promoted = promoted
+            if promoted:
+                self.stats.promotions += 1
+            else:
+                self.stats.demotions += 1
+
+    # -- allocation / replacement ----------------------------------------------
+
+    def _allocate(self, ways: Dict[PathKey, _Entry], key: PathKey) -> _Entry:
+        cfg = self.config
+        if len(ways) >= cfg.assoc:
+            victim = self._choose_victim(ways)
+            if ways[victim].difficult:
+                self.stats.difficult_evictions += 1
+            del ways[victim]
+            self.stats.evictions += 1
+        entry = _Entry(key, self._stamp)
+        ways[key] = entry
+        self.stats.allocations += 1
+        return entry
+
+    def _choose_victim(self, ways: Dict[PathKey, _Entry]) -> PathKey:
+        if self.config.difficulty_aware_lru:
+            easy = [k for k, e in ways.items() if not e.difficult]
+            pool = easy if easy else list(ways)
+        else:
+            pool = list(ways)
+        return min(pool, key=lambda k: ways[k].lru_stamp)
+
+    # -- queries -------------------------------------------------------------
+
+    def lookup(self, key: PathKey, path_id: int) -> Optional[_Entry]:
+        return self._sets[path_id & self._set_mask].get(key)
+
+    def is_difficult(self, key: PathKey, path_id: int) -> bool:
+        entry = self.lookup(key, path_id)
+        return entry is not None and entry.difficult
+
+    def difficult_count(self) -> int:
+        return sum(1 for ways in self._sets
+                   for e in ways.values() if e.difficult)
+
+    def __len__(self) -> int:
+        return sum(len(ways) for ways in self._sets)

@@ -1,0 +1,98 @@
+"""Post-Retirement Buffer (paper §4.2.2).
+
+Stores the last ``i`` retired instructions (512 in the paper) together
+with dependence information "computed during instruction execution":
+for each source register the buffer position of its producer, and for
+loads the position of the most recent in-buffer store to the same
+address.  The Microthread Builder scans it youngest-to-oldest.
+
+Entries also carry the value/address-predictor confidence snapshot taken
+just before insertion (paper §4.2.5: "we access the current confidence
+and store it with each retired instruction in the PRB").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.trace import DynamicInstruction
+
+
+class PRBEntry:
+    """One retired instruction with dependence links."""
+
+    __slots__ = ("rec", "idx", "pos", "src_producers", "mem_producer",
+                 "value_confident", "address_confident")
+
+    def __init__(self, rec: DynamicInstruction, idx: int, pos: int,
+                 src_producers: Tuple[Optional[int], ...],
+                 mem_producer: Optional[int],
+                 value_confident: bool, address_confident: bool):
+        self.rec = rec
+        self.idx = idx          # trace index
+        self.pos = pos          # monotonic PRB position
+        self.src_producers = src_producers
+        self.mem_producer = mem_producer
+        self.value_confident = value_confident
+        self.address_confident = address_confident
+
+
+class PostRetirementBuffer:
+    """Ring buffer of the last ``capacity`` retired instructions."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ring: List[Optional[PRBEntry]] = [None] * capacity
+        self._next_pos = 0
+        self._reg_writer: Dict[int, int] = {}
+        self._mem_writer: Dict[int, int] = {}
+
+    def insert(self, rec: DynamicInstruction, idx: int,
+               value_confident: bool = False,
+               address_confident: bool = False) -> PRBEntry:
+        """Insert a retiring instruction; returns its entry."""
+        pos = self._next_pos
+        self._next_pos += 1
+        inst = rec.inst
+        src_producers = tuple(
+            self._live_pos(self._reg_writer.get(src))
+            for src in inst.src_regs()
+        )
+        mem_producer = None
+        if inst.is_load:
+            mem_producer = self._live_pos(self._mem_writer.get(rec.ea))
+        entry = PRBEntry(rec, idx, pos, src_producers, mem_producer,
+                         value_confident, address_confident)
+        self._ring[pos % self.capacity] = entry
+        dest = inst.dest_reg()
+        if dest is not None:
+            self._reg_writer[dest] = pos
+        if inst.is_store:
+            self._mem_writer[rec.ea] = pos
+        return entry
+
+    def _live_pos(self, pos: Optional[int]) -> Optional[int]:
+        """A producer position, or None if it has fallen out of the buffer."""
+        if pos is None or pos < self._next_pos - self.capacity:
+            return None
+        return pos
+
+    def get(self, pos: int) -> Optional[PRBEntry]:
+        """Entry at monotonic position ``pos`` if still resident."""
+        if pos < 0 or pos >= self._next_pos or pos < self._next_pos - self.capacity:
+            return None
+        entry = self._ring[pos % self.capacity]
+        return entry if entry is not None and entry.pos == pos else None
+
+    @property
+    def youngest_pos(self) -> int:
+        """Position of the most recently inserted entry (-1 if empty)."""
+        return self._next_pos - 1
+
+    def youngest(self) -> Optional[PRBEntry]:
+        return self.get(self.youngest_pos)
+
+    def __len__(self) -> int:
+        return min(self._next_pos, self.capacity)

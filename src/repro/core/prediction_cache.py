@@ -1,0 +1,90 @@
+"""The Prediction Cache (paper §4.3.3).
+
+Microthreads write their pre-computed branch outcomes here via
+``Store_PCache``, keyed by ``(Path_Id, Seq_Num)``: the path the routine
+was built for, and the sequence number of the branch instance being
+predicted (spawn sequence number plus the build-time instruction
+separation).  Because both components are used, "aliasing is almost
+non-existent", and a small cache (128 entries in the paper) suffices:
+entries whose ``Seq_Num`` lies behind the front-end are stale and can be
+deallocated on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class PredictionCacheEntry:
+    taken: bool
+    target: int
+    arrival_cycle: int
+    writer: object = None          # the ActiveMicrothread that wrote it
+    valid: bool = True
+
+
+@dataclass
+class PredictionCacheStats:
+    writes: int = 0
+    hits: int = 0
+    misses: int = 0
+    stale_deallocations: int = 0
+    live_evictions: int = 0
+    invalidations: int = 0
+
+
+class PredictionCache:
+    """(Path_Id, Seq_Num)-keyed prediction buffer with stale reclaim."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[Tuple[int, int], PredictionCacheEntry] = {}
+        self.stats = PredictionCacheStats()
+
+    def write(self, path_id: int, seq: int, entry: PredictionCacheEntry,
+              current_seq: int) -> None:
+        """Insert a microthread prediction.
+
+        ``current_seq`` is the front-end's position; entries targeting
+        older sequence numbers are stale and reclaimed first when the
+        cache is full.
+        """
+        self.stats.writes += 1
+        key = (path_id, seq)
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            self._reclaim(current_seq)
+        self._entries[key] = entry
+
+    def _reclaim(self, current_seq: int) -> None:
+        stale = [k for k in self._entries if k[1] < current_seq]
+        if stale:
+            for k in stale:
+                del self._entries[k]
+            self.stats.stale_deallocations += len(stale)
+            return
+        # No stale entries: evict the entry with the most distant target.
+        victim = max(self._entries, key=lambda k: k[1])
+        del self._entries[victim]
+        self.stats.live_evictions += 1
+
+    def lookup(self, path_id: int, seq: int) -> Optional[PredictionCacheEntry]:
+        entry = self._entries.get((path_id, seq))
+        if entry is None or not entry.valid:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def invalidate_writer(self, writer: object) -> None:
+        """Invalidate entries written by an aborted/violated microthread."""
+        for entry in self._entries.values():
+            if entry.writer is writer and entry.valid:
+                entry.valid = False
+                self.stats.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,166 @@
+"""Spawning, microcontexts and the abort mechanism (paper §4.3.1-§4.3.2).
+
+A microthread is invoked when its spawn point is fetched.  Before a
+microcontext is allocated, the concatenated path history is compared
+against the prefix of the difficult path that should already have
+executed — a mismatch aborts the spawn pre-allocation (the paper reports
+~67% of attempted spawns abort this way).  After allocation, the active
+microthread carries the expected taken-branch suffix from spawn point to
+terminating branch; any deviation observed at retire aborts it and
+reclaims the microcontext (~66% of successful spawns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.microthread import Microthread, MicrothreadPrediction
+
+
+@dataclass
+class ActiveMicrothread:
+    """Bookkeeping for one in-flight microthread instance."""
+
+    thread: Microthread
+    spawn_idx: int
+    spawn_cycle: int
+    context_id: int
+    target_seq: int                 # trace index of the predicted branch
+    completion_cycle: int = 0       # when the routine drains naturally
+    arrival_cycle: int = 0          # Store_PCache completion
+    prediction: Optional[MicrothreadPrediction] = None
+    load_set: FrozenSet[int] = frozenset()
+    suffix_progress: int = 0
+    aborted: bool = False
+    abort_cycle: int = 0
+
+
+@dataclass
+class SpawnStats:
+    attempts: int = 0
+    pre_allocation_aborts: int = 0
+    no_free_context: int = 0
+    spawned: int = 0
+    aborted_active: int = 0
+    completed: int = 0
+    memdep_violations: int = 0
+
+    @property
+    def pre_allocation_abort_rate(self) -> float:
+        return self.pre_allocation_aborts / self.attempts if self.attempts else 0.0
+
+    @property
+    def active_abort_rate(self) -> float:
+        return self.aborted_active / self.spawned if self.spawned else 0.0
+
+
+class SpawnManager:
+    """Microcontext pool plus the Path_History abort mechanism."""
+
+    def __init__(self, n_contexts: int = 32, abort_enabled: bool = True):
+        if n_contexts <= 0:
+            raise ValueError("need at least one microcontext")
+        self.n_contexts = n_contexts
+        self.abort_enabled = abort_enabled
+        self._context_free_cycle: List[int] = [0] * n_contexts
+        self.active: List[ActiveMicrothread] = []
+        self.stats = SpawnStats()
+
+    # -- spawning --------------------------------------------------------------
+
+    def attempt_spawn(self, thread: Microthread, idx: int, cycle: int,
+                      recent_taken: Tuple[int, ...]) -> Optional[ActiveMicrothread]:
+        """Try to launch ``thread`` at the fetch of its spawn point.
+
+        ``recent_taken`` is the front-end's current taken-branch history
+        (most recent last), compared against the routine's path prefix.
+        """
+        self.stats.attempts += 1
+        prefix = thread.prefix
+        if self.abort_enabled and prefix:
+            if tuple(recent_taken[-len(prefix):]) != prefix:
+                self.stats.pre_allocation_aborts += 1
+                return None
+        context_id = self._find_free_context(cycle)
+        if context_id is None:
+            self.stats.no_free_context += 1
+            return None
+        instance = ActiveMicrothread(
+            thread=thread,
+            spawn_idx=idx,
+            spawn_cycle=cycle,
+            context_id=context_id,
+            target_seq=idx + thread.separation,
+        )
+        self.active.append(instance)
+        self.stats.spawned += 1
+        return instance
+
+    def _find_free_context(self, cycle: int) -> Optional[int]:
+        for context_id, free_cycle in enumerate(self._context_free_cycle):
+            if free_cycle <= cycle:
+                return context_id
+        return None
+
+    def commit_timing(self, instance: ActiveMicrothread,
+                      completion_cycle: int, arrival_cycle: int) -> None:
+        """Record when the routine drains; the context frees then."""
+        instance.completion_cycle = completion_cycle
+        instance.arrival_cycle = arrival_cycle
+        self._context_free_cycle[instance.context_id] = completion_cycle
+
+    # -- runtime monitoring (called at retire) ------------------------------------
+
+    def on_taken_control(self, pc: int, idx: int, cycle: int) -> List[ActiveMicrothread]:
+        """Advance suffix matching; returns instances aborted by deviation."""
+        if not self.abort_enabled:
+            return []
+        aborted: List[ActiveMicrothread] = []
+        for instance in self.active:
+            if instance.aborted or idx <= instance.spawn_idx \
+                    or idx >= instance.target_seq:
+                continue
+            suffix = instance.thread.expected_suffix
+            if instance.suffix_progress < len(suffix) \
+                    and suffix[instance.suffix_progress] == pc:
+                instance.suffix_progress += 1
+            else:
+                self._abort(instance, cycle)
+                aborted.append(instance)
+        return aborted
+
+    def on_store_retired(self, ea: int, idx: int,
+                         cycle: int) -> List[ActiveMicrothread]:
+        """Memory-dependence violation check (paper §4.2.4): a store to an
+        address a live microthread already loaded from."""
+        violated: List[ActiveMicrothread] = []
+        for instance in self.active:
+            if instance.aborted or idx <= instance.spawn_idx \
+                    or idx > instance.target_seq:
+                continue
+            if ea in instance.load_set:
+                self._abort(instance, cycle)
+                self.stats.memdep_violations += 1
+                violated.append(instance)
+        return violated
+
+    def _abort(self, instance: ActiveMicrothread, cycle: int) -> None:
+        instance.aborted = True
+        instance.abort_cycle = cycle
+        self.stats.aborted_active += 1
+        # Reclaim the context now if the routine had not yet drained.
+        slot = instance.context_id
+        if self._context_free_cycle[slot] > cycle:
+            self._context_free_cycle[slot] = cycle
+
+    def retire_past(self, idx: int) -> None:
+        """Drop bookkeeping for instances whose target has been passed."""
+        kept: List[ActiveMicrothread] = []
+        for instance in self.active:
+            if idx >= instance.target_seq:
+                if not instance.aborted:
+                    self.stats.completed += 1
+            else:
+                kept.append(instance)
+        self.active = kept

@@ -1,0 +1,471 @@
+"""The full SSMT difficult-path branch prediction engine (paper §4).
+
+:class:`SSMTEngine` implements the timing model's listener protocol and
+wires together every structure the paper describes:
+
+* at **fetch** — spawn checks against the MicroRAM, pre-allocation path
+  filtering, microcontext allocation, microthread functional execution
+  and timing (consuming shared issue slots), and ``Store_PCache`` writes
+  into the Prediction Cache;
+* at **prediction** — ``(Path_Id, Seq_Num)`` Prediction Cache lookups
+  feeding early predictions or late early-recoveries (handled by the
+  timing engine);
+* at **retire** — Path Cache training and promotion/demotion, the
+  Microthread Builder, value/address predictor training, PRB insertion,
+  the ``Path_History`` abort mechanism and memory-dependence violation
+  rebuilds.
+
+``use_predictions=False`` yields the paper's "overhead only"
+configuration (Figure 7's third bar): microthreads spawn, execute and
+consume resources (including their cache-warming side-effects) but their
+predictions are never consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.branch.unit import BranchPredictorComplex
+from repro.core.builder import BuilderConfig, MicrothreadBuilder
+from repro.core.microthread import Microthread
+from repro.core.microram import MicroRAM
+from repro.core.path import PathKey, PathTracker, DEFAULT_PATH_ID_BITS
+from repro.core.path_cache import PathCache, PathCacheConfig
+from repro.core.prb import PostRetirementBuffer
+from repro.core.prediction_cache import (
+    PredictionCache,
+    PredictionCacheEntry,
+)
+from repro.core.spawn import ActiveMicrothread, SpawnManager
+from repro.sim.trace import Trace
+from repro.uarch.config import MachineConfig, TABLE3_BASELINE
+from repro.uarch.timing import OoOTimingModel, PredictionEntry, TimingResult
+from repro.valuepred import AddressPredictor, PredictorTrainer, StridePredictor
+
+
+@dataclass
+class SSMTConfig:
+    """All knobs of the mechanism, with the paper's defaults."""
+
+    n: int = 10                          # path length (Figure 7 uses 10)
+    difficulty_threshold: float = 0.10   # T
+    path_id_bits: int = DEFAULT_PATH_ID_BITS
+    path_cache_entries: int = 8192
+    path_cache_assoc: int = 8
+    training_interval: int = 32
+    allocate_on_mispredict_only: bool = True
+    difficulty_aware_lru: bool = True
+    prb_capacity: int = 512
+    mcb_capacity: int = 64
+    build_latency: int = 100
+    builder_ports: int = 1
+    pruning: bool = True
+    move_elimination: bool = True
+    constant_propagation: bool = True
+    microram_entries: int = 8192
+    prediction_cache_entries: int = 128
+    n_contexts: int = 32
+    use_predictions: bool = True
+    abort_enabled: bool = True
+    spawn_dispatch_latency: int = 3
+    vp_latency: int = 2
+    confidence_threshold: int = 4
+    #: Usefulness-feedback throttling (the paper's §5.3 future work:
+    #: "feedback mechanisms to throttle microthread usage").  When
+    #: enabled, a promoted path whose consumed predictions are
+    #: persistently unhelpful (late_harmful or useless) is demoted.
+    throttle_enabled: bool = False
+    throttle_window: int = 16
+    #: demote when at least this fraction of a window's consumed
+    #: predictions did not help (i.e. did not correct a hardware
+    #: mispredict).  Lower values throttle harder: they contain overhead
+    #: on well-predicted code sooner but sacrifice paths whose rarer
+    #: corrections still carry wins.  0.85 balances the two on both the
+    #: suite and the kernel workloads.
+    throttle_useless_fraction: float = 0.85
+    #: Rebuild-on-violation policy (paper §4.2.4).  1 reproduces the
+    #: paper's simple immediate rebuild; higher values implement the
+    #: "more advanced rebuilding approach [that corrects] only
+    #: speculations that cause repeated violations".
+    rebuild_violation_threshold: int = 1
+    #: Ablation of the paper's core idea (§3.2.1): classify difficulty
+    #: per static *branch* instead of per path.  One routine per branch
+    #: (instead of per path), predictions keyed by branch identity alone,
+    #: spawning on every reaching path — the "previous studies" strawman
+    #: the paper's difficult-path classification improves on.
+    classify_by_branch: bool = False
+
+    def __post_init__(self):
+        if self.n <= 0:
+            raise ValueError("path length n must be positive")
+        if not 0.0 <= self.difficulty_threshold <= 1.0:
+            raise ValueError("difficulty threshold must be in [0, 1]")
+        if self.n_contexts <= 0:
+            raise ValueError("need at least one microcontext")
+        if self.spawn_dispatch_latency < 0 or self.vp_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.throttle_window <= 0:
+            raise ValueError("throttle window must be positive")
+        if not 0.0 < self.throttle_useless_fraction <= 1.0:
+            raise ValueError("throttle fraction must be in (0, 1]")
+        if self.rebuild_violation_threshold <= 0:
+            raise ValueError("rebuild threshold must be positive")
+
+    def path_cache_config(self) -> PathCacheConfig:
+        return PathCacheConfig(
+            entries=self.path_cache_entries,
+            assoc=self.path_cache_assoc,
+            training_interval=self.training_interval,
+            difficulty_threshold=self.difficulty_threshold,
+            allocate_on_mispredict_only=self.allocate_on_mispredict_only,
+            difficulty_aware_lru=self.difficulty_aware_lru,
+        )
+
+    def builder_config(self) -> BuilderConfig:
+        return BuilderConfig(
+            mcb_capacity=self.mcb_capacity,
+            build_latency=self.build_latency,
+            pruning=self.pruning,
+            move_elimination=self.move_elimination,
+            constant_propagation=self.constant_propagation,
+            ports=self.builder_ports,
+        )
+
+
+class SSMTEngine:
+    """Listener implementing the complete mechanism; see module docstring."""
+
+    def __init__(self, config: Optional[SSMTConfig] = None,
+                 initial_memory: Optional[Dict[int, int]] = None,
+                 event_log=None):
+        self.config = config or SSMTConfig()
+        self.event_log = event_log
+        cfg = self.config
+        self.tracker = PathTracker(cfg.n, cfg.path_id_bits)
+        self.trainer = PredictorTrainer(
+            StridePredictor(confidence_threshold=cfg.confidence_threshold),
+            AddressPredictor(confidence_threshold=cfg.confidence_threshold),
+        )
+        self.prb = PostRetirementBuffer(cfg.prb_capacity)
+        self.path_cache = PathCache(cfg.path_cache_config())
+        self.builder = MicrothreadBuilder(cfg.builder_config())
+        self.microram = MicroRAM(cfg.microram_entries)
+        self.prediction_cache = PredictionCache(cfg.prediction_cache_entries)
+        self.spawner = SpawnManager(cfg.n_contexts, cfg.abort_enabled)
+        self.reg_values = [0] * 32
+        self.memory: Dict[int, int] = dict(initial_memory or {})
+        self._pending_mispredict: Dict[int, bool] = {}
+        self.prediction_kind_counts: Dict[str, int] = {}
+        self.correct_microthread_predictions = 0
+        self.incorrect_microthread_predictions = 0
+        # throttling feedback state: per-path consumed-prediction tallies
+        self._throttle_tallies: Dict[object, List[int]] = {}
+        self._throttled: set = set()
+        self.throttled_paths = 0
+        # repeated-violation rebuild policy state
+        self._violation_counts: Dict[object, int] = {}
+
+    # -- memory / predictor closures for microthread execution ----------------
+
+    def _memory_read(self, ea: int) -> int:
+        return self.memory.get(ea, 0)
+
+    def _value_predict(self, pc: int, ahead: int) -> Optional[int]:
+        return self.trainer.value_predictor.predict(pc, ahead)
+
+    def _address_predict(self, pc: int, ahead: int) -> Optional[int]:
+        return self.trainer.address_predictor.predict(pc, ahead)
+
+    # -- listener protocol -------------------------------------------------------
+
+    def on_fetch(self, idx: int, rec, fetch_cycle: int,
+                 engine: OoOTimingModel) -> None:
+        routines = self.microram.routines_at(rec.pc)
+        if not routines:
+            return
+        recent = self.tracker.current_branches()
+        log = self.event_log
+        for thread in list(routines):
+            if thread.available_cycle > fetch_cycle:
+                continue
+            before_pre_alloc = self.spawner.stats.pre_allocation_aborts
+            instance = self.spawner.attempt_spawn(thread, idx, fetch_cycle,
+                                                  recent)
+            if instance is not None:
+                self.microram.touch(thread.key)
+                self._run_microthread(instance, idx, fetch_cycle, engine)
+                if log is not None:
+                    log.emit("spawn", idx, fetch_cycle, thread.term_pc,
+                             f"sep={thread.separation}")
+            elif (log is not None and
+                  self.spawner.stats.pre_allocation_aborts
+                  > before_pre_alloc):
+                log.emit("pre_alloc_abort", idx, fetch_cycle,
+                         thread.term_pc)
+
+    def lookup_prediction(self, idx: int, rec,
+                          fetch_cycle: int) -> Optional[PredictionEntry]:
+        if not self.config.use_predictions:
+            return None
+        if self.config.classify_by_branch:
+            lookup_id = rec.pc & ((1 << self.config.path_id_bits) - 1)
+        else:
+            lookup_id = self.tracker.current_path_id()
+        entry = self.prediction_cache.lookup(lookup_id, idx)
+        if entry is None:
+            return None
+        return PredictionEntry(entry.taken, entry.target, entry.arrival_cycle)
+
+    def on_control(self, idx: int, rec, outcome, fetch_cycle: int,
+                   resolve_cycle: int) -> None:
+        if rec.inst.is_path_terminating:
+            self._pending_mispredict[idx] = outcome.mispredicted
+
+    def on_prediction_outcome(self, idx: int, rec, kind: str, used: bool,
+                              correct: bool, hw_mispredict: bool) -> None:
+        self.prediction_kind_counts[kind] = \
+            self.prediction_kind_counts.get(kind, 0) + 1
+        if kind != "useless":
+            if correct:
+                self.correct_microthread_predictions += 1
+            else:
+                self.incorrect_microthread_predictions += 1
+        if self.event_log is not None:
+            self.event_log.emit(
+                "prediction", idx, 0, rec.pc,
+                f"{kind} correct={correct} hw_mis={hw_mispredict}")
+        if self.config.throttle_enabled:
+            self._throttle_feedback(rec, kind, correct, hw_mispredict)
+
+    def _throttle_feedback(self, rec, kind: str, correct: bool,
+                           hw_mispredict: bool) -> None:
+        """Demote paths whose predictions persistently do not help.
+
+        A consumed prediction is *helpful* when it changed the outcome
+        for the better: an early or late prediction that was correct
+        while the hardware was wrong.  Everything else (useless arrivals,
+        harmful disagreements, predictions merely confirming a correct
+        hardware prediction) counts against the path.
+        """
+        key, _ = self._classification_identity(
+            PathKey(rec.pc, self.tracker.current_branches()), 0)
+        helpful = correct and hw_mispredict and kind in (
+            "early", "late_useful")
+        tally = self._throttle_tallies.setdefault(key, [0, 0])
+        tally[0] += 1
+        tally[1] += 0 if helpful else 1
+        if tally[0] >= self.config.throttle_window:
+            if tally[1] / tally[0] >= self.config.throttle_useless_fraction:
+                self._throttled.add(key)
+                self.throttled_paths += 1
+                self._demote(key, self._key_id(key))
+            self._throttle_tallies[key] = [0, 0]
+
+    def on_retire(self, idx: int, rec, retire_cycle: int) -> None:
+        inst = rec.inst
+
+        # Memory-dependence violation: a store hits an address a live
+        # microthread already read -> abort and rebuild (paper §4.2.4).
+        log = self.event_log
+        if inst.is_store:
+            for violated in self.spawner.on_store_retired(rec.ea, idx,
+                                                          retire_cycle):
+                self.prediction_cache.invalidate_writer(violated)
+                key = violated.thread.key
+                count = self._violation_counts.get(key, 0) + 1
+                if log is not None:
+                    log.emit("violation", idx, retire_cycle,
+                             violated.thread.term_pc, f"ea={rec.ea}")
+                if count >= self.config.rebuild_violation_threshold:
+                    self._violation_counts[key] = 0
+                    self._schedule_rebuild(violated.thread)
+                else:
+                    self._violation_counts[key] = count
+
+        # Path_History deviation aborts (paper §4.3.2).
+        if inst.is_control and rec.taken:
+            for aborted in self.spawner.on_taken_control(rec.pc, idx,
+                                                         retire_cycle):
+                if aborted.arrival_cycle > retire_cycle:
+                    # Store_PCache had not completed: the write never lands.
+                    self.prediction_cache.invalidate_writer(aborted)
+                if log is not None:
+                    log.emit("active_abort", idx, retire_cycle,
+                             aborted.thread.term_pc,
+                             f"at pc={rec.pc}")
+
+        # Predictor training and PRB insertion (paper §4.2.2, §4.2.5).
+        # This happens before promotion handling so that, when the builder
+        # is invoked for this branch, the branch is the PRB's youngest
+        # entry ("as it just retired").
+        value_conf, addr_conf = self.trainer.observe(rec)
+        self.prb.insert(rec, idx, value_conf, addr_conf)
+
+        # Path Cache training and promotion/demotion (paper §4.1, §4.2.1).
+        event = self.tracker.observe(rec, idx)
+        if event is not None:
+            # Always consume the stashed outcome, including for partial
+            # (warm-up) events, so the stash cannot accumulate entries.
+            mispredicted = self._pending_mispredict.pop(idx, False)
+        if event is not None and not event.partial:
+            classify_key, classify_id = self._classification_identity(
+                event.key, event.path_id)
+            promotion = self.path_cache.update(classify_key, classify_id,
+                                               mispredicted)
+            if promotion is not None:
+                if promotion.promote:
+                    self._promote(event, retire_cycle)
+                else:
+                    self._demote(classify_key, classify_id)
+
+        self.spawner.retire_past(idx)
+
+        # Architectural state for microthread live-ins / memory view.
+        dest = inst.dest_reg()
+        if dest is not None:
+            self.reg_values[dest] = rec.result
+        if inst.is_store:
+            self.memory[rec.ea] = rec.result
+
+    # -- promotion machinery ---------------------------------------------------
+
+    def _classification_identity(self, key: PathKey,
+                                 path_id: int) -> Tuple[PathKey, int]:
+        """The identity difficulty is tracked under: the full path (the
+        paper's mechanism) or the bare branch (the ablation)."""
+        if self.config.classify_by_branch:
+            branch_key = PathKey(key.term_pc, ())
+            return branch_key, self._key_id(branch_key)
+        return key, path_id
+
+    def _key_id(self, key: PathKey) -> int:
+        """The cache-indexing id for a classification key."""
+        if self.config.classify_by_branch:
+            return key.term_pc & ((1 << self.config.path_id_bits) - 1)
+        return key.path_id(self.config.path_id_bits)
+
+    def _promote(self, event, now_cycle: int) -> None:
+        classify_key, classify_id = self._classification_identity(
+            event.key, event.path_id)
+        if classify_key in self._throttled:
+            return  # usefulness feedback barred this path
+        thread = self.builder.request(event, self.prb, now_cycle)
+        if thread is None:
+            if self.event_log is not None:
+                self.event_log.emit("build_failed", event.branch_idx,
+                                    now_cycle, event.key.term_pc)
+            return  # builder busy/failed; Promoted stays clear, will retry
+        if self.event_log is not None:
+            self.event_log.emit(
+                "build", event.branch_idx, now_cycle, event.key.term_pc,
+                f"size={thread.routine_size} chain={thread.longest_chain} "
+                f"sep={thread.separation}")
+            self.event_log.emit("promote", event.branch_idx, now_cycle,
+                                event.key.term_pc)
+        if self.config.classify_by_branch:
+            # One routine per branch, predictions keyed by branch identity.
+            thread.key = classify_key
+            thread.path_id = classify_id
+        evicted = self.microram.insert(thread)
+        if evicted is not None:
+            self.path_cache.mark_promoted(evicted, self._key_id(evicted),
+                                          False)
+        self.path_cache.mark_promoted(classify_key, classify_id, True)
+
+    def _demote(self, key, path_id: int) -> None:
+        self.microram.remove(key)
+        self.path_cache.mark_promoted(key, path_id, False)
+        if self.event_log is not None:
+            self.event_log.emit("demote", 0, 0, key.term_pc)
+
+    def _schedule_rebuild(self, thread: Microthread) -> None:
+        """Demote a violated routine; re-promotion rebuilds it against a
+        PRB that now contains the conflicting store."""
+        self.builder.stats.rebuilds += 1
+        self._demote(thread.key, self._key_id(thread.key))
+
+    # -- microthread execution -----------------------------------------------
+
+    def _run_microthread(self, instance: ActiveMicrothread, idx: int,
+                         fetch_cycle: int, engine: OoOTimingModel) -> None:
+        cfg = self.config
+        thread = instance.thread
+        live_in_values = {reg: self.reg_values[reg]
+                          for reg in thread.live_in_regs}
+        prediction = thread.execute(
+            live_in_values, self._memory_read,
+            self._value_predict, self._address_predict,
+        )
+        instance.prediction = prediction
+        instance.load_set = frozenset(prediction.loads_read)
+
+        # Timing: one topological walk over the routine, claiming shared
+        # issue slots and decode/rename bandwidth so microthread overhead
+        # is visible to the primary thread.
+        engine.add_frontend_debt(thread.routine_size)
+        dispatch = fetch_cycle + cfg.spawn_dispatch_latency
+        ready: Dict[int, int] = {}
+        loads = iter(prediction.loads_read)
+        completion = dispatch
+        arrival = dispatch
+        for node in thread.nodes:
+            if node.kind == "livein":
+                ready[node.uid] = max(dispatch, engine.reg_ready[node.reg])
+                continue
+            earliest = dispatch
+            for child in node.inputs:
+                t = ready[child.uid]
+                if t > earliest:
+                    earliest = t
+            slot = engine.alloc_issue_slot(earliest)
+            if node.kind == "load":
+                latency = engine.caches.load_latency(next(loads), slot)
+            elif node.kind in ("vp", "ap"):
+                latency = cfg.vp_latency
+            elif node.kind == "op":
+                latency = engine.op_latency(node.op)
+            else:  # const, branch (Store_PCache)
+                latency = 1
+            done = slot + latency
+            ready[node.uid] = done
+            if done > completion:
+                completion = done
+            if node.kind == "branch":
+                arrival = done
+        self.spawner.commit_timing(instance, completion, arrival)
+
+        entry = PredictionCacheEntry(prediction.taken, prediction.target,
+                                     arrival, writer=instance)
+        self.prediction_cache.write(thread.path_id, instance.target_seq,
+                                    entry, current_seq=idx)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def report(self) -> Dict[str, object]:
+        """Aggregate statistics from every subsystem."""
+        return {
+            "path_cache": self.path_cache.stats,
+            "builder": self.builder.stats,
+            "spawn": self.spawner.stats,
+            "prediction_cache": self.prediction_cache.stats,
+            "prediction_kinds": dict(self.prediction_kind_counts),
+            "microram_routines": len(self.microram),
+            "microthread_correct": self.correct_microthread_predictions,
+            "microthread_incorrect": self.incorrect_microthread_predictions,
+            "throttled_paths": self.throttled_paths,
+        }
+
+
+def run_ssmt(
+    trace: Trace,
+    config: Optional[SSMTConfig] = None,
+    machine: MachineConfig = TABLE3_BASELINE,
+    predictor: Optional[BranchPredictorComplex] = None,
+) -> Tuple[TimingResult, SSMTEngine]:
+    """Run the full SSMT machine over ``trace``; returns timing + engine."""
+    engine = SSMTEngine(config, initial_memory=trace.initial_memory)
+    model = OoOTimingModel(machine)
+    predictor = predictor if predictor is not None else BranchPredictorComplex()
+    result = model.run(trace, predictor, listener=engine)
+    return result, engine

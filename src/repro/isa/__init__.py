@@ -1,0 +1,65 @@
+"""A small 64-bit RISC-like instruction set.
+
+This package provides the instruction set architecture that every other
+subsystem builds on: opcode definitions, the :class:`Instruction` record,
+register names, :class:`Program` containers, a two-pass text assembler, and
+a programmatic :class:`ProgramBuilder` used by the synthetic workload
+generator.
+
+The ISA plays the role that the Alpha EV6 ISA plays in the paper.  PCs are
+word addresses (one per instruction) and all integer state is 64-bit.
+"""
+
+from repro.isa.instructions import (
+    Opcode,
+    Instruction,
+    ALU_OPS,
+    ALU_IMM_OPS,
+    CONDITIONAL_BRANCHES,
+    DIRECT_JUMPS,
+    INDIRECT_JUMPS,
+    TAKEN_CONTROL_OPS,
+    CONTROL_OPS,
+    MEMORY_OPS,
+    MICRO_OPS,
+)
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_ZERO,
+    REG_SP,
+    REG_FP,
+    REG_RA,
+    REG_RV,
+    register_name,
+    parse_register,
+)
+from repro.isa.program import Program, DataSegment
+from repro.isa.builder import ProgramBuilder
+from repro.isa.assembler import assemble, AssemblyError
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "ALU_OPS",
+    "ALU_IMM_OPS",
+    "CONDITIONAL_BRANCHES",
+    "DIRECT_JUMPS",
+    "INDIRECT_JUMPS",
+    "TAKEN_CONTROL_OPS",
+    "CONTROL_OPS",
+    "MEMORY_OPS",
+    "MICRO_OPS",
+    "NUM_REGS",
+    "REG_ZERO",
+    "REG_SP",
+    "REG_FP",
+    "REG_RA",
+    "REG_RV",
+    "register_name",
+    "parse_register",
+    "Program",
+    "DataSegment",
+    "ProgramBuilder",
+    "assemble",
+    "AssemblyError",
+]

@@ -1,0 +1,202 @@
+"""A two-pass text assembler for the ISA.
+
+Syntax example::
+
+    .data counts 8 0 0 0 0 0 0 0 0   ; allocate + initialise 8 words
+    main:
+        li   r1, 0
+        li   r2, 10
+    loop:
+        add  r3, r3, r1
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+
+Comments start with ``;`` or ``#``.  ``.data NAME COUNT [init...]``
+allocates a data array; its base address can be loaded with
+``li rX, &NAME``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import (
+    ALU_IMM_OPS,
+    ALU_OPS,
+    CONDITIONAL_BRANCHES,
+    Instruction,
+    Opcode,
+)
+from repro.isa.program import Program
+from repro.isa.registers import parse_register
+
+
+class AssemblyError(Exception):
+    """Raised on any syntax or semantic error during assembly."""
+
+
+_OPCODES_BY_NAME = {op.name.lower(): op for op in Opcode}
+
+
+def _parse_operand_imm(token: str, symbols: Dict[str, int], line_no: int) -> int:
+    token = token.strip().rstrip(",")
+    if token.startswith("&"):
+        name = token[1:]
+        if name not in symbols:
+            raise AssemblyError(f"line {line_no}: unknown data symbol {name!r}")
+        return symbols[name]
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblyError(f"line {line_no}: bad immediate {token!r}") from exc
+
+
+def _is_int_token(token: str) -> bool:
+    try:
+        int(token, 0)
+    except ValueError:
+        return False
+    return True
+
+
+def _split_mem_operand(token: str, line_no: int):
+    """Parse ``imm(rX)`` into (imm_token, reg_token)."""
+    token = token.strip().rstrip(",")
+    if "(" not in token or not token.endswith(")"):
+        raise AssemblyError(f"line {line_no}: bad memory operand {token!r}")
+    imm_part, reg_part = token[:-1].split("(", 1)
+    return imm_part or "0", reg_part
+
+
+def assemble(text: str, name: str = "asm") -> Program:
+    """Assemble source ``text`` into a linked :class:`Program`."""
+    builder = ProgramBuilder(name=name)
+    data_symbols: Dict[str, int] = {}
+
+    # Pass 0: data directives must be resolved before code referencing them.
+    lines = text.splitlines()
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line or not line.startswith(".data"):
+            continue
+        parts = line.split()
+        if len(parts) < 3:
+            raise AssemblyError(f"line {line_no}: .data NAME COUNT [init...]")
+        sym, count_tok = parts[1], parts[2]
+        try:
+            count = int(count_tok, 0)
+        except ValueError as exc:
+            raise AssemblyError(f"line {line_no}: bad count {count_tok!r}") from exc
+        init = [int(tok, 0) for tok in parts[3:]]
+        if sym in data_symbols:
+            raise AssemblyError(f"line {line_no}: duplicate data symbol {sym!r}")
+        data_symbols[sym] = builder.alloc(count, init)
+
+    # Pass 1: code.
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line or line.startswith(".data"):
+            continue
+        while line.endswith(":") or (":" in line and " " not in line.split(":")[0]):
+            label, _, rest = line.partition(":")
+            builder.label(label.strip())
+            line = rest.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        _assemble_line(builder, line, data_symbols, line_no)
+
+    return builder.build()
+
+
+def _assemble_line(
+    builder: ProgramBuilder,
+    line: str,
+    symbols: Dict[str, int],
+    line_no: int,
+) -> None:
+    parts = line.replace(",", " ").split()
+    mnemonic = parts[0].lower()
+    operands = parts[1:]
+    if mnemonic not in _OPCODES_BY_NAME:
+        raise AssemblyError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+    op = _OPCODES_BY_NAME[mnemonic]
+
+    def need(n: int) -> None:
+        if len(operands) != n:
+            raise AssemblyError(
+                f"line {line_no}: {mnemonic} expects {n} operands, got {len(operands)}"
+            )
+
+    if op in ALU_OPS:
+        need(3)
+        builder.emit(
+            op,
+            rd=parse_register(operands[0]),
+            rs1=parse_register(operands[1]),
+            rs2=parse_register(operands[2]),
+        )
+    elif op == Opcode.LI:
+        need(2)
+        token = operands[1].strip().rstrip(",")
+        if token.startswith("&") or _is_int_token(token):
+            imm = _parse_operand_imm(token, symbols, line_no)
+        else:
+            # A code label: resolved to its word address at link time.
+            imm = token
+        builder.emit(op, rd=parse_register(operands[0]), imm=imm)
+    elif op == Opcode.MOV:
+        need(2)
+        builder.emit(
+            op, rd=parse_register(operands[0]), rs1=parse_register(operands[1])
+        )
+    elif op in ALU_IMM_OPS:
+        need(3)
+        builder.emit(
+            op,
+            rd=parse_register(operands[0]),
+            rs1=parse_register(operands[1]),
+            imm=_parse_operand_imm(operands[2], symbols, line_no),
+        )
+    elif op == Opcode.LD:
+        need(2)
+        imm_tok, reg_tok = _split_mem_operand(operands[1], line_no)
+        builder.emit(
+            op,
+            rd=parse_register(operands[0]),
+            rs1=parse_register(reg_tok),
+            imm=_parse_operand_imm(imm_tok, symbols, line_no),
+        )
+    elif op == Opcode.ST:
+        need(2)
+        imm_tok, reg_tok = _split_mem_operand(operands[1], line_no)
+        builder.emit(
+            op,
+            rs2=parse_register(operands[0]),
+            rs1=parse_register(reg_tok),
+            imm=_parse_operand_imm(imm_tok, symbols, line_no),
+        )
+    elif op in CONDITIONAL_BRANCHES:
+        need(3)
+        builder.emit(
+            op,
+            rs1=parse_register(operands[0]),
+            rs2=parse_register(operands[1]),
+            target=operands[2],
+        )
+    elif op in (Opcode.JMP, Opcode.CALL):
+        need(1)
+        builder.emit(op, target=operands[0])
+    elif op == Opcode.JR:
+        need(1)
+        builder.emit(op, rs1=parse_register(operands[0]))
+    elif op in (Opcode.RET, Opcode.NOP, Opcode.HALT):
+        need(0)
+        builder.emit(op)
+    else:
+        raise AssemblyError(
+            f"line {line_no}: {mnemonic} is not assemblable (micro-op?)"
+        )

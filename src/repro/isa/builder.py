@@ -1,0 +1,122 @@
+"""Programmatic code generation.
+
+:class:`ProgramBuilder` is the interface the synthetic workload generator
+uses to emit code: append instructions, define labels (with forward
+references), and allocate initialised data arrays.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import DataSegment, Program, ProgramError
+
+
+class ProgramBuilder:
+    """Accumulates instructions and data, then links a :class:`Program`."""
+
+    def __init__(self, name: str = "program", data_base: int = 0x10000):
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._data = DataSegment(base=data_base)
+        self._next_data = data_base
+        self._label_counter = itertools.count()
+
+    # -- code ------------------------------------------------------------
+
+    def emit(
+        self,
+        opcode: Opcode,
+        rd: int = 0,
+        rs1: int = 0,
+        rs2: int = 0,
+        imm: int = 0,
+        target: Optional[object] = None,
+        tag: Optional[str] = None,
+    ) -> Instruction:
+        """Append an instruction; ``target`` may be a label string."""
+        inst = Instruction(opcode, rd, rs1, rs2, imm, target, tag=tag)
+        self._instructions.append(inst)
+        return inst
+
+    def label(self, name: Optional[str] = None) -> str:
+        """Bind ``name`` (or a fresh unique name) to the next address."""
+        if name is None:
+            name = f".L{next(self._label_counter)}"
+        if name in self._labels:
+            raise ProgramError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return name
+
+    def fresh_label(self, prefix: str = ".L") -> str:
+        """Reserve a unique label name without binding it yet."""
+        return f"{prefix}{next(self._label_counter)}"
+
+    def bind(self, name: str) -> None:
+        """Bind a previously reserved label name to the next address."""
+        if name in self._labels:
+            raise ProgramError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+
+    @property
+    def here(self) -> int:
+        """Address of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    # -- data ------------------------------------------------------------
+
+    def alloc(self, count: int, init: Optional[Sequence[int]] = None) -> int:
+        """Allocate ``count`` words of data memory; return the base address."""
+        base = self._next_data
+        self._next_data += count
+        if init is not None:
+            if len(init) > count:
+                raise ProgramError("initializer longer than allocation")
+            for offset, value in enumerate(init):
+                self._data.store(base + offset, int(value))
+        return base
+
+    # -- convenience emitters ---------------------------------------------
+
+    def li(self, rd: int, imm: int) -> Instruction:
+        return self.emit(Opcode.LI, rd=rd, imm=imm)
+
+    def mov(self, rd: int, rs1: int) -> Instruction:
+        return self.emit(Opcode.MOV, rd=rd, rs1=rs1)
+
+    def addi(self, rd: int, rs1: int, imm: int) -> Instruction:
+        return self.emit(Opcode.ADDI, rd=rd, rs1=rs1, imm=imm)
+
+    def ld(self, rd: int, rs1: int, imm: int = 0) -> Instruction:
+        return self.emit(Opcode.LD, rd=rd, rs1=rs1, imm=imm)
+
+    def st(self, rs2: int, rs1: int, imm: int = 0) -> Instruction:
+        return self.emit(Opcode.ST, rs1=rs1, rs2=rs2, imm=imm)
+
+    def jmp(self, target: str) -> Instruction:
+        return self.emit(Opcode.JMP, target=target)
+
+    def call(self, target: str) -> Instruction:
+        return self.emit(Opcode.CALL, target=target)
+
+    def ret(self) -> Instruction:
+        return self.emit(Opcode.RET)
+
+    def branch(self, opcode: Opcode, rs1: int, rs2: int, target: str,
+               tag: Optional[str] = None) -> Instruction:
+        return self.emit(opcode, rs1=rs1, rs2=rs2, target=target, tag=tag)
+
+    # -- linking -----------------------------------------------------------
+
+    def build(self, entry: int = 0) -> Program:
+        """Link and validate the accumulated program."""
+        return Program(
+            self._instructions,
+            labels=self._labels,
+            data=self._data,
+            entry=entry,
+            name=self.name,
+        )

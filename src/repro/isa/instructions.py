@@ -1,0 +1,285 @@
+"""Opcode definitions and the :class:`Instruction` record.
+
+The opcode space is split into five families:
+
+* ALU register-register and register-immediate operations,
+* loads and stores (register + immediate displacement addressing),
+* control transfers (conditional branches, direct jumps/calls, indirect
+  jumps/returns),
+* ``NOP``/``HALT`` housekeeping, and
+* the three micro-instructions introduced by the paper, which are only
+  legal inside subordinate microthreads: ``STORE_PCACHE`` (Section 4.2.2),
+  ``VP_INST`` and ``AP_INST`` (Section 3.2.3 / 4.2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional, Tuple
+
+from repro.isa.registers import REG_ZERO, register_name
+
+
+class Opcode(IntEnum):
+    """All opcodes of the ISA (including microthread-only micro-ops)."""
+
+    # ALU reg-reg
+    ADD = 1
+    SUB = 2
+    AND = 3
+    OR = 4
+    XOR = 5
+    SLL = 6
+    SRL = 7
+    SRA = 8
+    SLT = 9
+    SLTU = 10
+    MUL = 11
+    # ALU reg-imm
+    ADDI = 20
+    ANDI = 21
+    ORI = 22
+    XORI = 23
+    SLLI = 24
+    SRLI = 25
+    SLTI = 26
+    LI = 27
+    MOV = 28
+    # Memory
+    LD = 40
+    ST = 41
+    # Control
+    BEQ = 60
+    BNE = 61
+    BLT = 62
+    BGE = 63
+    JMP = 70
+    CALL = 71
+    RET = 72
+    JR = 73
+    # Housekeeping
+    NOP = 90
+    HALT = 91
+    # Microthread-only micro-instructions
+    STORE_PCACHE = 100
+    VP_INST = 101
+    AP_INST = 102
+
+
+ALU_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SLL,
+        Opcode.SRL,
+        Opcode.SRA,
+        Opcode.SLT,
+        Opcode.SLTU,
+        Opcode.MUL,
+    }
+)
+
+ALU_IMM_OPS = frozenset(
+    {
+        Opcode.ADDI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.SLLI,
+        Opcode.SRLI,
+        Opcode.SLTI,
+        Opcode.LI,
+        Opcode.MOV,
+    }
+)
+
+CONDITIONAL_BRANCHES = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+DIRECT_JUMPS = frozenset({Opcode.JMP, Opcode.CALL})
+INDIRECT_JUMPS = frozenset({Opcode.JR, Opcode.RET})
+CONTROL_OPS = CONDITIONAL_BRANCHES | DIRECT_JUMPS | INDIRECT_JUMPS
+#: Control transfers that always redirect the PC (count as "taken" for paths).
+TAKEN_CONTROL_OPS = DIRECT_JUMPS | INDIRECT_JUMPS
+MEMORY_OPS = frozenset({Opcode.LD, Opcode.ST})
+MICRO_OPS = frozenset({Opcode.STORE_PCACHE, Opcode.VP_INST, Opcode.AP_INST})
+
+#: Opcodes whose result can terminate a difficult path (paper Section 3:
+#: "either a conditional or indirect terminating branch").
+PATH_TERMINATING_OPS = CONDITIONAL_BRANCHES | INDIRECT_JUMPS
+
+
+@dataclass
+class Instruction:
+    """One static instruction.
+
+    ``target`` holds the branch destination for direct control transfers.
+    During assembly it may temporarily be a label string; after linking it
+    is always an ``int`` word address.  ``pc`` is assigned when the
+    instruction is placed into a :class:`~repro.isa.program.Program`.
+    """
+
+    __slots__ = ("opcode", "rd", "rs1", "rs2", "imm", "target", "pc", "tag")
+
+    opcode: Opcode
+    rd: int
+    rs1: int
+    rs2: int
+    imm: int
+    target: Optional[object]
+    pc: int
+    tag: Optional[str]
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        rd: int = 0,
+        rs1: int = 0,
+        rs2: int = 0,
+        imm: int = 0,
+        target: Optional[object] = None,
+        pc: int = -1,
+        tag: Optional[str] = None,
+    ):
+        self.opcode = opcode
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.target = target
+        self.pc = pc
+        self.tag = tag
+
+    # -- classification -------------------------------------------------
+
+    @property
+    def is_control(self) -> bool:
+        return self.opcode in CONTROL_OPS
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.opcode in CONDITIONAL_BRANCHES
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.opcode in INDIRECT_JUMPS
+
+    @property
+    def is_path_terminating(self) -> bool:
+        """True for branches that can terminate a difficult path."""
+        return self.opcode in PATH_TERMINATING_OPS
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode == Opcode.CALL
+
+    @property
+    def is_return(self) -> bool:
+        return self.opcode == Opcode.RET
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode == Opcode.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode == Opcode.ST
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in MEMORY_OPS
+
+    @property
+    def is_micro_op(self) -> bool:
+        return self.opcode in MICRO_OPS
+
+    # -- dataflow --------------------------------------------------------
+
+    def dest_reg(self) -> Optional[int]:
+        """The architectural register written, or ``None``.
+
+        Writes to ``r0`` are discarded and reported as ``None``.
+        """
+        op = self.opcode
+        if op in ALU_OPS or op in ALU_IMM_OPS or op == Opcode.LD:
+            return self.rd if self.rd != REG_ZERO else None
+        if op == Opcode.CALL:
+            from repro.isa.registers import REG_RA
+
+            return REG_RA
+        if op in (Opcode.VP_INST, Opcode.AP_INST):
+            return self.rd if self.rd != REG_ZERO else None
+        return None
+
+    def src_regs(self) -> Tuple[int, ...]:
+        """Architectural registers read, ``r0`` excluded."""
+        op = self.opcode
+        if op in ALU_OPS:
+            srcs = (self.rs1, self.rs2)
+        elif op in (Opcode.LI, Opcode.NOP, Opcode.HALT, Opcode.JMP, Opcode.CALL,
+                    Opcode.VP_INST, Opcode.AP_INST):
+            srcs = ()
+        elif op in ALU_IMM_OPS:  # ADDI..SLTI, MOV
+            srcs = (self.rs1,)
+        elif op == Opcode.LD:
+            srcs = (self.rs1,)
+        elif op == Opcode.ST:
+            srcs = (self.rs1, self.rs2)
+        elif op in CONDITIONAL_BRANCHES:
+            srcs = (self.rs1, self.rs2)
+        elif op == Opcode.JR:
+            srcs = (self.rs1,)
+        elif op == Opcode.RET:
+            from repro.isa.registers import REG_RA
+
+            srcs = (REG_RA,)
+        elif op == Opcode.STORE_PCACHE:
+            srcs = (self.rs1,)
+        else:
+            srcs = ()
+        return tuple(r for r in srcs if r != REG_ZERO)
+
+    # -- display ---------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.pc}: {self.disassemble()}>"
+
+    def disassemble(self) -> str:
+        """Render the instruction in assembler syntax."""
+        op = self.opcode
+        name = op.name.lower()
+        rn = register_name
+        if op in ALU_OPS:
+            return f"{name} {rn(self.rd)}, {rn(self.rs1)}, {rn(self.rs2)}"
+        if op == Opcode.LI:
+            return f"li {rn(self.rd)}, {self.imm}"
+        if op == Opcode.MOV:
+            return f"mov {rn(self.rd)}, {rn(self.rs1)}"
+        if op in ALU_IMM_OPS:
+            return f"{name} {rn(self.rd)}, {rn(self.rs1)}, {self.imm}"
+        if op == Opcode.LD:
+            return f"ld {rn(self.rd)}, {self.imm}({rn(self.rs1)})"
+        if op == Opcode.ST:
+            return f"st {rn(self.rs2)}, {self.imm}({rn(self.rs1)})"
+        if op in CONDITIONAL_BRANCHES:
+            return f"{name} {rn(self.rs1)}, {rn(self.rs2)}, {self.target}"
+        if op in (Opcode.JMP, Opcode.CALL):
+            return f"{name} {self.target}"
+        if op == Opcode.JR:
+            return f"jr {rn(self.rs1)}"
+        if op == Opcode.RET:
+            return "ret"
+        if op == Opcode.STORE_PCACHE:
+            return f"store_pcache {rn(self.rs1)}"
+        if op in (Opcode.VP_INST, Opcode.AP_INST):
+            return f"{name} {rn(self.rd)}, pc={self.imm}"
+        return name
+
+    def copy(self) -> "Instruction":
+        """A field-for-field copy (used by the microthread builder)."""
+        return Instruction(
+            self.opcode, self.rd, self.rs1, self.rs2, self.imm, self.target,
+            self.pc, self.tag,
+        )

@@ -1,0 +1,117 @@
+"""Program container: instruction memory, labels and a data segment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.isa.instructions import Instruction, Opcode
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (unresolved labels, bad entry, ...)."""
+
+
+@dataclass
+class DataSegment:
+    """Initial data-memory image.
+
+    Addresses are 64-bit byte-like flat addresses (the ISA does not impose
+    alignment; one address holds one 64-bit value, which keeps the memory
+    model simple and matches the word-addressed instruction memory).
+    """
+
+    base: int = 0x10000
+    values: Dict[int, int] = field(default_factory=dict)
+
+    def store(self, address: int, value: int) -> None:
+        self.values[address] = value
+
+    def load(self, address: int) -> int:
+        return self.values.get(address, 0)
+
+
+class Program:
+    """A linked program: instructions with resolved targets plus data.
+
+    Instructions are stored at consecutive word addresses starting at 0.
+    ``labels`` maps symbolic names to word addresses.
+    """
+
+    def __init__(
+        self,
+        instructions: Iterable[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+        data: Optional[DataSegment] = None,
+        entry: int = 0,
+        name: str = "program",
+    ):
+        self.instructions: List[Instruction] = list(instructions)
+        self.labels: Dict[str, int] = dict(labels or {})
+        self.data: DataSegment = data or DataSegment()
+        self.entry = entry
+        self.name = name
+        self._assign_pcs()
+        self._resolve_targets()
+        self._validate()
+
+    def _assign_pcs(self) -> None:
+        for pc, inst in enumerate(self.instructions):
+            inst.pc = pc
+
+    def _resolve_targets(self) -> None:
+        for inst in self.instructions:
+            if isinstance(inst.target, str):
+                if inst.target not in self.labels:
+                    raise ProgramError(
+                        f"unresolved label {inst.target!r} at pc {inst.pc}"
+                    )
+                inst.target = self.labels[inst.target]
+            # LI supports label immediates so generated code can build
+            # jump tables from code addresses.
+            if inst.opcode == Opcode.LI and isinstance(inst.imm, str):
+                if inst.imm not in self.labels:
+                    raise ProgramError(
+                        f"unresolved label immediate {inst.imm!r} at pc {inst.pc}"
+                    )
+                inst.imm = self.labels[inst.imm]
+
+    def _validate(self) -> None:
+        if not self.instructions:
+            raise ProgramError("empty program")
+        if not 0 <= self.entry < len(self.instructions):
+            raise ProgramError(f"entry point {self.entry} out of range")
+        n = len(self.instructions)
+        for inst in self.instructions:
+            if inst.is_micro_op:
+                raise ProgramError(
+                    f"micro-op {inst.opcode.name} is not legal in a program"
+                )
+            if inst.target is not None and not isinstance(inst.target, int):
+                raise ProgramError(f"unresolved target at pc {inst.pc}")
+            if isinstance(inst.target, int) and not 0 <= inst.target < n:
+                raise ProgramError(
+                    f"branch target {inst.target} out of range at pc {inst.pc}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def static_branch_count(self) -> int:
+        """Number of static control-transfer instructions."""
+        return sum(1 for inst in self.instructions if inst.is_control)
+
+    def disassemble(self) -> str:
+        """Full listing with labels, one instruction per line."""
+        by_addr: Dict[int, List[str]] = {}
+        for name, addr in self.labels.items():
+            by_addr.setdefault(addr, []).append(name)
+        lines = []
+        for inst in self.instructions:
+            for name in by_addr.get(inst.pc, ()):
+                lines.append(f"{name}:")
+            lines.append(f"  {inst.pc:6d}  {inst.disassemble()}")
+        return "\n".join(lines)

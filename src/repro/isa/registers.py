@@ -1,0 +1,49 @@
+"""Register file conventions.
+
+Thirty-two general-purpose 64-bit integer registers.  ``r0`` is hardwired
+to zero, as in most RISC ISAs; writes to it are discarded.  A handful of
+registers have conventional roles used by the workload generator's calling
+convention.
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+REG_ZERO = 0  #: hardwired zero
+REG_RV = 2  #: function return value
+REG_FP = 28  #: frame pointer
+REG_SP = 29  #: stack pointer
+REG_RA = 31  #: return address (written by CALL, read by RET)
+
+_ALIASES = {
+    "zero": REG_ZERO,
+    "rv": REG_RV,
+    "fp": REG_FP,
+    "sp": REG_SP,
+    "ra": REG_RA,
+}
+
+_REVERSE_ALIASES = {v: k for k, v in _ALIASES.items()}
+
+
+def register_name(index: int) -> str:
+    """Return the canonical display name for a register index."""
+    if not 0 <= index < NUM_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    return _REVERSE_ALIASES.get(index, f"r{index}")
+
+
+def parse_register(token: str) -> int:
+    """Parse a register token such as ``r7``, ``sp`` or ``zero``."""
+    token = token.strip().lower().rstrip(",")
+    if token in _ALIASES:
+        return _ALIASES[token]
+    if token.startswith("r"):
+        try:
+            index = int(token[1:])
+        except ValueError as exc:
+            raise ValueError(f"bad register token: {token!r}") from exc
+        if 0 <= index < NUM_REGS:
+            return index
+    raise ValueError(f"bad register token: {token!r}")

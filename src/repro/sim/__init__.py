@@ -1,0 +1,23 @@
+"""Architectural (functional) simulation.
+
+Executes a :class:`~repro.isa.program.Program` and produces the retirement
+instruction stream — the ground truth every other model (branch predictors,
+the timing model, the difficult-path profiler and the SSMT machine)
+consumes.  This substitutes for the authors' trace generation over Alpha
+SPEC binaries.
+"""
+
+from repro.sim.trace import DynamicInstruction, Trace
+from repro.sim.functional import FunctionalSimulator, SimulationError, run_program
+from repro.sim.traceio import TraceIOError, load_trace, save_trace
+
+__all__ = [
+    "DynamicInstruction",
+    "Trace",
+    "FunctionalSimulator",
+    "SimulationError",
+    "run_program",
+    "TraceIOError",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,142 @@
+"""Trace serialization.
+
+Traces take seconds to minutes to generate; saving them lets analyses
+re-run instantly and lets users ship reproducible inputs.  The format is
+a compact line-oriented text container (versioned header, one record per
+line) — trivially diffable, no pickle, no external dependencies.
+
+Round-tripping preserves everything downstream models consume: the
+static program is embedded (disassembly cannot round-trip tags, so the
+instruction list is serialized field-by-field), and dynamic records
+carry their values, effective addresses and control outcomes.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, TextIO, Union
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.sim.trace import DynamicInstruction, Trace
+
+FORMAT_VERSION = 1
+_MAGIC = "repro-trace"
+
+
+class TraceIOError(Exception):
+    """Raised on malformed trace files."""
+
+
+def save_trace(trace: Trace, destination: Union[str, TextIO]) -> None:
+    """Write ``trace`` to a path or text file object."""
+    own = isinstance(destination, str)
+    handle = open(destination, "w") if own else destination
+    try:
+        _write(trace, handle)
+    finally:
+        if own:
+            handle.close()
+
+
+def _write(trace: Trace, out: TextIO) -> None:
+    out.write(f"{_MAGIC} v{FORMAT_VERSION}\n")
+    out.write(f"name {trace.name}\n")
+    out.write(f"halted {int(trace.halted)}\n")
+
+    # static instructions (deduplicated by pc)
+    static: Dict[int, Instruction] = {}
+    for rec in trace.records:
+        static.setdefault(rec.pc, rec.inst)
+    out.write(f"static {len(static)}\n")
+    for pc in sorted(static):
+        inst = static[pc]
+        target = inst.target if inst.target is not None else "-"
+        tag = inst.tag if inst.tag else "-"
+        out.write(f"I {pc} {inst.opcode.value} {inst.rd} {inst.rs1} "
+                  f"{inst.rs2} {inst.imm} {target} {tag}\n")
+
+    out.write(f"memory {len(trace.initial_memory)}\n")
+    for address in sorted(trace.initial_memory):
+        out.write(f"M {address} {trace.initial_memory[address]}\n")
+
+    out.write(f"records {len(trace.records)}\n")
+    for rec in trace.records:
+        ea = rec.ea if rec.ea is not None else "-"
+        out.write(f"D {rec.pc} {rec.src1_val} {rec.src2_val} {rec.result} "
+                  f"{ea} {int(rec.taken)} {rec.next_pc}\n")
+
+
+def load_trace(source: Union[str, TextIO]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    own = isinstance(source, str)
+    handle = open(source) if own else source
+    try:
+        return _read(handle)
+    finally:
+        if own:
+            handle.close()
+
+
+def _expect(line: str, prefix: str) -> List[str]:
+    parts = line.split()
+    if not parts or parts[0] != prefix:
+        raise TraceIOError(f"expected {prefix!r} line, got {line!r}")
+    return parts[1:]
+
+
+def _read(handle: TextIO) -> Trace:
+    header = handle.readline().split()
+    if header[:1] != [_MAGIC]:
+        raise TraceIOError("not a repro trace file")
+    if header[1] != f"v{FORMAT_VERSION}":
+        raise TraceIOError(f"unsupported version {header[1]}")
+
+    name = _expect(handle.readline(), "name")
+    trace_name = name[0] if name else "trace"
+    halted = bool(int(_expect(handle.readline(), "halted")[0]))
+
+    (static_count,) = _expect(handle.readline(), "static")
+    static: Dict[int, Instruction] = {}
+    for _ in range(int(static_count)):
+        fields = _expect(handle.readline(), "I")
+        pc, opcode, rd, rs1, rs2, imm = (int(x) for x in fields[:6])
+        target = None if fields[6] == "-" else int(fields[6])
+        tag = None if fields[7] == "-" else fields[7]
+        static[pc] = Instruction(Opcode(opcode), rd=rd, rs1=rs1, rs2=rs2,
+                                 imm=imm, target=target, pc=pc, tag=tag)
+
+    (memory_count,) = _expect(handle.readline(), "memory")
+    initial_memory: Dict[int, int] = {}
+    for _ in range(int(memory_count)):
+        address, value = (int(x) for x in _expect(handle.readline(), "M"))
+        initial_memory[address] = value
+
+    (record_count,) = _expect(handle.readline(), "records")
+    records: List[DynamicInstruction] = []
+    for seq in range(int(record_count)):
+        fields = _expect(handle.readline(), "D")
+        pc = int(fields[0])
+        inst = static.get(pc)
+        if inst is None:
+            raise TraceIOError(f"dynamic record references unknown pc {pc}")
+        ea = None if fields[4] == "-" else int(fields[4])
+        records.append(DynamicInstruction(
+            seq, inst,
+            src1_val=int(fields[1]), src2_val=int(fields[2]),
+            result=int(fields[3]), ea=ea,
+            taken=bool(int(fields[5])), next_pc=int(fields[6]),
+        ))
+    return Trace(records, name=trace_name, halted=halted,
+                 initial_memory=initial_memory)
+
+
+def dumps(trace: Trace) -> str:
+    """Serialize to a string (tests / small traces)."""
+    buffer = io.StringIO()
+    _write(trace, buffer)
+    return buffer.getvalue()
+
+
+def loads(text: str) -> Trace:
+    """Deserialize from a string."""
+    return _read(io.StringIO(text))

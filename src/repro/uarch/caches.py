@@ -1,0 +1,117 @@
+"""Two-level data cache hierarchy with DRAM backing.
+
+Set-associative, LRU, word-granularity addresses grouped into lines.
+Per Table 3, stores are sent directly to the L2 and invalidate the L1
+line.  Microthread loads go through the same hierarchy, which is how
+prefetching side-effects (paper §5.3, mcf) arise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.uarch.config import MachineConfig
+
+
+@dataclass
+class CacheStats:
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    stores: int = 0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 1.0
+
+
+class _SetAssocCache:
+    """One cache level; tracks line tags only (timing model, no data)."""
+
+    def __init__(self, total_words: int, assoc: int, line_words: int):
+        if total_words % (assoc * line_words):
+            raise ValueError("cache size must be divisible by assoc * line")
+        self.n_sets = total_words // (assoc * line_words)
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self.assoc = assoc
+        # Per-set list of line tags, most-recently-used last.
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self._set_mask = self.n_sets - 1
+
+    def lookup(self, line: int, allocate: bool = True) -> bool:
+        """True on hit.  Updates LRU; allocates on miss if requested."""
+        ways = self._sets[line & self._set_mask]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            return True
+        if allocate:
+            if len(ways) >= self.assoc:
+                del ways[0]
+            ways.append(line)
+        return False
+
+    def invalidate(self, line: int) -> None:
+        ways = self._sets[line & self._set_mask]
+        if line in ways:
+            ways.remove(line)
+
+
+class CacheHierarchy:
+    """L1 + L2 + DRAM latency model."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.l1 = _SetAssocCache(config.l1_words, config.l1_assoc,
+                                 config.line_words)
+        self.l2 = _SetAssocCache(config.l2_words, config.l2_assoc,
+                                 config.line_words)
+        self.stats = CacheStats()
+        self._line_shift = config.line_words.bit_length() - 1
+        #: cycle at which each in-flight line fill completes (MSHR model);
+        #: a "hit" on a line still being filled waits for the fill.
+        self._line_ready: Dict[int, int] = {}
+
+    def load_latency(self, address: int, when: int = 0) -> int:
+        """Latency of a load to ``address`` issued at cycle ``when``.
+
+        Fills lines on miss and records the fill completion time, so a
+        later access to a line whose fill is still in flight (e.g. the
+        primary thread following a microthread prefetch) waits for the
+        remainder instead of acausally enjoying a warm hit.
+        """
+        cfg = self.config
+        line = address >> self._line_shift
+        if self.l1.lookup(line):
+            self.stats.l1_hits += 1
+            return self._settle(line, when, cfg.l1_latency)
+        self.stats.l1_misses += 1
+        if self.l2.lookup(line):
+            self.stats.l2_hits += 1
+            latency = cfg.l1_latency + cfg.l2_latency
+        else:
+            self.stats.l2_misses += 1
+            latency = cfg.l1_latency + cfg.l2_latency + cfg.memory_latency
+        self._line_ready[line] = when + latency
+        return latency
+
+    def _settle(self, line: int, when: int, hit_latency: int) -> int:
+        """Hit latency, extended if the line's fill is still in flight."""
+        ready = self._line_ready.get(line, 0)
+        if ready > when + hit_latency:
+            return ready - when
+        return hit_latency
+
+    def store(self, address: int) -> int:
+        """Stores go to L2 and invalidate L1 (Table 3); returns latency
+        into the store buffer (the primary thread does not wait on it)."""
+        cfg = self.config
+        line = address >> self._line_shift
+        self.stats.stores += 1
+        self.l1.invalidate(line)
+        self.l2.lookup(line)  # allocate in L2
+        return cfg.store_latency

@@ -1,0 +1,72 @@
+"""Machine configuration (paper Table 3).
+
+Each field documents which Table 3 line it models.  The timing model is
+dependency-driven, so some structural details (banks, buses, queues) are
+folded into effective latencies; those folds are noted inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Parameters of the modelled machine."""
+
+    # -- Fetch / Decode / Rename ------------------------------------------
+    #: "16-wide decoder"; instructions fetched per cycle.
+    fetch_width: int = 16
+    #: "all predictors capable of generating 3 predictions per cycle" /
+    #: "3 accesses per cycle": taken control transfers followed per cycle.
+    fetch_taken_limit: int = 3
+    #: 3-cycle icache + 1-cycle decode + 4-cycle rename: cycles from fetch
+    #: to dispatch into the window.
+    frontend_depth: int = 8
+
+    # -- Branch handling ---------------------------------------------------
+    #: "total misprediction penalty is 20 cycles".  The model charges
+    #: ``mispredict_penalty - frontend_depth`` cycles from branch
+    #: resolution to refetch, plus the front-end depth on the refilled
+    #: path, reproducing the paper's total.
+    mispredict_penalty: int = 20
+    #: Decode-redirect bubble for a predicted-taken branch missing the BTB.
+    btb_miss_bubble: int = 3
+
+    # -- Execution core -----------------------------------------------------
+    #: "512-entry out-of-order window".
+    window_size: int = 512
+    #: "16 all-purpose functional units" — shared issue slots per cycle
+    #: (microthreads compete for the same slots).
+    issue_width: int = 16
+    retire_width: int = 16
+    int_latency: int = 1
+    mul_latency: int = 3
+
+    # -- Data caches / memory ------------------------------------------------
+    #: 64KB L1 @ 8B words; 2-way; 3-cycle latency.
+    l1_words: int = 8192
+    l1_assoc: int = 2
+    l1_latency: int = 3
+    #: 1MB L2, 8-way; "6 cycle latency once access starts" + bus ≈ 10.
+    l2_words: int = 131072
+    l2_assoc: int = 8
+    l2_latency: int = 10
+    #: "100 cycle DRAM part access latency once access starts" + bus
+    #: arbitration and queueing ≈ 110.
+    memory_latency: int = 110
+    line_words: int = 8
+    store_latency: int = 1
+
+    @property
+    def redirect_after_resolve(self) -> int:
+        """Cycles from branch resolution to the refetch of the correct path."""
+        return max(0, self.mispredict_penalty - self.frontend_depth)
+
+    def scaled(self, **overrides) -> "MachineConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+#: The paper's baseline machine.
+TABLE3_BASELINE = MachineConfig()

@@ -1,0 +1,118 @@
+"""Pipeline timing capture and text rendering.
+
+:class:`PipelineRecorder` is a timing-model listener that captures each
+instruction's fetch/dispatch/issue/complete/retire cycles (via the
+``on_timed`` hook); :func:`render_pipeline` draws the classic pipeline
+diagram — one row per instruction, one column per cycle — which makes
+misprediction bubbles, cache-miss stalls and window pressure visible at
+a glance.  Used by ``examples/pipeline_diagram.py`` and handy when
+debugging timing-model behaviour.
+
+Stage letters: ``F`` fetch, ``D`` dispatch (rename done), ``I`` issue,
+``C`` complete, ``R`` retire; ``.`` marks cycles in between stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class InstructionTiming:
+    """Cycle timeline of one dynamic instruction."""
+
+    idx: int
+    disassembly: str
+    fetch: int
+    dispatch: int
+    issue: int
+    complete: int
+    retire: int
+
+
+class PipelineRecorder:
+    """Listener capturing per-instruction pipeline timings.
+
+    ``start``/``count`` bound the recorded window so long runs do not
+    accumulate millions of rows.  Composable with another listener (e.g.
+    the SSMT engine) via ``chain``: all hooks of the chained listener
+    are forwarded.
+    """
+
+    def __init__(self, start: int = 0, count: int = 64, chain=None):
+        self.start = start
+        self.count = count
+        self.records: List[InstructionTiming] = []
+        self._chain = chain
+        # forward the chained listener's other hooks, if present
+        if chain is not None:
+            for hook in ("on_fetch", "lookup_prediction", "on_control",
+                         "on_prediction_outcome"):
+                target = getattr(chain, hook, None)
+                if target is not None:
+                    setattr(self, hook, target)
+
+    def on_retire(self, idx, rec, retire_cycle):
+        chained = getattr(self._chain, "on_retire", None)
+        if chained is not None:
+            chained(idx, rec, retire_cycle)
+
+    def on_timed(self, idx, rec, fetch, dispatch, issue, complete, retire):
+        if self.start <= idx < self.start + self.count:
+            self.records.append(InstructionTiming(
+                idx, rec.inst.disassemble(), fetch, dispatch, issue,
+                complete, retire))
+        chained = getattr(self._chain, "on_timed", None)
+        if chained is not None:
+            chained(idx, rec, fetch, dispatch, issue, complete, retire)
+
+
+def render_pipeline(records: Sequence[InstructionTiming],
+                    max_width: int = 100,
+                    disassembly_width: int = 24) -> str:
+    """Draw the pipeline diagram for recorded instructions."""
+    if not records:
+        return "(no instructions recorded)"
+    first_cycle = min(r.fetch for r in records)
+    last_cycle = max(r.retire for r in records)
+    span = last_cycle - first_cycle + 1
+    clipped = span > max_width
+
+    lines = [f"cycles {first_cycle}..{last_cycle}"
+             + (" (clipped)" if clipped else "")]
+    for r in records:
+        row = [" "] * min(span, max_width)
+
+        def mark(cycle: int, letter: str) -> None:
+            offset = cycle - first_cycle
+            if 0 <= offset < len(row):
+                if row[offset] == " " or row[offset] == ".":
+                    row[offset] = letter
+
+        # in-flight filler between issue and completion
+        for cycle in range(r.issue, min(r.complete + 1,
+                                        first_cycle + len(row))):
+            mark(cycle, ".")
+        mark(r.fetch, "F")
+        mark(r.dispatch, "D")
+        mark(r.issue, "I")
+        mark(r.complete, "C")
+        mark(r.retire, "R")
+        label = r.disassembly[:disassembly_width].ljust(disassembly_width)
+        lines.append(f"{r.idx:5d} {label} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def summarize_stalls(records: Sequence[InstructionTiming]) -> dict:
+    """Aggregate where cycles are spent between stages."""
+    if not records:
+        return {"fetch_to_dispatch": 0.0, "dispatch_to_issue": 0.0,
+                "issue_to_complete": 0.0, "complete_to_retire": 0.0}
+    n = len(records)
+    return {
+        "fetch_to_dispatch": sum(r.dispatch - r.fetch for r in records) / n,
+        "dispatch_to_issue": sum(r.issue - r.dispatch for r in records) / n,
+        "issue_to_complete": sum(r.complete - r.issue for r in records) / n,
+        "complete_to_retire": sum(r.retire - r.complete for r in records) / n,
+    }

@@ -1,0 +1,14 @@
+"""Back-end value and address predictors used for pruning (paper §4.2.5).
+
+Both are stride/last-value predictors with integrated confidence, trained
+on the primary thread's retirement stream just before instructions enter
+the Post-Retirement Buffer.  The paper restricts them to "constant and
+stride-based predictions" so that look-ahead prediction (the ``ahead``
+parameter of ``predict``) is trivial — we do the same.
+"""
+
+from repro.valuepred.stride import StridePredictor, StrideEntry
+from repro.valuepred.address import AddressPredictor
+from repro.valuepred.trainer import PredictorTrainer
+
+__all__ = ["StridePredictor", "StrideEntry", "AddressPredictor", "PredictorTrainer"]

@@ -1,0 +1,26 @@
+"""Address predictor for load base registers (paper §4.2.5).
+
+Address-pruned loads keep the load itself in the microthread; the
+``Ap_Inst`` supplies the *base register value*, which this predictor
+learns per load PC.  Strides arise naturally from array walks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.valuepred.stride import StridePredictor
+
+
+class AddressPredictor(StridePredictor):
+    """Stride predictor keyed by load PC, trained on base-register values."""
+
+    def __init__(self, capacity: int = 16 * 1024, max_confidence: int = 7,
+                 confidence_threshold: int = 4):
+        super().__init__(capacity, max_confidence, confidence_threshold)
+
+    def train_load(self, load_pc: int, base_value: int) -> None:
+        self.train(load_pc, base_value)
+
+    def predict_base(self, load_pc: int, ahead: int = 1) -> Optional[int]:
+        return self.predict(load_pc, ahead)

@@ -1,0 +1,82 @@
+"""Stride/last-value predictor with saturating confidence."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+_MASK = (1 << 64) - 1
+
+
+class StrideEntry:
+    """Per-static-PC prediction state."""
+
+    __slots__ = ("last_value", "stride", "confidence")
+
+    def __init__(self, value: int = 0):
+        self.last_value = value
+        self.stride = 0
+        self.confidence = 0
+
+    def train(self, value: int, max_confidence: int) -> None:
+        new_stride = (value - self.last_value) & _MASK
+        if new_stride == self.stride:
+            if self.confidence < max_confidence:
+                self.confidence += 1
+        else:
+            self.stride = new_stride
+            self.confidence = 0
+        self.last_value = value
+
+    def predict(self, ahead: int = 1) -> int:
+        return (self.last_value + self.stride * ahead) & _MASK
+
+
+class StridePredictor:
+    """Table of :class:`StrideEntry` keyed by instruction PC.
+
+    ``capacity`` bounds the table (FIFO eviction of the oldest trained PC)
+    so the model reflects a finite hardware structure; the default of 16K
+    entries is generous but off the critical path, as the paper assumes.
+    """
+
+    def __init__(self, capacity: int = 16 * 1024, max_confidence: int = 7,
+                 confidence_threshold: int = 4):
+        if confidence_threshold > max_confidence:
+            raise ValueError("threshold cannot exceed max confidence")
+        self.capacity = capacity
+        self.max_confidence = max_confidence
+        self.confidence_threshold = confidence_threshold
+        self._entries: Dict[int, StrideEntry] = {}
+        self.trains = 0
+        self.predictions = 0
+
+    def train(self, pc: int, value: int) -> None:
+        """Observe a retired instance of the instruction at ``pc``."""
+        self.trains += 1
+        entry = self._entries.get(pc)
+        if entry is None:
+            if len(self._entries) >= self.capacity:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+            self._entries[pc] = StrideEntry(value)
+        else:
+            entry.train(value, self.max_confidence)
+
+    def is_confident(self, pc: int) -> bool:
+        entry = self._entries.get(pc)
+        return entry is not None and entry.confidence >= self.confidence_threshold
+
+    def confidence(self, pc: int) -> int:
+        entry = self._entries.get(pc)
+        return entry.confidence if entry is not None else 0
+
+    def predict(self, pc: int, ahead: int = 1) -> Optional[int]:
+        """Predict the value of the next ``ahead``-th instance of ``pc``."""
+        entry = self._entries.get(pc)
+        if entry is None:
+            return None
+        self.predictions += 1
+        return entry.predict(ahead)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,45 @@
+"""Retirement-stream training of the value and address predictors.
+
+The paper trains both predictors "on the primary thread's retirement
+stream just before the instructions enter the PRB" and stores the current
+confidence with each retired instruction so the Microthread Builder can
+spot pruning opportunities without re-querying the predictors.
+"""
+
+from __future__ import annotations
+
+from repro.valuepred.address import AddressPredictor
+from repro.valuepred.stride import StridePredictor
+from repro.sim.trace import DynamicInstruction
+
+
+class PredictorTrainer:
+    """Feeds retiring instructions to the value/address predictors.
+
+    ``observe`` returns ``(value_confident, address_confident)`` — the
+    confidence snapshot *before* training on this instance, which is what
+    gets stored alongside the instruction in the PRB.
+    """
+
+    def __init__(self, value_predictor: StridePredictor = None,
+                 address_predictor: AddressPredictor = None):
+        self.value_predictor = (
+            value_predictor if value_predictor is not None else StridePredictor()
+        )
+        self.address_predictor = (
+            address_predictor if address_predictor is not None else AddressPredictor()
+        )
+
+    def observe(self, rec: DynamicInstruction) -> tuple:
+        """Train on one retired instruction; return prior confidence flags."""
+        pc = rec.pc
+        value_confident = self.value_predictor.is_confident(pc)
+        address_confident = False
+        inst = rec.inst
+        if inst.dest_reg() is not None:
+            self.value_predictor.train(pc, rec.result)
+        if inst.is_load:
+            address_confident = self.address_predictor.is_confident(pc)
+            # Base register value = effective address minus displacement.
+            self.address_predictor.train_load(pc, (rec.ea - inst.imm) & ((1 << 64) - 1))
+        return value_confident, address_confident

@@ -1,0 +1,48 @@
+"""Synthetic workload suite.
+
+The paper evaluates on SPECint95 + SPECint2000 compiled for Alpha EV6.
+Those binaries (and a machine to trace them) are not available here, so
+this package synthesizes programs whose *dynamic control-flow and
+data-flow structure* reproduces the regimes the mechanism cares about:
+
+* easy (biased / short-pattern) branches,
+* loop-exit branches with constant and data-dependent trip counts,
+* data-dependent branches whose predicate is pre-computable from loads
+  inside the path scope (the microthread target of the paper),
+* branches that are easy on some control-flow paths and difficult on
+  others (the paper's motivation for *path*-based classification),
+* long-range correlated branches,
+* indirect jumps through data-dependent jump tables, and
+* in-scope store/load interference that exercises the builder's memory
+  dependence speculation.
+
+Twenty named benchmarks (same names as the paper's Tables 1-2) are
+defined in :mod:`repro.workloads.suite` with per-benchmark behaviour
+mixes, scope sizes and data entropy.
+"""
+
+from repro.workloads.spec import SiteKind, SiteSpec, WorkloadSpec
+from repro.workloads.generator import GenContext, generate_program
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    benchmark_spec,
+    build_benchmark,
+    benchmark_trace,
+    clear_trace_cache,
+)
+from repro.workloads.kernels import KERNEL_NAMES, build_kernel
+
+__all__ = [
+    "SiteKind",
+    "SiteSpec",
+    "WorkloadSpec",
+    "GenContext",
+    "generate_program",
+    "BENCHMARK_NAMES",
+    "benchmark_spec",
+    "build_benchmark",
+    "benchmark_trace",
+    "clear_trace_cache",
+    "KERNEL_NAMES",
+    "build_kernel",
+]

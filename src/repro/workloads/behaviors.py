@@ -1,0 +1,218 @@
+"""Per-behaviour site emitters.
+
+Each function emits one *site*: (optional) producer code, hop blocks that
+separate producer from consumer with taken control transfers, and the
+terminating branch.  The emitters tag terminating branches with the
+behaviour name so analyses can attribute mispredictions to behaviours.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+from repro.workloads.generator import GenContext, R_ITER
+from repro.workloads.spec import SiteKind, SiteSpec
+
+#: Instructions per jump-table case block (INDIRECT sites).
+CASE_BLOCK_LEN = 4
+
+
+def emit_site(ctx: GenContext, site: SiteSpec) -> None:
+    """Dispatch to the emitter for ``site.kind``."""
+    _EMITTERS[site.kind](ctx, site)
+
+
+def _emit_biased(ctx: GenContext, site: SiteSpec) -> None:
+    """Near-always-taken counter-based branch: easy for the hybrid.
+
+    ``v = (iter + phase) & 1023`` compared against a threshold near 1024,
+    so the branch goes one way for hundreds of consecutive instances and
+    the 2-bit counters stay saturated (~0.5% misprediction).
+    """
+    b = ctx.builder
+    value = ctx.scratch()
+    b.emit(Opcode.ADDI, rd=value, rs1=R_ITER, imm=site.phase)
+    b.emit(Opcode.ANDI, rd=value, rs1=value, imm=1023)
+    ctx.emit_hops(site)
+    threshold = 1024 - 8 - (site.phase % 32)
+    ctx.emit_consumer(value, threshold, tag=f"biased{site.index}")
+
+
+def _emit_pattern(ctx: GenContext, site: SiteSpec) -> None:
+    """Branch periodic in the iteration counter.
+
+    Small periods are captured by the PAs local history; large periods
+    (64, 128) exceed it and become microthread targets that are also
+    value-predictable (stride) - prime pruning candidates.
+    """
+    b = ctx.builder
+    phase_reg = ctx.scratch()
+    b.emit(Opcode.ANDI, rd=phase_reg, rs1=R_ITER, imm=site.pattern_period - 1)
+    ctx.emit_hops(site)
+    ctx.emit_consumer(phase_reg, site.pattern_period // 2,
+                      tag=f"pattern{site.index}")
+
+
+def _emit_loop(ctx: GenContext, site: SiteSpec) -> None:
+    """Inner loop; the back edge is the terminating branch.
+
+    With ``data_trip`` the trip count comes from a random array, so the
+    exit is mispredicted nearly every instance; a microthread can
+    pre-compute it (the trip load is in scope), exercising pruning of the
+    loop-carried counter chain.
+    """
+    b = ctx.builder
+    counter = ctx.scratch()
+    trip = ctx.scratch()
+    b.li(counter, 0)
+    if site.data_trip:
+        idx = ctx.emit_index(site)
+        base = ctx.alloc_value_array(site.array_size)
+        loaded = ctx.emit_load(base, idx)
+        b.emit(Opcode.ANDI, rd=trip, rs1=loaded, imm=site.trip_max - 1)
+        b.addi(trip, trip, 1)
+    else:
+        b.li(trip, site.trip_count)
+    head = b.fresh_label()
+    b.bind(head)
+    ctx.emit_filler(max(2, site.filler // 2))
+    b.addi(counter, counter, 1)
+    b.branch(Opcode.BLT, counter, trip, head, tag=f"loop{site.index}")
+
+
+def _emit_data(ctx: GenContext, site: SiteSpec) -> None:
+    """Predicate on a uniform-random load: the paper's core target.
+
+    The hardware predictor cannot learn it, but the whole predicate
+    data-flow (index, address, load, compare) sits inside the path scope,
+    so the Microthread Builder can extract and pre-execute it.
+    """
+    idx = ctx.emit_index(site)
+    base = ctx.alloc_value_array(site.array_size)
+    value = ctx.emit_load(base, idx)
+    ctx.publish_value(value, site.threshold)
+    ctx.emit_hops(site)
+    ctx.emit_consumer(value, site.threshold, tag=f"data{site.index}")
+
+
+def _emit_pathdep(ctx: GenContext, site: SiteSpec) -> None:
+    """Easy on one incoming path, difficult on another.
+
+    A selector branch steers to a side that either sets the tested value
+    to a constant (easy path, ~75-85% of instances) or loads it from a
+    random array (difficult path); both converge on one shared
+    terminating branch.  Because the easy path dominates, the branch's
+    *aggregate* misprediction rate sits below typical difficulty
+    thresholds while the minority path mispredicts heavily — the regime
+    that makes *path* classification win over *branch* classification
+    (paper §3.2.1).
+    """
+    b = ctx.builder
+    sel_idx = ctx.emit_index(site)
+    sel_base = ctx.alloc_value_array(site.array_size)
+    selector = ctx.emit_load(sel_base, sel_idx)
+    value = ctx.scratch()
+    bound = ctx.scratch()
+    easy_side = b.fresh_label()
+    join = b.fresh_label()
+    b.li(bound, site.split_threshold)
+    b.branch(Opcode.BLT, selector, bound, easy_side,
+             tag=f"pathsel{site.index}")
+    # difficult side: value is a fresh random load
+    data_base = ctx.alloc_value_array(site.array_size)
+    hard_idx = ctx.scratch()
+    b.emit(Opcode.XOR, rd=hard_idx, rs1=sel_idx, rs2=selector)
+    b.emit(Opcode.ANDI, rd=hard_idx, rs1=hard_idx, imm=site.array_size - 1)
+    addr_base = ctx.scratch()
+    b.li(addr_base, data_base)
+    addr = ctx.scratch()
+    b.emit(Opcode.ADD, rd=addr, rs1=addr_base, rs2=hard_idx)
+    b.ld(value, addr, 0)
+    b.jmp(join)
+    # easy side: value is a constant comfortably below the threshold
+    b.bind(easy_side)
+    b.li(value, max(0, site.threshold - 25))
+    b.bind(join)
+    ctx.publish_value(value, site.threshold)
+    ctx.emit_hops(site)
+    ctx.emit_consumer(value, site.threshold, tag=f"pathdep{site.index}")
+
+
+def _emit_correlated(ctx: GenContext, site: SiteSpec) -> None:
+    """Repeats an earlier site's comparison on its published value.
+
+    Global history can exploit the correlation only when the dynamic
+    branch distance is short and stable; microthreads just recompute the
+    compare from the live-in register.
+    """
+    published = ctx.pick_published()
+    if published is None:
+        _emit_pattern(ctx, site)
+        return
+    reg, threshold = published
+    ctx.emit_hops(site)
+    ctx.emit_consumer(reg, threshold, tag=f"corr{site.index}")
+
+
+def _emit_indirect(ctx: GenContext, site: SiteSpec) -> None:
+    """Jump table indexed by a random load: indirect difficult branch."""
+    b = ctx.builder
+    idx = ctx.emit_index(site)
+    base = ctx.alloc_value_array(site.array_size)
+    value = ctx.emit_load(base, idx)
+    way = ctx.scratch()
+    b.emit(Opcode.ANDI, rd=way, rs1=value, imm=site.n_targets - 1)
+    ctx.emit_hops(site)
+    case_labels = [b.fresh_label() for _ in range(site.n_targets)]
+    join = b.fresh_label()
+    table_base = ctx.scratch()
+    b.emit(Opcode.LI, rd=table_base, imm=case_labels[0])
+    block_len = ctx.scratch()
+    b.li(block_len, CASE_BLOCK_LEN)
+    offset = ctx.scratch()
+    b.emit(Opcode.MUL, rd=offset, rs1=way, rs2=block_len)
+    target = ctx.scratch()
+    b.emit(Opcode.ADD, rd=target, rs1=table_base, rs2=offset)
+    b.emit(Opcode.JR, rs1=target, tag=f"indirect{site.index}")
+    for label in case_labels:
+        b.bind(label)
+        ctx.emit_filler(CASE_BLOCK_LEN - 1)
+        b.jmp(join)
+    b.bind(join)
+
+
+def _emit_storedep(ctx: GenContext, site: SiteSpec) -> None:
+    """DATA site whose array is conditionally stored to inside the scope.
+
+    Every ``store_period``-th iteration a store to the loaded address
+    precedes the load, exercising the builder's memory-dependence
+    speculation and rebuild-on-violation (paper §4.2.4).
+    """
+    b = ctx.builder
+    idx = ctx.emit_index(site)
+    base = ctx.alloc_value_array(site.array_size)
+    addr = ctx.emit_array_address(base, idx)
+    # conditional store: every store_period-th iteration
+    gate = ctx.scratch()
+    b.emit(Opcode.ANDI, rd=gate, rs1=R_ITER, imm=site.store_period - 1)
+    no_store = b.fresh_label()
+    b.branch(Opcode.BNE, gate, 0, no_store)
+    stored = ctx.scratch()
+    b.emit(Opcode.ANDI, rd=stored, rs1=R_ITER, imm=63)
+    b.st(stored, addr, 0)
+    b.bind(no_store)
+    value = ctx.scratch()
+    b.ld(value, addr, 0)
+    ctx.emit_hops(site)
+    ctx.emit_consumer(value, site.threshold, tag=f"storedep{site.index}")
+
+
+_EMITTERS = {
+    SiteKind.BIASED: _emit_biased,
+    SiteKind.PATTERN: _emit_pattern,
+    SiteKind.LOOP: _emit_loop,
+    SiteKind.DATA: _emit_data,
+    SiteKind.PATHDEP: _emit_pathdep,
+    SiteKind.CORRELATED: _emit_correlated,
+    SiteKind.INDIRECT: _emit_indirect,
+    SiteKind.STOREDEP: _emit_storedep,
+}

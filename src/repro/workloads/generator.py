@@ -1,0 +1,302 @@
+"""Program synthesis from a :class:`~repro.workloads.spec.WorkloadSpec`.
+
+The generated program has the shape::
+
+    main:       li   iter, 0
+    main_loop:  call f0
+                ...
+                call f{k-1}
+                addi iter, iter, 1
+                jmp  main_loop
+
+    f0:         <site> <site> ... ret
+
+Each *site* is a small code region ending in a branch with one of the
+behaviours in :class:`~repro.workloads.spec.SiteKind`.  Sites are emitted
+by :mod:`repro.workloads.behaviors`.
+
+Register conventions for generated code:
+
+========  =====================================================
+``r1``    main-loop iteration counter
+``r4-15`` per-site scratch (reset between sites)
+``r16-17`` noise-branch scratch (shared)
+``r18-19`` filler accumulators (dead values, shared)
+``r20-23`` persistent value registers (CORRELATED sites read them)
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.workloads.spec import SiteKind, SiteSpec, WorkloadSpec
+
+R_ITER = 1
+SCRATCH_FIRST, SCRATCH_LAST = 4, 15
+R_NOISE_A, R_NOISE_B = 16, 17
+R_FILL_A, R_FILL_B = 18, 19
+PERSISTENT_REGS = (20, 21, 22, 23)
+R_LOCAL = 24  #: base of the current site's local (high-locality) array
+R_SAVED_RA = 25  #: spill slot for ra around nested helper calls
+
+#: Words in each site's local array; small enough to be L1-resident.
+LOCAL_ARRAY_WORDS = 128
+
+
+class GenContext:
+    """Carries the builder, RNG and shared state across site emitters."""
+
+    def __init__(self, builder: ProgramBuilder, rng: random.Random,
+                 spec: WorkloadSpec):
+        self.builder = builder
+        self.rng = rng
+        self.spec = spec
+        self._scratch_next = SCRATCH_FIRST
+        self._persist_next = 0
+        #: (register, threshold) pairs published by DATA/PATHDEP producers
+        self.persistent: List[Tuple[int, int]] = []
+        self._fill_state = 0
+        self._local_offset = 0
+        self._local_allocated = False
+        #: labels of shared helper functions callable from hop regions
+        self.helper_labels: List[str] = []
+
+    # -- registers ---------------------------------------------------------
+
+    def reset_scratch(self) -> None:
+        self._scratch_next = SCRATCH_FIRST
+
+    def begin_site(self) -> None:
+        """Per-site setup: fresh scratch pool and a local filler array."""
+        self.reset_scratch()
+        base = self.builder.alloc(
+            LOCAL_ARRAY_WORDS,
+            [self.rng.randrange(64) for _ in range(LOCAL_ARRAY_WORDS)],
+        )
+        self.builder.li(R_LOCAL, base)
+        self._local_allocated = True
+
+    def scratch(self) -> int:
+        if self._scratch_next > SCRATCH_LAST:
+            raise RuntimeError("site ran out of scratch registers")
+        reg = self._scratch_next
+        self._scratch_next += 1
+        return reg
+
+    def publish_value(self, reg_value_source: int, threshold: int) -> None:
+        """Copy a produced value into a persistent register for later
+        CORRELATED sites."""
+        dest = PERSISTENT_REGS[self._persist_next % len(PERSISTENT_REGS)]
+        self._persist_next += 1
+        self.builder.mov(dest, reg_value_source)
+        self.persistent.append((dest, threshold))
+        if len(self.persistent) > len(PERSISTENT_REGS):
+            del self.persistent[0]
+
+    def pick_published(self) -> Optional[Tuple[int, int]]:
+        if not self.persistent:
+            return None
+        return self.persistent[-1]
+
+    # -- common code fragments ----------------------------------------------
+
+    def emit_filler(self, count: int) -> None:
+        """Background work: short independent ALU/load segments.
+
+        Each 8-instruction segment starts with an ``li`` (no inputs), so
+        segments do not chain into one serial dependence across the whole
+        program — the out-of-order core can overlap them, as it would
+        overlap the independent expressions of real integer code.  Roughly
+        a quarter of filler instructions are high-locality loads on the
+        site's local array, plus occasional stores.
+        """
+        b = self.builder
+        for _ in range(count):
+            kind = self._fill_state % 8
+            self._fill_state += 1
+            if kind == 0:
+                b.li(R_FILL_A, 17 + (self._fill_state & 63))
+            elif kind == 1:
+                b.addi(R_FILL_A, R_FILL_A, 3)
+            elif kind in (2, 5) and self._local_allocated:
+                self._local_offset = (self._local_offset + 1) % LOCAL_ARRAY_WORDS
+                b.ld(R_FILL_B, R_LOCAL, self._local_offset)
+            elif kind == 3:
+                b.emit(Opcode.ADD, rd=R_FILL_A, rs1=R_FILL_A, rs2=R_FILL_B)
+            elif kind == 4:
+                b.emit(Opcode.SRLI, rd=R_FILL_A, rs1=R_FILL_A, imm=1)
+            elif kind == 6:
+                b.emit(Opcode.XOR, rd=R_FILL_A, rs1=R_FILL_A, rs2=R_FILL_B)
+            elif kind == 7 and self._local_allocated and self._fill_state % 32 == 7:
+                b.st(R_FILL_A, R_LOCAL, (self._local_offset + 11) % LOCAL_ARRAY_WORDS)
+            else:
+                b.addi(R_FILL_B, R_FILL_A, 5)
+
+    def emit_noise_branch(self) -> None:
+        """A short, mostly-predictable branch that adds path diversity."""
+        b = self.builder
+        period = self.rng.choice((2, 4, 8))
+        b.emit(Opcode.ANDI, rd=R_NOISE_A, rs1=R_ITER, imm=period - 1)
+        b.li(R_NOISE_B, self.rng.randrange(period))
+        skip = b.fresh_label()
+        b.branch(Opcode.BNE, R_NOISE_A, R_NOISE_B, skip)
+        self.emit_filler(2)
+        b.bind(skip)
+
+    def emit_hops(self, site: SiteSpec) -> None:
+        """Separate producer from consumer by taken control transfers.
+
+        Some hops become calls into shared helper functions: code reached
+        from many different paths, like real programs' library routines.
+        Spawn points that land inside helpers fire on every caller's
+        path, which is what the pre-allocation Path_History filter and
+        the abort mechanism exist to contain (paper §4.3.2).
+        """
+        b = self.builder
+        for _ in range(site.hops):
+            self.emit_filler(site.filler)
+            if self.rng.random() < site.noise_prob:
+                self.emit_noise_branch()
+            if (self.helper_labels
+                    and self.rng.random() < self.spec.shared_helper_prob):
+                from repro.isa.registers import REG_RA
+
+                b.mov(R_SAVED_RA, REG_RA)  # nested call clobbers ra
+                b.call(self.rng.choice(self.helper_labels))
+                b.mov(REG_RA, R_SAVED_RA)
+            else:
+                label = b.fresh_label()
+                b.jmp(label)
+                b.bind(label)
+
+    def emit_index(self, site: SiteSpec) -> int:
+        """idx = (iter * stride + phase) & (array_size - 1)"""
+        b = self.builder
+        idx = self.scratch()
+        if site.stride == 1:
+            b.mov(idx, R_ITER)
+        else:
+            stride_reg = self.scratch()
+            b.li(stride_reg, site.stride)
+            b.emit(Opcode.MUL, rd=idx, rs1=R_ITER, rs2=stride_reg)
+        if site.phase:
+            b.addi(idx, idx, site.phase)
+        b.emit(Opcode.ANDI, rd=idx, rs1=idx, imm=site.array_size - 1)
+        return idx
+
+    def emit_array_address(self, base: int, idx_reg: int) -> int:
+        b = self.builder
+        base_reg = self.scratch()
+        b.li(base_reg, base)
+        addr = self.scratch()
+        b.emit(Opcode.ADD, rd=addr, rs1=base_reg, rs2=idx_reg)
+        return addr
+
+    def emit_load(self, base: int, idx_reg: int) -> int:
+        addr = self.emit_array_address(base, idx_reg)
+        value = self.scratch()
+        self.builder.ld(value, addr, 0)
+        return value
+
+    def alloc_value_array(self, size: int) -> int:
+        """Array of pseudo-random values in [0, 100), skewed by entropy."""
+        entropy = max(self.spec.data_entropy, 1e-3)
+        values = [
+            min(99, int(100.0 * (self.rng.random() ** (1.0 / entropy))))
+            for _ in range(size)
+        ]
+        return self.builder.alloc(size, values)
+
+    def emit_consumer(self, value_reg: int, threshold: int, tag: str) -> None:
+        """The site's terminating conditional branch: taken iff v < K."""
+        b = self.builder
+        bound = self.scratch()
+        b.li(bound, threshold)
+        taken_side = b.fresh_label()
+        join = b.fresh_label()
+        b.branch(Opcode.BLT, value_reg, bound, taken_side, tag=tag)
+        self.emit_filler(2)
+        b.jmp(join)
+        b.bind(taken_side)
+        self.emit_filler(2)
+        b.bind(join)
+
+
+def _sample_site(spec: WorkloadSpec, rng: random.Random, index: int) -> SiteSpec:
+    kinds = list(spec.mix.keys())
+    weights = [spec.mix[k] for k in kinds]
+    kind = rng.choices(kinds, weights=weights, k=1)[0]
+    site = SiteSpec(
+        kind=kind,
+        index=index,
+        hops=rng.randint(*spec.hop_range),
+        filler=rng.randint(*spec.filler_range),
+        array_size=spec.array_size,
+        threshold=rng.randint(*spec.threshold_range),
+        stride=rng.choice((1, 1, 3, 5)),
+        phase=rng.randrange(64),
+        pattern_period=rng.choice(spec.pattern_periods),
+        trip_count=rng.randint(*spec.loop_trip_range),
+        data_trip=rng.random() < spec.data_trip_fraction,
+        trip_max=max(2, spec.loop_trip_range[1]),
+        noise_prob=spec.noise_prob,
+        store_period=spec.store_period,
+        split_threshold=rng.randint(75, 88),
+    )
+    if kind == SiteKind.BIASED:
+        site.threshold = rng.randint(*spec.bias_threshold_range)
+    return site
+
+
+def generate_program(spec: WorkloadSpec) -> Program:
+    """Synthesize the benchmark program described by ``spec``."""
+    from repro.workloads import behaviors
+
+    spec.validate()
+    seed = spec.seed ^ zlib.crc32(spec.name.encode())
+    rng = random.Random(seed)
+    builder = ProgramBuilder(name=spec.name)
+    ctx = GenContext(builder, rng, spec)
+
+    function_labels = [f"f{i}" for i in range(spec.n_functions)]
+
+    # main
+    builder.label("main")
+    builder.li(R_ITER, 0)
+    builder.li(R_FILL_A, 1)
+    builder.li(R_FILL_B, 2)
+    builder.label("main_loop")
+    for label in function_labels:
+        builder.call(label)
+    builder.addi(R_ITER, R_ITER, 1)
+    builder.jmp("main_loop")
+
+    # shared helper functions (callable from any site's hop region)
+    helper_labels = [f"lib{i}" for i in range(spec.n_shared_helpers)]
+    ctx.helper_labels = helper_labels
+
+    # functions
+    site_index = 0
+    for label in function_labels:
+        builder.label(label)
+        for _ in range(spec.sites_per_function):
+            site = _sample_site(spec, rng, site_index)
+            site_index += 1
+            ctx.begin_site()
+            behaviors.emit_site(ctx, site)
+        builder.ret()
+
+    # helper bodies: shared background work reached from many paths
+    for label in helper_labels:
+        builder.label(label)
+        ctx.begin_site()
+        ctx.emit_filler(rng.randint(4, 10))
+        builder.ret()
+
+    return builder.build(entry=0)

@@ -1,0 +1,355 @@
+"""Hand-written assembly kernels.
+
+The synthetic suite drives the headline experiments; these kernels are
+small *real* programs — pointer chasing, binary search, bytecode
+dispatch, partitioning, a table-driven state machine — whose difficult
+branches arise the way they do in real integer code.  They complement
+the generator in tests and examples, and give users templates for
+writing their own workloads against the public API.
+
+All kernels loop until the simulator's instruction budget expires, like
+the suite benchmarks.  Data is generated with a fixed seed so runs are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Tuple
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+_SEED = 20020525  # ISCA 2002
+
+
+def _values(count: int, bound: int, seed_offset: int = 0) -> str:
+    rng = random.Random(_SEED + seed_offset)
+    return " ".join(str(rng.randrange(bound)) for _ in range(count))
+
+
+def linked_list(nodes: int = 256) -> Program:
+    """Pointer-chase a shuffled singly linked list, branching on values.
+
+    Each node is two words: ``[value, next_pointer]``.  The traversal
+    order is a random permutation, so node loads miss caches and the
+    value test is data-dependent — the mcf-like regime where microthread
+    prefetching helps beyond branch prediction.
+    """
+    rng = random.Random(_SEED)
+    order = list(range(nodes))
+    rng.shuffle(order)
+    base_hint = 0x10000  # data segment base (first .data allocation)
+    cells = []
+    for i in range(nodes):
+        position = order.index(i)
+        successor = order[(position + 1) % nodes]
+        cells += [rng.randrange(100), base_hint + 2 * successor]
+    data = " ".join(str(v) for v in cells)
+    head = base_hint + 2 * order[0]
+    return assemble(f"""
+    .data list {2 * nodes} {data}
+        li r1, 0
+    outer:
+        li r2, {head}
+        li r3, 0
+        li r4, {nodes}
+    walk:
+        ld r5, 0(r2)        ; node value
+        slli r8, r1, 1      ; mix in the lap counter so the test does not
+        addi r8, r8, 1      ; repeat with the list's period
+        mul r5, r5, r8
+        andi r5, r5, 127
+        li r6, 64
+        blt r5, r6, small
+        addi r3, r3, 1
+    small:
+        ld r2, 1(r2)        ; follow next pointer
+        addi r4, r4, -1
+        li r7, 0
+        blt r7, r4, walk
+        addi r1, r1, 1
+        jmp outer
+    """, name="linked_list")
+
+
+def binary_search(size_log2: int = 10, queries: int = 64) -> Program:
+    """Binary search with pseudo-random keys.
+
+    Every probe's direction branch is a fresh data-dependent comparison;
+    the whole probe chain is in the search loop's scope, so microthreads
+    can run ahead down the tree.
+    """
+    size = 1 << size_log2
+    sorted_values = " ".join(str(2 * i + 1) for i in range(size))
+    keys = _values(queries, 2 * size, seed_offset=1)
+    return assemble(f"""
+    .data table {size} {sorted_values}
+    .data keys {queries} {keys}
+        li r1, 0
+    outer:
+        andi r2, r1, {queries - 1}
+        li r3, &keys
+        add r3, r3, r2
+        ld r4, 0(r3)        ; the key to find
+        li r5, 0            ; lo
+        li r6, {size}       ; hi
+    probe:
+        add r7, r5, r6
+        srli r7, r7, 1      ; mid
+        li r8, &table
+        add r8, r8, r7
+        ld r9, 0(r8)
+        blt r4, r9, go_left ; data-dependent direction
+        addi r5, r7, 1
+        jmp check
+    go_left:
+        mov r6, r7
+    check:
+        blt r5, r6, probe
+        addi r1, r1, 1
+        jmp outer
+    """, name="binary_search")
+
+
+def interpreter(program_len: int = 4096) -> Program:
+    """A bytecode interpreter: the classic indirect-branch workload.
+
+    Four opcodes dispatched through a jump table.  The virtual PC walks
+    the bytecode in LCG order (period ~2^61), so dispatch contexts do
+    not repeat within the predictor's reach and the target cache cannot
+    memorise the sequence — while a microthread can still pre-compute
+    the exact target from the LCG register chain and the bytecode load.
+    """
+    bytecode = _values(program_len, 4, seed_offset=2)
+    return assemble(f"""
+    .data bytecode {program_len} {bytecode}
+        li r1, 0            ; retired-op counter
+        li r10, 0           ; accumulator
+        li r11, 12345       ; LCG state (the VM's 'input stream')
+    fetch:
+        li r12, 1103515245
+        mul r11, r11, r12
+        addi r11, r11, 12345
+        srli r2, r11, 8
+        andi r2, r2, {program_len - 1}
+        li r3, &bytecode
+        add r3, r3, r2
+        ld r4, 0(r3)        ; opcode 0..3
+        li r5, op0
+        li r6, 3            ; each op block is 3 instructions
+        mul r7, r4, r6
+        add r5, r5, r7
+        jr r5               ; dispatch (indirect)
+    op0:
+        addi r10, r10, 7
+        addi r1, r1, 1
+        jmp fetch
+    op1:
+        addi r10, r10, -3
+        addi r1, r1, 1
+        jmp fetch
+    op2:
+        slli r10, r10, 1
+        addi r1, r1, 1
+        jmp fetch
+    op3:
+        xori r10, r10, 21
+        addi r1, r1, 1
+        jmp fetch
+    """, name="interpreter")
+
+
+def partition(size: int = 512) -> Program:
+    """Quicksort-style partition pass: ~50% taken comparison branches.
+
+    Each outer iteration re-partitions the array around a moving pivot;
+    the comparison branch is the difficult one.
+    """
+    values = _values(size, 1000, seed_offset=3)
+    return assemble(f"""
+    .data arr {size} {values}
+        li r1, 0
+    outer:
+        andi r9, r1, 255
+        li r10, 997
+        mul r9, r9, r10
+        andi r9, r9, 1023   ; pivot in 0..1023
+        li r2, 0            ; index
+        li r3, 0            ; count below pivot
+    scan:
+        li r4, &arr
+        add r4, r4, r2
+        ld r5, 0(r4)
+        bge r5, r9, keep    ; ~50/50 comparison
+        addi r3, r3, 1
+        st r5, 0(r4)
+    keep:
+        addi r2, r2, 1
+        li r6, {size}
+        blt r2, r6, scan
+        addi r1, r1, 1
+        jmp outer
+    """, name="partition")
+
+
+def state_machine(n_states: int = 8, stream_len: int = 512) -> Program:
+    """Table-driven finite state machine over a random input stream.
+
+    The accept/reject branch depends on the current state, which depends
+    on the whole input history — hard for history predictors, exactly
+    computable from the transition-table loads.
+    """
+    rng = random.Random(_SEED + 4)
+    table = " ".join(
+        str(rng.randrange(n_states))
+        for _ in range(n_states * 2)
+    )
+    stream = _values(stream_len, 2, seed_offset=5)
+    return assemble(f"""
+    .data transitions {n_states * 2} {table}
+    .data stream {stream_len} {stream}
+        li r1, 0            ; stream position
+        li r2, 0            ; state
+    step:
+        andi r3, r1, {stream_len - 1}
+        li r4, &stream
+        add r4, r4, r3
+        ld r5, 0(r4)        ; input bit
+        slli r6, r2, 1
+        add r6, r6, r5
+        li r7, &transitions
+        add r7, r7, r6
+        ld r2, 0(r7)        ; next state
+        li r8, {n_states // 2}
+        blt r2, r8, low_state  ; difficult: state-dependent
+        addi r9, r9, 1
+    low_state:
+        addi r1, r1, 1
+        jmp step
+    """, name="state_machine")
+
+
+def histogram(buckets: int = 16, size: int = 1024) -> Program:
+    """Bucketed histogram: store-heavy with data-dependent store targets.
+
+    Exercises store/load interplay in the PRB and the timing model's
+    memory dependence handling.
+    """
+    values = _values(size, buckets * 8, seed_offset=6)
+    return assemble(f"""
+    .data samples {size} {values}
+    .data counts {buckets}
+        li r1, 0
+    outer:
+        andi r2, r1, {size - 1}
+        li r3, &samples
+        add r3, r3, r2
+        ld r4, 0(r3)
+        srli r5, r4, 3      ; bucket = sample / 8
+        li r6, &counts
+        add r6, r6, r5
+        ld r7, 0(r6)
+        addi r7, r7, 1
+        st r7, 0(r6)        ; read-modify-write
+        li r8, 64
+        blt r4, r8, lowhalf ; data-dependent
+        addi r9, r9, 1
+    lowhalf:
+        addi r1, r1, 1
+        jmp outer
+    """, name="histogram")
+
+
+def crc(size: int = 1024) -> Program:
+    """Bitwise CRC over a message buffer.
+
+    The inner per-bit branch tests the running remainder's top bit —
+    a value that depends on the entire message prefix.  History
+    predictors see near-random outcomes; a microthread pre-computes the
+    next bit test from the remainder register live-in.
+    """
+    message = _values(size, 256, seed_offset=7)
+    return assemble(f"""
+    .data msg {size} {message}
+        li r1, 0            ; message index
+        li r10, 65535       ; running remainder (16-bit)
+    outer:
+        andi r2, r1, {size - 1}
+        li r3, &msg
+        add r3, r3, r2
+        ld r4, 0(r3)        ; next byte
+        xor r10, r10, r4
+        li r5, 0            ; bit counter
+    bitloop:
+        andi r6, r10, 1
+        li r7, 0
+        beq r6, r7, even    ; the data-dependent branch
+        srli r10, r10, 1
+        li r8, 40961        ; 0xA001, reflected CRC-16 polynomial
+        xor r10, r10, r8
+        jmp next
+    even:
+        srli r10, r10, 1
+    next:
+        addi r5, r5, 1
+        li r9, 8
+        blt r5, r9, bitloop
+        addi r1, r1, 1
+        jmp outer
+    """, name="crc")
+
+
+def string_search(text_len: int = 2048, pattern_len: int = 4) -> Program:
+    """Naive substring search: mismatch branches fire at data-dependent
+    offsets, and the outer/inner loop structure creates rich paths."""
+    rng = random.Random(_SEED + 8)
+    alphabet = 4
+    text = [rng.randrange(alphabet) for _ in range(text_len)]
+    pattern = [rng.randrange(alphabet) for _ in range(pattern_len)]
+    return assemble(f"""
+    .data text {text_len} {' '.join(str(v) for v in text)}
+    .data pattern {pattern_len} {' '.join(str(v) for v in pattern)}
+        li r1, 0            ; search position
+        li r11, 0           ; match counter
+    outer:
+        andi r2, r1, {text_len - pattern_len - 1}
+        li r3, 0            ; offset into pattern
+    compare:
+        li r4, &text
+        add r4, r4, r2
+        add r4, r4, r3
+        ld r5, 0(r4)
+        li r6, &pattern
+        add r6, r6, r3
+        ld r7, 0(r6)
+        bne r5, r7, mismatch   ; data-dependent mismatch point
+        addi r3, r3, 1
+        li r8, {pattern_len}
+        blt r3, r8, compare
+        addi r11, r11, 1       ; full match
+    mismatch:
+        addi r1, r1, 1
+        jmp outer
+    """, name="string_search")
+
+
+KERNELS: Dict[str, Callable[[], Program]] = {
+    "linked_list": linked_list,
+    "binary_search": binary_search,
+    "interpreter": interpreter,
+    "partition": partition,
+    "state_machine": state_machine,
+    "histogram": histogram,
+    "crc": crc,
+    "string_search": string_search,
+}
+
+KERNEL_NAMES: Tuple[str, ...] = tuple(KERNELS)
+
+
+def build_kernel(name: str) -> Program:
+    """Build a named kernel program."""
+    if name not in KERNELS:
+        raise KeyError(f"unknown kernel {name!r}; see KERNEL_NAMES")
+    return KERNELS[name]()

@@ -1,0 +1,100 @@
+"""Workload specification dataclasses.
+
+A :class:`WorkloadSpec` describes a benchmark's static shape (functions,
+sites, scope sizes) and behaviour mix; the generator samples concrete
+:class:`SiteSpec` instances from it with a seeded RNG, so every build of a
+named benchmark is bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+
+class SiteKind(Enum):
+    """Branch-behaviour classes a site can exhibit."""
+
+    BIASED = "biased"          # heavily one-sided, easy for the hybrid
+    PATTERN = "pattern"        # periodic in the iteration counter
+    LOOP = "loop"              # inner loop, constant or data-driven trip
+    DATA = "data"              # predicate on a random-array load (difficult)
+    PATHDEP = "pathdep"        # easy on one incoming path, difficult on another
+    CORRELATED = "correlated"  # repeats an earlier data branch's comparison
+    INDIRECT = "indirect"      # jump table indexed by a random-array load
+    STOREDEP = "storedep"      # DATA with in-scope store interference
+
+
+@dataclass
+class SiteSpec:
+    """One concrete branch site (sampled from a :class:`WorkloadSpec`)."""
+
+    kind: SiteKind
+    index: int
+    hops: int = 2                 # taken control transfers producer->consumer
+    filler: int = 6               # ALU instructions per hop block
+    array_size: int = 4096        # power of two, words
+    threshold: int = 50           # predicate constant (values are 0..99)
+    stride: int = 1               # index stride through the data array
+    phase: int = 0
+    pattern_period: int = 64      # PATTERN: period in iterations (power of 2)
+    trip_count: int = 4           # LOOP: constant trip count
+    data_trip: bool = False       # LOOP: trip count loaded from data
+    trip_max: int = 8             # LOOP: data-driven trip in 1..trip_max
+    noise_prob: float = 0.3       # probability of a noise branch per hop
+    n_targets: int = 4            # INDIRECT: jump table size
+    store_period: int = 8         # STOREDEP: store every k-th iteration
+    split_threshold: int = 50     # PATHDEP: selector threshold
+
+
+@dataclass
+class WorkloadSpec:
+    """Shape and behaviour mix of a synthetic benchmark."""
+
+    name: str
+    seed: int = 0
+    n_functions: int = 4
+    sites_per_function: int = 6
+    #: behaviour mix; weights are relative, not required to sum to 1
+    mix: Dict[SiteKind, float] = field(default_factory=lambda: {
+        SiteKind.BIASED: 3.0,
+        SiteKind.PATTERN: 2.0,
+        SiteKind.LOOP: 2.0,
+        SiteKind.DATA: 2.0,
+        SiteKind.PATHDEP: 1.0,
+    })
+    hop_range: Tuple[int, int] = (1, 4)
+    filler_range: Tuple[int, int] = (3, 10)
+    array_size: int = 4096
+    #: DATA/PATHDEP predicate thresholds are drawn from this range; values
+    #: near 50 give ~50% taken rates (maximally difficult).
+    threshold_range: Tuple[int, int] = (30, 70)
+    bias_threshold_range: Tuple[int, int] = (88, 97)
+    pattern_periods: Tuple[int, ...] = (4, 8, 64, 128)
+    loop_trip_range: Tuple[int, int] = (3, 8)
+    data_trip_fraction: float = 0.5
+    noise_prob: float = 0.3
+    data_entropy: float = 1.0     # 1.0 = uniform values; <1 skews low
+    store_period: int = 8
+    #: probability that a hop becomes a call to a shared helper function.
+    #: Shared code is what makes spawn points fire on wrong paths (and
+    #: the pre-allocation Path_History check earn its keep) — real
+    #: programs share library code across many control-flow contexts.
+    shared_helper_prob: float = 0.25
+    n_shared_helpers: int = 4
+
+    def validate(self) -> None:
+        if self.n_functions <= 0 or self.sites_per_function <= 0:
+            raise ValueError("need at least one function and one site")
+        if not self.mix:
+            raise ValueError("empty behaviour mix")
+        if any(w < 0 for w in self.mix.values()):
+            raise ValueError("mix weights must be non-negative")
+        if sum(self.mix.values()) <= 0:
+            raise ValueError("mix weights must not all be zero")
+        if self.array_size & (self.array_size - 1):
+            raise ValueError("array_size must be a power of two")
+        for period in self.pattern_periods:
+            if period & (period - 1):
+                raise ValueError("pattern periods must be powers of two")

@@ -1,0 +1,80 @@
+"""Tests for the Path_Id aliasing analysis."""
+
+import pytest
+
+from repro.analysis.aliasing import AliasingResult, path_id_aliasing
+from repro.analysis.events import ControlEvent
+
+
+def synthetic_events(paths, repeats=5, term_pc=999):
+    """Build a control-event stream that walks each given path (a tuple
+    of taken-branch pcs) and then hits the terminating branch."""
+    events = []
+    idx = 0
+    for _ in range(repeats):
+        for path in paths:
+            for pc in path:
+                events.append(ControlEvent(idx, pc, True, False, False, True))
+                idx += 1
+            events.append(ControlEvent(idx, term_pc, False, True, False, True))
+            idx += 1
+    return events
+
+
+class TestPathIdAliasing:
+    def test_distinct_paths_counted(self):
+        paths = [(1, 2, 3), (4, 5, 6), (7, 8, 9)]
+        events = synthetic_events(paths)
+        result = path_id_aliasing(events, n=3, bits_list=(24,))[0]
+        # the walk makes the 3-branch window slide across path
+        # boundaries, so more windows than the 3 "intended" paths exist
+        assert result.unique_paths >= 3
+        assert result.total_occurrences > 0
+
+    def test_wide_hash_no_aliasing_on_small_sets(self):
+        paths = [(i, i + 100, i + 200) for i in range(20)]
+        events = synthetic_events(paths)
+        result = path_id_aliasing(events, n=3, bits_list=(24,))[0]
+        assert result.aliased_ids == 0
+        assert result.occurrence_alias_rate == 0.0
+
+    def test_tiny_hash_aliases(self):
+        # 4-bit ids cannot distinguish hundreds of windows
+        paths = [(i * 3 + 1, i * 7 + 2, i * 11 + 5) for i in range(60)]
+        events = synthetic_events(paths, repeats=2)
+        narrow, wide = path_id_aliasing(events, n=3, bits_list=(4, 24))
+        assert narrow.aliased_ids > 0
+        assert narrow.occurrence_alias_rate > wide.occurrence_alias_rate
+
+    def test_rates_bounded(self):
+        paths = [(1, 2, 3), (4, 5, 6)]
+        events = synthetic_events(paths)
+        for result in path_id_aliasing(events, n=3, bits_list=(8, 16)):
+            assert 0.0 <= result.occurrence_alias_rate <= 1.0
+            assert result.used_ids <= result.unique_paths
+
+    def test_empty_events(self):
+        result = path_id_aliasing([], n=4, bits_list=(24,))[0]
+        assert result.unique_paths == 0
+        assert result.occurrence_alias_rate == 0.0
+
+
+class TestRotationChoice:
+    def test_rotate_not_dividing_width(self):
+        """Regression guard for the rotate-3/24-bit resonance: the hash
+        rotation must not divide the default width evenly."""
+        from repro.core.path import DEFAULT_PATH_ID_BITS, _ROTATE
+
+        assert DEFAULT_PATH_ID_BITS % _ROTATE != 0
+
+    def test_depth_8_paths_distinguished(self):
+        """With rotate-3/24-bit, paths differing only 8 branches back
+        collided; the current hash must distinguish them."""
+        from repro.core.path import path_id_hash
+
+        base = tuple(range(100, 110))
+        variant = (base[0] ^ 0x5,) + base[1:]  # differs 10 back
+        assert path_id_hash(base) != path_id_hash(variant)
+        base9 = tuple(range(200, 209))
+        variant9 = (base9[0] ^ 0x3,) + base9[1:]  # differs 9 back
+        assert path_id_hash(base9) != path_id_hash(variant9)

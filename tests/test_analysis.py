@@ -1,0 +1,138 @@
+"""Tests for the analysis package: events, Table 1, Table 2, report."""
+
+import pytest
+
+from repro.analysis.characterize import characterize_paths
+from repro.analysis.coverage import coverage_analysis
+from repro.analysis.events import ControlEvent, collect_control_events
+from repro.analysis.report import format_table
+from repro.isa.assembler import assemble
+from repro.sim.functional import run_program
+
+PATHDEP_PROGRAM = """
+.data sel 64 57 3 91 22 68 14 77 41 5 99 33 60 12 84 29 50 73 8 66 95 17 38 55 81 26 62 44 70 11 88 35 58 2 92 20 65 16 79 40 6 97 31 59 13 86 28 52 74 9 67 94 18 39 56 80 27 63 45 71 10 89 36 53 24
+    li r1, 0
+    li r2, 3000
+loop:
+    li r14, 2654435761
+    mul r3, r1, r14
+    srli r3, r3, 5
+    andi r3, r3, 63
+    li r4, &sel
+    add r5, r4, r3
+    ld r6, 0(r5)
+    li r7, 75
+    blt r6, r7, easy_side
+    ; hard side: value is another pseudo-random load
+    mul r9, r6, r14
+    srli r9, r9, 3
+    andi r9, r9, 63
+    add r10, r4, r9
+    ld r20, 0(r10)
+    jmp join
+easy_side:
+    li r20, 10
+join:
+    li r11, 50
+    blt r20, r11, taken
+    addi r8, r8, 1
+taken:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def events():
+    trace = run_program(assemble(PATHDEP_PROGRAM), max_instructions=60_000)
+    return collect_control_events(trace)
+
+
+class TestControlEvents:
+    def test_only_controls_collected(self, events):
+        assert all(isinstance(e, ControlEvent) for e in events)
+        assert len(events) > 0
+
+    def test_warmup_flagging(self, events):
+        assert not events[0].measured
+        assert events[-1].measured
+
+    def test_terminating_subset(self, events):
+        terminating = [e for e in events if e.terminating]
+        assert 0 < len(terminating) < len(events)
+
+    def test_mispredictions_exist(self, events):
+        assert any(e.mispredicted for e in events if e.measured)
+
+
+class TestCharacterize:
+    def test_paths_grow_with_n(self, events):
+        counts = [characterize_paths(events, n).unique_paths
+                  for n in (2, 4, 8)]
+        assert counts[0] <= counts[1] <= counts[2]
+
+    def test_scope_grows_with_n(self, events):
+        scopes = [characterize_paths(events, n).mean_scope for n in (2, 4, 8)]
+        assert scopes[0] < scopes[2]
+
+    def test_difficult_counts_decrease_with_threshold(self, events):
+        c = characterize_paths(events, 4, thresholds=(0.05, 0.10, 0.15))
+        assert (c.difficult_paths[0.05] >= c.difficult_paths[0.10]
+                >= c.difficult_paths[0.15])
+
+    def test_difficult_fraction_bounded(self, events):
+        c = characterize_paths(events, 4)
+        for t in (0.05, 0.10, 0.15):
+            assert 0.0 <= c.difficult_fraction(t) <= 1.0
+
+    def test_occurrences_counted(self, events):
+        c = characterize_paths(events, 4)
+        assert c.total_occurrences > 0
+
+
+class TestCoverage:
+    def test_schemes_present(self, events):
+        results = coverage_analysis(events, ns=(4,), thresholds=(0.10,))
+        schemes = {r.scheme for r in results}
+        assert schemes == {"branch", "path(4)"}
+
+    def test_coverages_bounded(self, events):
+        for r in coverage_analysis(events, ns=(2, 4), thresholds=(0.05, 0.15)):
+            assert 0.0 <= r.mispredict_coverage <= 1.0
+            assert 0.0 <= r.execution_coverage <= 1.0
+
+    def test_paths_cut_execution_coverage(self, events):
+        """The paper's key Table 2 claim: path classification lowers
+        execution coverage versus branch classification.  The PATHDEP
+        program makes the terminating branch easy on one path and hard
+        on the other, so the branch-level set must include executions
+        the path-level set excludes."""
+        results = coverage_analysis(events, ns=(8,), thresholds=(0.10,))
+        branch = next(r for r in results if r.scheme == "branch")
+        path = next(r for r in results if r.scheme == "path(8)")
+        assert path.execution_coverage <= branch.execution_coverage
+
+    def test_higher_threshold_smaller_difficult_set(self, events):
+        results = coverage_analysis(events, ns=(4,),
+                                    thresholds=(0.05, 0.15))
+        branch_low = next(r for r in results
+                          if r.scheme == "branch" and r.threshold == 0.05)
+        branch_high = next(r for r in results
+                           if r.scheme == "branch" and r.threshold == 0.15)
+        assert branch_high.difficult_count <= branch_low.difficult_count
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.5], ["long-name", 22.25]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all("|" in line for line in lines[3:])
+
+    def test_format_table_floats(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text

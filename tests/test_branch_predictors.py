@@ -1,0 +1,164 @@
+"""Tests for direction predictors: counters, gshare, PAs, hybrid."""
+
+import pytest
+
+from repro.branch.base import (
+    AlwaysTakenPredictor,
+    OraclePredictor,
+    SaturatingCounterTable,
+)
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GsharePredictor
+from repro.branch.hybrid import HybridPredictor
+from repro.branch.pas import PAsPredictor
+
+
+def train(predictor, pc, outcomes):
+    """Train on a sequence; return mispredict count."""
+    mispredicts = 0
+    for taken in outcomes:
+        if predictor.predict(pc) != taken:
+            mispredicts += 1
+        predictor.update(pc, taken)
+    return mispredicts
+
+
+class TestSaturatingCounterTable:
+    def test_starts_weakly_taken(self):
+        table = SaturatingCounterTable(16)
+        assert table.predict(0)
+        assert table.counter(0) == 2
+
+    def test_saturates_high(self):
+        table = SaturatingCounterTable(16)
+        for _ in range(10):
+            table.update(3, True)
+        assert table.counter(3) == 3
+
+    def test_saturates_low(self):
+        table = SaturatingCounterTable(16)
+        for _ in range(10):
+            table.update(3, False)
+        assert table.counter(3) == 0
+
+    def test_hysteresis(self):
+        table = SaturatingCounterTable(16)
+        for _ in range(4):
+            table.update(0, True)
+        table.update(0, False)  # one not-taken does not flip a strong counter
+        assert table.predict(0)
+
+    def test_index_wraps(self):
+        table = SaturatingCounterTable(16)
+        table.update(16, False)  # aliases slot 0
+        assert table.counter(0) == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            SaturatingCounterTable(10)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            SaturatingCounterTable(16, bits=0)
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        predictor = BimodalPredictor(entries=64)
+        assert train(predictor, 5, [True] * 100) <= 2
+        assert train(predictor, 9, [False] * 100) <= 3
+
+    def test_alternating_is_hard(self):
+        predictor = BimodalPredictor(entries=64)
+        outcomes = [bool(i % 2) for i in range(200)]
+        # Bimodal cannot learn alternation; it hovers near 50% wrong.
+        assert train(predictor, 5, outcomes) > 50
+
+
+class TestGshare:
+    def test_learns_global_correlation(self):
+        predictor = GsharePredictor(entries=1 << 14, history_bits=8)
+        mispredicts = 0
+        for i in range(2000):
+            first = (i % 4) < 2
+            predictor.update(100, first)
+            second = first  # perfectly correlated with the previous branch
+            if predictor.predict(200) != second:
+                mispredicts += 1
+            predictor.update(200, second)
+        assert mispredicts < 100  # learned after warm-up
+
+    def test_history_updates(self):
+        predictor = GsharePredictor(entries=256, history_bits=4)
+        predictor.update(0, True)
+        assert predictor.history == 1
+        predictor.update(0, False)
+        assert predictor.history == 2
+
+    def test_history_bounded(self):
+        predictor = GsharePredictor(entries=256, history_bits=4)
+        for _ in range(100):
+            predictor.update(0, True)
+        assert predictor.history == 0xF
+
+
+class TestPAs:
+    def test_learns_short_period(self):
+        predictor = PAsPredictor()
+        outcomes = [i % 4 < 2 for i in range(1000)]  # TTNN pattern
+        assert train(predictor, 77, outcomes) < 60
+
+    def test_learns_alternation(self):
+        predictor = PAsPredictor()
+        outcomes = [bool(i % 2) for i in range(500)]
+        assert train(predictor, 42, outcomes) < 40
+
+    def test_long_runs_have_transition_floor(self):
+        """History shorter than the run length leaves ~2 misses/period."""
+        predictor = PAsPredictor(history_bits=12)
+        outcomes = [(i % 64) < 32 for i in range(6400)]
+        mispredicts = train(predictor, 9, outcomes)
+        floor = 2 * (6400 // 64)  # two transitions per period
+        assert mispredicts <= floor + 120  # floor plus warm-up slack
+
+    def test_separate_branches_do_not_share_history(self):
+        predictor = PAsPredictor()
+        train(predictor, 1, [True] * 200)
+        train(predictor, 2, [False] * 200)
+        assert predictor.predict(1) is True
+        assert predictor.predict(2) is False
+
+
+class TestHybrid:
+    def test_beats_components_on_mixed_workload(self):
+        """The selector should route each branch to its better component."""
+        hybrid = HybridPredictor()
+        mispredicts = 0
+        for i in range(3000):
+            local = (i % 4) < 2  # PAs-friendly pattern
+            if hybrid.predict(10) != local:
+                mispredicts += 1
+            hybrid.update(10, local)
+        assert mispredicts < 200
+
+    def test_tracks_component_usage(self):
+        hybrid = HybridPredictor()
+        for i in range(100):
+            hybrid.predict(5)
+            hybrid.update(5, True)
+        assert hybrid.used_gshare_count + hybrid.used_pas_count == 100
+
+
+class TestDegeneratePredictors:
+    def test_always_taken(self):
+        predictor = AlwaysTakenPredictor()
+        assert predictor.predict(0)
+        predictor.update(0, False)
+        assert predictor.predict(0)
+
+    def test_oracle_follows_priming(self):
+        predictor = OraclePredictor()
+        predictor.prime(True)
+        assert predictor.predict(0)
+        predictor.prime(False)
+        assert not predictor.predict(0)

@@ -1,0 +1,100 @@
+"""Tests for BTB, return address stack and indirect target cache."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.target_cache import TargetCache
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=16)
+        assert btb.lookup(5) is None
+        btb.update(5, 99)
+        assert btb.lookup(5) == 99
+        assert btb.misses == 1 and btb.hits == 1
+
+    def test_conflicting_pcs_evict(self):
+        btb = BranchTargetBuffer(entries=16)
+        btb.update(3, 10)
+        btb.update(3 + 16, 20)  # same slot, different tag
+        assert btb.lookup(3) is None
+        assert btb.lookup(3 + 16) == 20
+
+    def test_update_overwrites_target(self):
+        btb = BranchTargetBuffer(entries=16)
+        btb.update(3, 10)
+        btb.update(3, 11)
+        assert btb.lookup(3) == 11
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=100)
+
+
+class TestRAS:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(entries=8)
+        ras.push(10)
+        ras.push(20)
+        assert ras.pop() == 20
+        assert ras.pop() == 10
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(entries=8)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(entries=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.overflows == 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None  # 1 was dropped
+
+    def test_matched_call_return_nesting(self):
+        ras = ReturnAddressStack(entries=32)
+        for depth in range(10):
+            ras.push(depth * 100)
+        for depth in reversed(range(10)):
+            assert ras.pop() == depth * 100
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(entries=0)
+
+
+class TestTargetCache:
+    def test_learns_stable_target(self):
+        """The 16-bit folded history depends on the last 8 targets, so a
+        branch repeatedly jumping to one target stabilises after 8
+        updates and predicts correctly thereafter."""
+        cache = TargetCache(entries=256)
+        for _ in range(9):
+            cache.update(7, 123)
+        assert cache.predict(7) == 123
+
+    def test_history_disambiguates_contexts(self):
+        """Different preceding-target histories map to different slots."""
+        cache = TargetCache(entries=1 << 12)
+        # context A: after target 500, branch 7 goes to 100
+        # context B: after target 600, branch 7 goes to 200
+        for _ in range(50):
+            cache.update(3, 500)
+            if cache.predict(7) != 100:
+                pass
+            cache.update(7, 100)
+            cache.update(3, 600)
+            cache.update(7, 200)
+        cache.update(3, 500)
+        assert cache.predict(7) == 100
+        cache.update(7, 100)
+        cache.update(3, 600)
+        assert cache.predict(7) == 200
+
+    def test_default_prediction_is_zero(self):
+        assert TargetCache(entries=16).predict(5) == 0

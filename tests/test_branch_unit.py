@@ -1,0 +1,148 @@
+"""Tests for the full BranchPredictorComplex over dynamic traces."""
+
+from repro.branch.unit import BranchPredictorComplex, default_complex, oracle_complex
+from repro.isa.assembler import assemble
+from repro.sim.functional import run_program
+
+
+def trace_of(source, n=10_000):
+    return run_program(assemble(source), max_instructions=n)
+
+
+def process_all(unit, trace):
+    outcomes = []
+    for rec in trace:
+        if rec.inst.is_control:
+            outcomes.append((rec, unit.process(rec)))
+    return outcomes
+
+
+class TestConditionalPrediction:
+    def test_biased_loop_branch_mostly_correct(self):
+        trace = trace_of("""
+            li r1, 0
+            li r2, 1000
+        loop:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """, n=5000)
+        unit = BranchPredictorComplex()
+        outcomes = process_all(unit, trace)
+        mispredicts = sum(1 for _, o in outcomes if o.mispredicted)
+        assert mispredicts <= 5
+        assert unit.accuracy() > 0.99
+
+    def test_predicted_target_for_taken(self):
+        trace = trace_of("li r1, 0\nli r2, 5\nloop:\naddi r1, r1, 1\nblt r1, r2, loop\nhalt")
+        unit = BranchPredictorComplex()
+        last_branch_outcome = None
+        for rec in trace:
+            if rec.inst.is_control:
+                last_branch_outcome = unit.process(rec)
+        # the final (not-taken) branch predicts fall-through
+        assert last_branch_outcome.predicted_target in (4, 2)
+
+    def test_btb_miss_flagged_on_first_taken(self):
+        trace = trace_of("li r1, 0\nli r2, 9\nloop:\naddi r1, r1, 1\nblt r1, r2, loop\nhalt")
+        unit = BranchPredictorComplex()
+        saw_btb_miss = False
+        for rec in trace:
+            if rec.inst.is_control:
+                outcome = unit.process(rec)
+                if outcome.btb_miss:
+                    saw_btb_miss = True
+        assert saw_btb_miss
+
+
+class TestReturnPrediction:
+    def test_call_return_pairs_never_mispredict(self):
+        trace = trace_of("""
+            li r1, 0
+            li r2, 50
+        loop:
+            call fn
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        fn:
+            ret
+        """, n=3000)
+        unit = BranchPredictorComplex()
+        process_all(unit, trace)
+        assert unit.return_count > 10
+        assert unit.return_mispredicts == 0
+
+
+class TestIndirectPrediction:
+    def test_stable_indirect_target_learned(self):
+        trace = trace_of("""
+            li r1, 0
+            li r2, 50
+        loop:
+            li r3, 6
+            jr r3
+            halt
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """, n=3000)
+        unit = BranchPredictorComplex()
+        process_all(unit, trace)
+        assert unit.indirect_count > 10
+        # first occurrence mispredicts; afterwards the target cache learns
+        assert unit.indirect_mispredicts <= unit.indirect_count // 2
+
+
+class TestOracleComplex:
+    def test_oracle_never_mispredicts_direction(self):
+        trace = trace_of("""
+            li r1, 0
+            li r2, 64
+        loop:
+            andi r3, r1, 7
+            li r4, 3
+            blt r3, r4, skip
+            addi r5, r5, 1
+        skip:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """, n=5000)
+        unit = oracle_complex()
+        process_all(unit, trace)
+        assert unit.conditional_mispredicts == 0
+
+    def test_default_complex_uses_table3_sizes(self):
+        unit = default_complex()
+        assert unit.btb.entries == 4096
+        assert unit.ras.entries == 32
+        assert unit.target_cache.entries == 64 * 1024
+        assert unit.direction.selector.entries == 64 * 1024
+
+
+class TestStatistics:
+    def test_counts_partition_by_kind(self):
+        trace = trace_of("""
+            li r1, 0
+            li r2, 10
+        loop:
+            call fn
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        fn:
+            ret
+        """, n=2000)
+        unit = BranchPredictorComplex()
+        process_all(unit, trace)
+        assert unit.conditional_count > 0
+        assert unit.return_count > 0
+        assert unit.unconditional_count > 0  # the calls
+        assert unit.total_predicted == (
+            unit.conditional_count + unit.indirect_count
+            + unit.return_count + unit.unconditional_count
+        )
+
+    def test_accuracy_with_no_branches_is_one(self):
+        assert BranchPredictorComplex().accuracy() == 1.0

@@ -1,0 +1,138 @@
+"""Tests for the Vp/Ap look-ahead distance computation (§4.2.5)."""
+
+import pytest
+
+from repro.core.builder import BuilderConfig, MicrothreadBuilder, _instances_ahead
+from repro.core.path import PathTracker
+from repro.core.prb import PostRetirementBuffer
+from repro.isa.assembler import assemble
+from repro.sim.functional import run_program
+from repro.valuepred import PredictorTrainer
+
+
+def filled_prb(source, n=2_000):
+    trace = run_program(assemble(source), max_instructions=n)
+    prb = PostRetirementBuffer(512)
+    for idx, rec in enumerate(trace):
+        prb.insert(rec, idx)
+    return trace, prb
+
+
+TIGHT_LOOP = """
+    li r1, 0
+    li r2, 100
+loop:
+    addi r3, r3, 1
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+"""
+
+
+class TestInstancesAhead:
+    def test_target_at_spawn_counts_one(self):
+        trace, prb = filled_prb(TIGHT_LOOP)
+        # pick an instance of the addi r3 (pc=2) in steady state
+        target = next(i for i, r in enumerate(trace) if r.pc == 2 and i > 50)
+        assert _instances_ahead(prb, 2, spawn_idx=target, target_idx=target) == 1
+
+    def test_counts_instances_in_window(self):
+        trace, prb = filled_prb(TIGHT_LOOP)
+        # window spanning exactly three loop iterations contains three
+        # instances of pc=2 (one per iteration)
+        targets = [i for i, r in enumerate(trace) if r.pc == 2 and i > 50]
+        spawn, target = targets[0], targets[2]
+        assert _instances_ahead(prb, 2, spawn, target) == 3
+
+    def test_negative_when_target_before_spawn(self):
+        trace, prb = filled_prb(TIGHT_LOOP)
+        targets = [i for i, r in enumerate(trace) if r.pc == 2 and i > 50]
+        target, spawn = targets[0], targets[2]
+        # two newer instances (at targets[1], targets[2]... strictly
+        # between target and spawn: targets[1] only, plus any at spawn?)
+        ahead = _instances_ahead(prb, 2, spawn, target)
+        assert ahead == -1  # one instance strictly between
+
+    def test_zero_when_adjacent(self):
+        trace, prb = filled_prb(TIGHT_LOOP)
+        targets = [i for i, r in enumerate(trace) if r.pc == 2 and i > 50]
+        target = targets[0]
+        spawn = target + 1  # spawn right after the target retired
+        assert _instances_ahead(prb, 2, spawn, target) == 0
+
+    def test_respects_prb_residency(self):
+        # a long-running loop evicts early positions from the 512-entry
+        # buffer; evicted instances count as absent
+        endless = TIGHT_LOOP.replace("li r2, 100", "li r2, 1000000")
+        trace, prb = filled_prb(endless, n=2_000)
+        assert prb.get(2) is None  # fell out
+        assert _instances_ahead(prb, 2, 0, 3) == 0
+
+
+LOOKAHEAD_LOOP = """
+    li r1, 0
+    li r2, 3000
+outer:
+    addi r9, r9, 1
+    li r10, 3
+    li r3, 0
+inner:
+    addi r3, r3, 1
+    blt r3, r10, inner
+    li r14, 2654435761
+    mul r4, r1, r14
+    srli r4, r4, 7
+    andi r4, r4, 127
+    li r5, 64
+    blt r4, r5, skip
+    addi r8, r8, 1
+skip:
+    addi r1, r1, 1
+    jmp outer
+"""
+
+
+class TestLookaheadInBuiltRoutines:
+    def test_pruned_routines_predict_correctly(self):
+        """Pruned Vp_Inst nodes with multi-instance windows must still
+        pre-compute the correct outcome (the regression that motivated
+        instance counting)."""
+        from repro.core.ssmt import SSMTConfig, run_ssmt
+
+        trace = run_program(assemble(LOOKAHEAD_LOOP),
+                            max_instructions=50_000)
+        _, engine = run_ssmt(trace, SSMTConfig(n=6, training_interval=8,
+                                               build_latency=20,
+                                               pruning=True))
+        ok = engine.correct_microthread_predictions
+        bad = engine.incorrect_microthread_predictions
+        if ok + bad > 30:
+            assert ok / (ok + bad) > 0.95
+
+    def test_ahead_values_recorded_on_vp_nodes(self):
+        trace = run_program(assemble(LOOKAHEAD_LOOP),
+                            max_instructions=30_000)
+        tracker = PathTracker(6)
+        prb = PostRetirementBuffer(512)
+        trainer = PredictorTrainer()
+        builder = MicrothreadBuilder(BuilderConfig(pruning=True))
+        target_pc = next(i.pc for i in assemble(LOOKAHEAD_LOOP).instructions
+                         if i.opcode.name == "BLT" and i.rs1 == 4)
+        count = 0
+        threads = []
+        for idx, rec in enumerate(trace):
+            flags = trainer.observe(rec)
+            prb.insert(rec, idx, *flags)
+            event = tracker.observe(rec, idx)
+            if rec.pc == target_pc:
+                count += 1
+                if count in (40, 60, 80):
+                    builder.busy_until = 0
+                    thread = builder.request(event, prb, 0)
+                    if thread is not None:
+                        threads.append(thread)
+        assert threads
+        vp_nodes = [n for t in threads for n in t.nodes
+                    if n.kind in ("vp", "ap")]
+        if vp_nodes:
+            assert all(isinstance(n.ahead, int) for n in vp_nodes)

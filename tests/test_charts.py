@@ -1,0 +1,62 @@
+"""Tests for the text chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, timeliness_stack
+
+
+class TestBarChart:
+    def test_renders_labels_and_values(self):
+        text = bar_chart([("gcc", 1.09), ("comp", 1.20)], title="Fig")
+        assert text.splitlines()[0] == "Fig"
+        assert "gcc" in text and "1.090" in text
+
+    def test_longest_value_fills_width(self):
+        text = bar_chart([("a", 1.0), ("b", 2.0)], width=20)
+        b_line = next(l for l in text.splitlines() if l.startswith("b"))
+        assert "█" * 20 in b_line
+
+    def test_baseline_marker(self):
+        text = bar_chart([("a", 0.9), ("b", 1.3)], baseline=1.0)
+        assert "^" in text and "baseline=1.000" in text
+
+    def test_empty_items(self):
+        assert bar_chart([], title="t") == "t"
+
+    def test_constant_values_no_crash(self):
+        text = bar_chart([("a", 1.0), ("b", 1.0)])
+        assert text.count("|") == 4
+
+
+class TestGroupedBarChart:
+    def test_legend_and_rows(self):
+        text = grouped_bar_chart({
+            "gcc": {"pruning": 1.09, "no-pruning": 1.07},
+            "comp": {"pruning": 1.20, "no-pruning": 1.10},
+        })
+        assert "█=pruning" in text
+        assert "▓=no-pruning" in text
+        assert text.count("|") == 8  # 2 groups x 2 series x 2 pipes
+
+    def test_missing_series_skipped(self):
+        text = grouped_bar_chart({
+            "a": {"x": 1.0},
+            "b": {"x": 1.0, "y": 2.0},
+        })
+        assert text.count("|") == 6
+
+    def test_empty(self):
+        assert grouped_bar_chart({}, title="t") == "t"
+
+
+class TestTimelinessStack:
+    def test_fractions_rendered(self):
+        text = timeliness_stack({
+            "gcc": {"early": 0.2, "late": 0.7, "useless": 0.1},
+        })
+        assert "e=20%" in text and "l=70%" in text and "u=10%" in text
+
+    def test_legend_present(self):
+        text = timeliness_stack({"x": {"early": 1.0, "late": 0.0,
+                                       "useless": 0.0}})
+        assert "legend" in text

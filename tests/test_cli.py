@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "comp"])
+        assert args.benchmark == "comp"
+        assert args.n == 10
+        assert args.threshold == 0.10
+        assert not args.profile_guided
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig7"])
+        assert args.which == "fig7"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_suite_lists_benchmarks(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "mcf_2k" in out
+
+    def test_run_prints_comparison(self, capsys):
+        assert main(["run", "comp", "--instructions", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "dynamic SSMT" in out
+        assert "speed-up" in out
+
+    def test_run_profile_guided(self, capsys):
+        assert main(["run", "comp", "--instructions", "20000",
+                     "--profile-guided"]) == 0
+        assert "profile-guided SSMT" in capsys.readouterr().out
+
+    def test_profile_outputs_tables(self, capsys):
+        assert main(["profile", "comp", "--instructions", "20000",
+                     "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+
+    def test_experiment_intro_subset(self, capsys):
+        assert main(["experiment", "intro", "--instructions", "20000",
+                     "--benchmarks", "comp"]) == 0
+        assert "headroom" in capsys.readouterr().out
+
+    def test_experiment_fig7_subset(self, capsys):
+        assert main(["experiment", "fig7", "--instructions", "20000",
+                     "--benchmarks", "comp"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "mean gain" in out
+
+    def test_disasm_head(self, capsys):
+        assert main(["disasm", "comp", "--head", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "main:" in out and "more lines" in out
+
+    def test_unknown_benchmark_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonsense"])

@@ -1,0 +1,54 @@
+"""CLI coverage for every experiment subcommand and the chart flag."""
+
+import pytest
+
+from repro.cli import main
+
+FAST = ["--instructions", "20000", "--benchmarks", "comp"]
+
+
+class TestExperimentCommands:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Table 1: comp" in out and "difficult@.10" in out
+
+    def test_table2(self, capsys):
+        assert main(["experiment", "table2"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Table 2: comp" in out and "path(16)" in out
+
+    def test_fig6(self, capsys):
+        assert main(["experiment", "fig6"] + FAST) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_fig8(self, capsys):
+        assert main(["experiment", "fig8"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "chain" in out
+
+    def test_fig9(self, capsys):
+        assert main(["experiment", "fig9"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out and "early%" in out
+
+    def test_fig7_chart_flag(self, capsys):
+        assert main(["experiment", "fig7", "--chart"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7 (bars)" in out
+        assert "█" in out
+
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "# Experiment report" in out
+
+    def test_unknown_benchmark_in_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig6", "--benchmarks", "bogus"])
+
+    def test_profile_multiple_ns(self, capsys):
+        assert main(["profile", "comp", "--instructions", "20000",
+                     "--n", "2", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "path(2)" in out and "path(6)" in out

@@ -1,0 +1,116 @@
+"""Tests for the JRS confidence estimator and its coverage analysis."""
+
+import pytest
+
+from repro.analysis.confidence import (
+    compare_confidence_schemes,
+    confidence_coverage,
+)
+from repro.analysis.events import collect_control_events
+from repro.branch.confidence import ConfidenceEstimator
+from repro.isa.assembler import assemble
+from repro.sim.functional import run_program
+
+
+class TestConfidenceEstimator:
+    def test_starts_low_confidence(self):
+        estimator = ConfidenceEstimator(threshold=4)
+        assert not estimator.is_confident(10)
+
+    def test_correct_streak_builds_confidence(self):
+        estimator = ConfidenceEstimator(threshold=4)
+        for _ in range(4):
+            estimator.update(10, correct=True)
+        assert estimator.is_confident(10)
+
+    def test_mispredict_resets(self):
+        estimator = ConfidenceEstimator(threshold=4)
+        for _ in range(10):
+            estimator.update(10, correct=True)
+        estimator.update(10, correct=False)
+        assert estimator.counter(10) == 0
+        assert not estimator.is_confident(10)
+
+    def test_counter_saturates(self):
+        estimator = ConfidenceEstimator(max_count=15)
+        for _ in range(40):
+            estimator.update(3, correct=True)
+        assert estimator.counter(3) == 15
+
+    def test_query_stats(self):
+        estimator = ConfidenceEstimator(threshold=1)
+        estimator.is_confident(5)
+        estimator.update(5, True)
+        estimator.is_confident(5)
+        assert estimator.low_confidence_queries == 1
+        assert estimator.high_confidence_queries == 1
+        assert estimator.low_confidence_fraction == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(entries=100)
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(threshold=0)
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(max_count=3, threshold=5)
+
+
+MIXED_PROGRAM = """
+.data arr 64 57 3 91 22 68 14 77 41 5 99 33 60 12 84 29 50 73 8 66 95 17 38 55 81 26 62 44 70 11 88 35 58 2 92 20 65 16 79 40 6 97 31 59 13 86 28 52 74 9 67 94 18 39 56 80 27 63 45 71 10 89 36 53 24
+    li r1, 0
+    li r2, 3000
+loop:
+    li r14, 2654435761
+    mul r3, r1, r14
+    srli r3, r3, 5
+    andi r3, r3, 63
+    li r4, &arr
+    add r5, r4, r3
+    ld r6, 0(r5)
+    li r7, 50
+    blt r6, r7, t1          ; difficult (pseudo-random)
+    addi r8, r8, 1
+t1:
+    andi r9, r1, 1023
+    li r10, 1000
+    blt r9, r10, t2         ; easy (heavily biased)
+    addi r8, r8, 2
+t2:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def events():
+    trace = run_program(assemble(MIXED_PROGRAM), max_instructions=60_000)
+    return collect_control_events(trace)
+
+
+class TestConfidenceCoverage:
+    def test_flags_cover_most_mispredicts(self, events):
+        result = confidence_coverage(events, use_path=False)
+        assert result.mispredict_coverage > 0.5
+        assert result.total > 0
+
+    def test_execution_coverage_below_one(self, events):
+        result = confidence_coverage(events, use_path=False)
+        # The easy branch must mostly be flagged confident.
+        assert result.execution_coverage < 0.9
+
+    def test_path_indexing_variant_runs(self, events):
+        result = confidence_coverage(events, n=4, use_path=True)
+        assert result.scheme == "jrs-path(4)"
+        assert 0.0 <= result.mispredict_coverage <= 1.0
+
+    def test_compare_schemes_shapes(self, events):
+        results = compare_confidence_schemes(events, ns=(4, 10))
+        schemes = [r.scheme for r in results]
+        assert schemes == ["jrs-pc", "jrs-path(4)", "jrs-path(10)"]
+
+    def test_low_threshold_flags_less(self, events):
+        strict = confidence_coverage(events, threshold=2, use_path=False)
+        lax = confidence_coverage(events, threshold=14, use_path=False)
+        # a higher confidence bar flags more instances as low-confidence
+        assert lax.execution_coverage >= strict.execution_coverage

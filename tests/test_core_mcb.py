@@ -1,0 +1,155 @@
+"""Tests for MCB optimizations: move elimination, constant propagation,
+pruning (paper §4.2.3, §4.2.5)."""
+
+from repro.core import mcb
+from repro.core.microthread import MicroOp, topological_order
+from repro.isa.instructions import Opcode
+
+
+def sizes(root):
+    return sum(1 for n in topological_order(root) if n.is_instruction)
+
+
+class TestMoveElimination:
+    def test_mov_forwarded(self):
+        live = MicroOp("livein", reg=1, order=0)
+        mov = MicroOp("op", op=Opcode.MOV, inputs=[live], order=1)
+        k = MicroOp("const", imm=5, order=2)
+        root = MicroOp("branch", op=Opcode.BLT, inputs=[mov, k], order=3)
+        root, eliminated = mcb.move_elimination(root)
+        assert eliminated == 1
+        assert root.inputs[0] is live
+
+    def test_mov_chain_fully_collapsed(self):
+        live = MicroOp("livein", reg=1, order=0)
+        m1 = MicroOp("op", op=Opcode.MOV, inputs=[live], order=1)
+        m2 = MicroOp("op", op=Opcode.MOV, inputs=[m1], order=2)
+        m3 = MicroOp("op", op=Opcode.MOV, inputs=[m2], order=3)
+        k = MicroOp("const", imm=5, order=4)
+        root = MicroOp("branch", op=Opcode.BLT, inputs=[m3, k], order=5)
+        root, eliminated = mcb.move_elimination(root)
+        assert eliminated == 3
+        assert root.inputs[0] is live
+
+    def test_non_mov_untouched(self):
+        live = MicroOp("livein", reg=1, order=0)
+        addi = MicroOp("op", op=Opcode.ADDI, imm=1, inputs=[live], order=1)
+        k = MicroOp("const", imm=5, order=2)
+        root = MicroOp("branch", op=Opcode.BLT, inputs=[addi, k], order=3)
+        root, eliminated = mcb.move_elimination(root)
+        assert eliminated == 0
+        assert root.inputs[0] is addi
+
+
+class TestConstantPropagation:
+    def test_addi_of_const_folds(self):
+        c = MicroOp("const", imm=10, order=0)
+        addi = MicroOp("op", op=Opcode.ADDI, imm=5, inputs=[c], order=1)
+        k = MicroOp("const", imm=15, order=2)
+        root = MicroOp("branch", op=Opcode.BEQ, inputs=[addi, k], order=3)
+        root, folded = mcb.constant_propagation(root)
+        assert folded == 1
+        assert root.inputs[0].kind == "const"
+        assert root.inputs[0].imm == 15
+
+    def test_chain_folds_transitively(self):
+        c = MicroOp("const", imm=1, order=0)
+        a1 = MicroOp("op", op=Opcode.ADDI, imm=1, inputs=[c], order=1)
+        a2 = MicroOp("op", op=Opcode.SLLI, imm=2, inputs=[a1], order=2)
+        k = MicroOp("const", imm=8, order=3)
+        root = MicroOp("branch", op=Opcode.BEQ, inputs=[a2, k], order=4)
+        root, folded = mcb.constant_propagation(root)
+        assert folded == 2
+        assert root.inputs[0].imm == 8  # (1+1) << 2
+
+    def test_two_const_alu_folds(self):
+        a = MicroOp("const", imm=6, order=0)
+        b = MicroOp("const", imm=7, order=1)
+        mul = MicroOp("op", op=Opcode.MUL, inputs=[a, b], order=2)
+        k = MicroOp("const", imm=42, order=3)
+        root = MicroOp("branch", op=Opcode.BEQ, inputs=[mul, k], order=4)
+        root, folded = mcb.constant_propagation(root)
+        assert folded == 1
+        assert root.inputs[0].imm == 42
+
+    def test_live_in_blocks_folding(self):
+        live = MicroOp("livein", reg=1, order=0)
+        addi = MicroOp("op", op=Opcode.ADDI, imm=5, inputs=[live], order=1)
+        k = MicroOp("const", imm=15, order=2)
+        root = MicroOp("branch", op=Opcode.BEQ, inputs=[addi, k], order=3)
+        root, folded = mcb.constant_propagation(root)
+        assert folded == 0
+
+    def test_folding_shrinks_routine(self):
+        c = MicroOp("const", imm=1, order=0)
+        a1 = MicroOp("op", op=Opcode.ADDI, imm=1, inputs=[c], order=1)
+        k = MicroOp("const", imm=2, order=2)
+        root = MicroOp("branch", op=Opcode.BEQ, inputs=[a1, k], order=3)
+        before = sizes(root)
+        root, _ = mcb.constant_propagation(root)
+        assert sizes(root) < before
+
+
+class TestPruning:
+    def _chain(self):
+        """livein -> mul -> andi -> load -> branch vs const."""
+        live = MicroOp("livein", reg=1, order=10)
+        mul = MicroOp("op", op=Opcode.MUL, pc=1, inputs=[live, MicroOp("const", imm=3, order=11)], order=12)
+        andi = MicroOp("op", op=Opcode.ANDI, pc=2, imm=63, inputs=[mul], order=13)
+        base = MicroOp("const", imm=0x100, pc=3, order=14)
+        addr = MicroOp("op", op=Opcode.ADD, pc=4, inputs=[base, andi], order=15)
+        load = MicroOp("load", op=Opcode.LD, pc=5, imm=0, inputs=[addr], order=16)
+        k = MicroOp("const", imm=50, order=17)
+        root = MicroOp("branch", op=Opcode.BLT, pc=6, inputs=[load, k], order=18)
+        return root
+
+    def test_value_pruning_replaces_subtree(self):
+        root = self._chain()
+        before = sizes(root)
+        # The address computation (order 15) is value-confident.
+        root, vp, ap = mcb.prune(
+            root,
+            value_confident=lambda n: n.order == 15,
+            address_confident=lambda n: False,
+        )
+        assert vp == 1 and ap == 0
+        assert sizes(root) < before
+        kinds = {n.kind for n in topological_order(root)}
+        assert "vp" in kinds
+        # the mul/andi subtree is no longer reachable
+        assert not any(n.op == Opcode.MUL for n in topological_order(root)
+                       if n.kind == "op")
+
+    def test_address_pruning_keeps_load(self):
+        root = self._chain()
+        root, vp, ap = mcb.prune(
+            root,
+            value_confident=lambda n: False,
+            address_confident=lambda n: n.kind == "load",
+        )
+        assert ap == 1 and vp == 0
+        nodes = topological_order(root)
+        load = next(n for n in nodes if n.kind == "load")
+        assert load.inputs[0].kind == "ap"
+
+    def test_no_confidence_no_pruning(self):
+        root = self._chain()
+        before = sizes(root)
+        root, vp, ap = mcb.prune(root, lambda n: False, lambda n: False)
+        assert vp == ap == 0
+        assert sizes(root) == before
+
+    def test_pruning_reduces_live_ins(self):
+        root = self._chain()
+        root, _, _ = mcb.prune(
+            root,
+            value_confident=lambda n: n.order == 15,
+            address_confident=lambda n: False,
+        )
+        liveins = [n for n in topological_order(root) if n.kind == "livein"]
+        assert not liveins  # the loop-counter live-in disappeared
+
+    def test_branch_never_pruned(self):
+        root = self._chain()
+        root, vp, ap = mcb.prune(root, lambda n: True, lambda n: True)
+        assert root.kind == "branch"

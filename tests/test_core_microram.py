@@ -1,0 +1,90 @@
+"""Tests for the MicroRAM routine store."""
+
+import pytest
+
+from repro.core.microram import MicroRAM
+from repro.core.microthread import Microthread, MicroOp, topological_order
+from repro.core.path import PathKey
+from repro.isa.instructions import Opcode
+
+
+def make_thread(term_pc, spawn_pc, branches=(1, 2)):
+    root = MicroOp("branch", op=Opcode.BEQ,
+                   inputs=[MicroOp("const", imm=0), MicroOp("const", imm=0)])
+    return Microthread(
+        key=PathKey(term_pc, branches),
+        path_id=term_pc,
+        root=root,
+        nodes=topological_order(root),
+        live_in_regs=(),
+        spawn_pc=spawn_pc,
+        separation=5,
+        term_pc=term_pc,
+        term_taken_target=0,
+        prefix=(),
+        expected_suffix=(),
+    )
+
+
+class TestInsertLookup:
+    def test_insert_and_get(self):
+        ram = MicroRAM(capacity=4)
+        thread = make_thread(10, 5)
+        assert ram.insert(thread) is None
+        assert ram.get(thread.key) is thread
+        assert thread.key in ram
+
+    def test_routines_at_spawn_pc(self):
+        ram = MicroRAM(capacity=4)
+        a = make_thread(10, 5)
+        b = make_thread(11, 5, branches=(3, 4))
+        ram.insert(a)
+        ram.insert(b)
+        assert set(t.term_pc for t in ram.routines_at(5)) == {10, 11}
+        assert ram.routines_at(99) == []
+
+    def test_reinsert_same_key_replaces(self):
+        ram = MicroRAM(capacity=4)
+        a = make_thread(10, 5)
+        ram.insert(a)
+        b = make_thread(10, 6)  # same key fields
+        ram.insert(b)
+        assert len(ram) == 1
+        assert ram.routines_at(5) == []
+        assert ram.routines_at(6)[0] is b
+
+
+class TestEviction:
+    def test_lru_eviction_on_capacity(self):
+        ram = MicroRAM(capacity=2)
+        a = make_thread(1, 5)
+        b = make_thread(2, 6)
+        c = make_thread(3, 7)
+        ram.insert(a)
+        ram.insert(b)
+        evicted = ram.insert(c)
+        assert evicted == a.key
+        assert ram.get(a.key) is None
+        assert ram.evictions == 1
+
+    def test_touch_refreshes_lru(self):
+        ram = MicroRAM(capacity=2)
+        a = make_thread(1, 5)
+        b = make_thread(2, 6)
+        ram.insert(a)
+        ram.insert(b)
+        ram.touch(a.key)  # a used by a spawn
+        evicted = ram.insert(make_thread(3, 7))
+        assert evicted == b.key
+
+    def test_remove_on_demotion(self):
+        ram = MicroRAM(capacity=4)
+        a = make_thread(1, 5)
+        ram.insert(a)
+        assert ram.remove(a.key)
+        assert not ram.remove(a.key)
+        assert ram.routines_at(5) == []
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MicroRAM(capacity=0)

@@ -1,0 +1,178 @@
+"""Tests for microthread data-flow graphs and functional execution."""
+
+import pytest
+
+from repro.core.microthread import (
+    Microthread,
+    MicroOp,
+    MicrothreadPrediction,
+    topological_order,
+)
+from repro.core.path import PathKey
+from repro.isa.instructions import Opcode
+
+
+def make_thread(root, **overrides):
+    defaults = dict(
+        key=PathKey(100, (1, 2)),
+        path_id=42,
+        root=root,
+        nodes=topological_order(root),
+        live_in_regs=(),
+        spawn_pc=0,
+        separation=10,
+        term_pc=100,
+        term_taken_target=200,
+        prefix=(),
+        expected_suffix=(),
+    )
+    defaults.update(overrides)
+    return Microthread(**defaults)
+
+
+def execute(thread, live_ins=None, memory=None, vp=None, ap=None):
+    return thread.execute(
+        live_ins or {},
+        (memory or {}).get if not callable(memory) else memory,
+        vp or (lambda pc, ahead: None),
+        ap or (lambda pc, ahead: None),
+    )
+
+
+class TestTopologicalOrder:
+    def test_inputs_precede_users(self):
+        a = MicroOp("const", imm=1, order=0)
+        b = MicroOp("const", imm=2, order=1)
+        c = MicroOp("op", op=Opcode.ADD, inputs=[a, b], order=2)
+        root = MicroOp("branch", op=Opcode.BEQ, inputs=[c, a], order=3)
+        order = topological_order(root)
+        positions = {node.uid: i for i, node in enumerate(order)}
+        assert positions[a.uid] < positions[c.uid]
+        assert positions[b.uid] < positions[c.uid]
+        assert positions[c.uid] < positions[root.uid]
+
+    def test_shared_node_appears_once(self):
+        shared = MicroOp("const", imm=5, order=0)
+        left = MicroOp("op", op=Opcode.ADDI, imm=1, inputs=[shared], order=1)
+        right = MicroOp("op", op=Opcode.ADDI, imm=2, inputs=[shared], order=2)
+        root = MicroOp("branch", op=Opcode.BLT, inputs=[left, right], order=3)
+        order = topological_order(root)
+        assert len(order) == 4
+
+    def test_diamond_ordering(self):
+        top = MicroOp("livein", reg=1, order=0)
+        l = MicroOp("op", op=Opcode.ADDI, imm=1, inputs=[top], order=1)
+        r = MicroOp("op", op=Opcode.ADDI, imm=2, inputs=[top], order=2)
+        join = MicroOp("op", op=Opcode.ADD, inputs=[l, r], order=3)
+        root = MicroOp("branch", op=Opcode.BNE, inputs=[join, top], order=4)
+        order = topological_order(root)
+        positions = {n.uid: i for i, n in enumerate(order)}
+        assert positions[top.uid] < min(positions[l.uid], positions[r.uid])
+        assert positions[join.uid] < positions[root.uid]
+
+    def test_deep_chain_no_recursion_error(self):
+        node = MicroOp("const", imm=0, order=0)
+        for i in range(1, 3000):
+            node = MicroOp("op", op=Opcode.ADDI, imm=1, inputs=[node], order=i)
+        root = MicroOp("branch", op=Opcode.BEQ,
+                       inputs=[node, MicroOp("const", imm=5, order=0)],
+                       order=3000)
+        assert len(topological_order(root)) == 3002
+
+
+class TestRoutineMetrics:
+    def test_routine_size_excludes_liveins(self):
+        live = MicroOp("livein", reg=3, order=0)
+        k = MicroOp("const", imm=7, order=1)
+        root = MicroOp("branch", op=Opcode.BLT, inputs=[live, k], order=2)
+        thread = make_thread(root, live_in_regs=(3,))
+        assert thread.routine_size == 2  # const + store_pcache
+
+    def test_longest_chain(self):
+        live = MicroOp("livein", reg=3, order=0)
+        a = MicroOp("op", op=Opcode.ADDI, imm=1, inputs=[live], order=1)
+        b = MicroOp("op", op=Opcode.ADDI, imm=1, inputs=[a], order=2)
+        k = MicroOp("const", imm=0, order=3)
+        root = MicroOp("branch", op=Opcode.BLT, inputs=[b, k], order=4)
+        thread = make_thread(root)
+        # chain: addi -> addi -> branch = 3 instructions (livein free)
+        assert thread.longest_chain == 3
+
+    def test_listing_mentions_all_instructions(self):
+        live = MicroOp("livein", reg=3, order=0)
+        k = MicroOp("const", imm=7, order=1)
+        root = MicroOp("branch", op=Opcode.BLT, inputs=[live, k], order=2)
+        listing = make_thread(root).listing()
+        assert "store_pcache" in listing
+        assert "livein r3" in listing
+
+
+class TestExecution:
+    def test_conditional_taken(self):
+        live = MicroOp("livein", reg=3, order=0)
+        k = MicroOp("const", imm=10, order=1)
+        root = MicroOp("branch", op=Opcode.BLT, inputs=[live, k], order=2)
+        thread = make_thread(root, live_in_regs=(3,))
+        pred = execute(thread, live_ins={3: 5})
+        assert pred.taken and pred.target == 200
+
+    def test_conditional_not_taken_falls_through(self):
+        live = MicroOp("livein", reg=3, order=0)
+        k = MicroOp("const", imm=10, order=1)
+        root = MicroOp("branch", op=Opcode.BLT, inputs=[live, k], order=2)
+        thread = make_thread(root)
+        pred = execute(thread, live_ins={3: 50})
+        assert not pred.taken and pred.target == thread.term_pc + 1
+
+    def test_alu_chain_evaluation(self):
+        live = MicroOp("livein", reg=1, order=0)
+        double = MicroOp("op", op=Opcode.SLLI, imm=1, inputs=[live], order=1)
+        plus3 = MicroOp("op", op=Opcode.ADDI, imm=3, inputs=[double], order=2)
+        k = MicroOp("const", imm=13, order=3)
+        root = MicroOp("branch", op=Opcode.BEQ, inputs=[plus3, k], order=4)
+        pred = execute(make_thread(root), live_ins={1: 5})
+        assert pred.taken  # 5*2+3 == 13
+
+    def test_load_reads_memory_and_records_address(self):
+        base = MicroOp("const", imm=0x100, order=0)
+        load = MicroOp("load", op=Opcode.LD, imm=4, inputs=[base], order=1)
+        k = MicroOp("const", imm=9, order=2)
+        root = MicroOp("branch", op=Opcode.BEQ, inputs=[load, k], order=3)
+        pred = execute(make_thread(root), memory={0x104: 9})
+        assert pred.taken
+        assert pred.loads_read == (0x104,)
+
+    def test_vp_node_queries_value_predictor(self):
+        vp = MicroOp("vp", pc=77, ahead=1, order=0)
+        k = MicroOp("const", imm=21, order=1)
+        root = MicroOp("branch", op=Opcode.BEQ, inputs=[vp, k], order=2)
+        pred = execute(make_thread(root),
+                       vp=lambda pc, ahead: 21 if pc == 77 else 0)
+        assert pred.taken
+
+    def test_ap_node_supplies_base(self):
+        ap = MicroOp("ap", pc=88, ahead=1, order=0)
+        load = MicroOp("load", op=Opcode.LD, imm=0, inputs=[ap], order=1)
+        k = MicroOp("const", imm=5, order=2)
+        root = MicroOp("branch", op=Opcode.BLT, inputs=[load, k], order=3)
+        pred = execute(make_thread(root), memory={0x200: 3},
+                       ap=lambda pc, ahead: 0x200)
+        assert pred.taken
+
+    def test_indirect_branch_produces_target(self):
+        target = MicroOp("const", imm=555, order=0)
+        root = MicroOp("branch", op=Opcode.JR, inputs=[target], order=1)
+        pred = execute(make_thread(root))
+        assert pred.taken and pred.target == 555
+
+    def test_signed_comparison(self):
+        neg = MicroOp("const", imm=-1 & ((1 << 64) - 1), order=0)
+        zero = MicroOp("const", imm=0, order=1)
+        root = MicroOp("branch", op=Opcode.BLT, inputs=[neg, zero], order=2)
+        assert execute(make_thread(root)).taken
+
+    def test_missing_live_in_defaults_to_zero(self):
+        live = MicroOp("livein", reg=9, order=0)
+        zero = MicroOp("const", imm=0, order=1)
+        root = MicroOp("branch", op=Opcode.BEQ, inputs=[live, zero], order=2)
+        assert execute(make_thread(root), live_ins={}).taken

@@ -1,0 +1,147 @@
+"""Tests for Path_Id hashing and the path tracker (paper §3)."""
+
+import pytest
+
+from repro.core.path import PathKey, PathTracker, path_id_hash
+from repro.isa.assembler import assemble
+from repro.sim.functional import run_program
+
+
+class TestPathIdHash:
+    def test_deterministic(self):
+        pcs = (10, 20, 30)
+        assert path_id_hash(pcs) == path_id_hash(pcs)
+
+    def test_order_sensitive(self):
+        assert path_id_hash((10, 20)) != path_id_hash((20, 10))
+
+    def test_empty_path_hashes_to_zero(self):
+        assert path_id_hash(()) == 0
+
+    def test_fits_in_bits(self):
+        value = path_id_hash(tuple(range(100)), bits=16)
+        assert 0 <= value < (1 << 16)
+
+    def test_different_paths_usually_differ(self):
+        seen = {path_id_hash((a, b, c))
+                for a in range(8) for b in range(8) for c in range(8)}
+        assert len(seen) > 400  # 512 paths, near-unique hashes
+
+    def test_single_branch(self):
+        assert path_id_hash((0x1234,), bits=24) == 0x1234
+
+
+class TestPathKey:
+    def test_hashable_and_equatable(self):
+        a = PathKey(5, (1, 2, 3))
+        b = PathKey(5, (1, 2, 3))
+        assert a == b and hash(a) == hash(b)
+        assert a != PathKey(6, (1, 2, 3))
+
+    def test_path_id_matches_free_function(self):
+        key = PathKey(5, (1, 2, 3))
+        assert key.path_id() == path_id_hash((1, 2, 3))
+
+
+def _trace(source, n=2000):
+    return run_program(assemble(source), max_instructions=n)
+
+
+LOOP_WITH_BRANCHES = """
+    li r1, 0
+    li r2, 20
+loop:
+    andi r3, r1, 1
+    li r4, 0
+    beq r3, r4, even
+    addi r5, r5, 1
+even:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+"""
+
+
+class TestPathTracker:
+    def test_events_only_for_terminating_branches(self):
+        trace = _trace(LOOP_WITH_BRANCHES)
+        tracker = PathTracker(n=2)
+        events = [tracker.observe(rec, i) for i, rec in enumerate(trace)]
+        emitted = [e for e in events if e is not None]
+        terminating = [r for r in trace if r.is_path_terminating]
+        assert len(emitted) == len(terminating)
+
+    def test_path_excludes_terminating_branch_itself(self):
+        trace = _trace(LOOP_WITH_BRANCHES)
+        tracker = PathTracker(n=4)
+        for i, rec in enumerate(trace):
+            event = tracker.observe(rec, i)
+            if event is not None:
+                assert rec.pc not in (()
+                                      if not event.key.branches
+                                      else (event.key.branches[-1],)) \
+                    or trace[event.branch_idxs[-1]].seq != rec.seq
+
+    def test_history_holds_only_taken_controls(self):
+        trace = _trace(LOOP_WITH_BRANCHES)
+        tracker = PathTracker(n=16)
+        taken_pcs = []
+        for i, rec in enumerate(trace[:200]):
+            tracker.observe(rec, i)
+            if rec.is_taken_control:
+                taken_pcs.append(rec.pc)
+        assert tracker.current_branches() == tuple(taken_pcs[-16:])
+
+    def test_partial_until_n_taken_seen(self):
+        trace = _trace(LOOP_WITH_BRANCHES)
+        tracker = PathTracker(n=8)
+        partial_flags = []
+        for i, rec in enumerate(trace):
+            event = tracker.observe(rec, i)
+            if event is not None:
+                partial_flags.append(event.partial)
+        assert partial_flags[0]          # early events are partial
+        assert not partial_flags[-1]     # steady state is full
+
+    def test_scope_size_positive_and_consistent(self):
+        trace = _trace(LOOP_WITH_BRANCHES)
+        tracker = PathTracker(n=3)
+        for i, rec in enumerate(trace):
+            event = tracker.observe(rec, i)
+            if event is not None and not event.partial:
+                assert event.scope_size == event.branch_idx - event.scope_start_idx
+                assert event.scope_size > 0
+
+    def test_same_static_path_same_key(self):
+        """A steady loop produces one repeating path per branch."""
+        trace = _trace(LOOP_WITH_BRANCHES)
+        tracker = PathTracker(n=2)
+        keys_by_pc = {}
+        for i, rec in enumerate(trace):
+            event = tracker.observe(rec, i)
+            if event is not None and not event.partial and i > 100:
+                keys_by_pc.setdefault(rec.pc, set()).add(event.key)
+        # The backedge alternates between even/odd iterations -> <= 2 paths.
+        for keys in keys_by_pc.values():
+            assert 1 <= len(keys) <= 2
+
+    def test_branch_idxs_parallel_branches(self):
+        trace = _trace(LOOP_WITH_BRANCHES)
+        tracker = PathTracker(n=4)
+        for i, rec in enumerate(trace):
+            event = tracker.observe(rec, i)
+            if event is not None and not event.partial:
+                assert len(event.branch_idxs) == len(event.key.branches)
+                assert list(event.branch_idxs) == sorted(event.branch_idxs)
+
+    def test_reset(self):
+        tracker = PathTracker(n=4)
+        trace = _trace(LOOP_WITH_BRANCHES)
+        for i, rec in enumerate(trace[:100]):
+            tracker.observe(rec, i)
+        tracker.reset()
+        assert tracker.current_branches() == ()
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            PathTracker(n=0)

@@ -1,0 +1,178 @@
+"""Tests for the Path Cache (paper §4.1, §4.2.1)."""
+
+import pytest
+
+from repro.core.path import PathKey
+from repro.core.path_cache import PathCache, PathCacheConfig
+
+
+def key(i):
+    return PathKey(term_pc=i, branches=(i + 1, i + 2))
+
+
+def small_cache(**overrides):
+    defaults = dict(entries=16, assoc=4, training_interval=4,
+                    difficulty_threshold=0.10)
+    defaults.update(overrides)
+    return PathCache(PathCacheConfig(**defaults))
+
+
+def train(cache, k, path_id, outcomes):
+    """Feed a sequence of (mispredicted) outcomes; return last event."""
+    event = None
+    for mispredicted in outcomes:
+        event = cache.update(k, path_id, mispredicted)
+    return event
+
+
+class TestAllocationPolicy:
+    def test_allocate_on_mispredict_only(self):
+        cache = small_cache()
+        assert cache.update(key(1), 1, mispredicted=False) is None
+        assert len(cache) == 0
+        assert cache.stats.allocations_avoided == 1
+        cache.update(key(1), 1, mispredicted=True)
+        assert len(cache) == 1
+
+    def test_allocate_always_when_disabled(self):
+        cache = small_cache(allocate_on_mispredict_only=False)
+        cache.update(key(1), 1, mispredicted=False)
+        assert len(cache) == 1
+
+    def test_avoid_rate_tracks_paper_claim(self):
+        """Correctly predicted paths dominate, so most allocations are
+        avoided (the paper reports ~45% for an 8K-entry cache)."""
+        cache = small_cache()
+        for i in range(100):
+            cache.update(key(i), i, mispredicted=(i % 4 == 0))
+        assert cache.stats.allocation_avoid_rate > 0.5
+
+
+class TestTrainingInterval:
+    def test_difficult_bit_set_after_interval(self):
+        cache = small_cache(training_interval=4)
+        # 3 of 4 mispredicted: rate 0.75 > T
+        train(cache, key(1), 1, [True, True, True, False])
+        assert cache.is_difficult(key(1), 1)
+
+    def test_easy_path_not_difficult(self):
+        cache = small_cache(training_interval=4)
+        train(cache, key(1), 1, [True, False, False, False])
+        entry = cache.lookup(key(1), 1)
+        # 1/4 = 0.25 > 0.10 -> still difficult at this threshold
+        assert entry.difficult
+        cache2 = small_cache(training_interval=4, difficulty_threshold=0.30)
+        train(cache2, key(1), 1, [True, False, False, False])
+        assert not cache2.is_difficult(key(1), 1)
+
+    def test_counters_reset_after_interval(self):
+        cache = small_cache(training_interval=4)
+        train(cache, key(1), 1, [True, True, True, True])
+        entry = cache.lookup(key(1), 1)
+        assert entry.occurrences == 0 and entry.mispredicts == 0
+
+    def test_difficult_bit_clears_on_easy_interval(self):
+        cache = small_cache(training_interval=4)
+        train(cache, key(1), 1, [True] * 4)
+        assert cache.is_difficult(key(1), 1)
+        train(cache, key(1), 1, [False] * 4)
+        assert not cache.is_difficult(key(1), 1)
+
+
+class TestPromotionLogic:
+    def test_promotion_event_on_difficult_transition(self):
+        cache = small_cache(training_interval=4)
+        event = train(cache, key(1), 1, [True] * 4)
+        assert event is not None and event.promote
+
+    def test_promotion_repeats_until_marked(self):
+        """If the builder cannot satisfy the request, the Promoted bit
+        stays clear and the next update re-requests (paper §4.2.1)."""
+        cache = small_cache(training_interval=4)
+        train(cache, key(1), 1, [True] * 4)
+        event = cache.update(key(1), 1, True)
+        assert event is not None and event.promote
+
+    def test_no_event_once_promoted(self):
+        cache = small_cache(training_interval=4)
+        train(cache, key(1), 1, [True] * 4)
+        cache.mark_promoted(key(1), 1, True)
+        assert cache.update(key(1), 1, True) is None
+
+    def test_demotion_event_when_difficult_falls(self):
+        cache = small_cache(training_interval=4)
+        train(cache, key(1), 1, [True] * 4)
+        cache.mark_promoted(key(1), 1, True)
+        event = train(cache, key(1), 1, [False] * 4)
+        assert event is not None and not event.promote
+
+    def test_promotion_stats(self):
+        cache = small_cache(training_interval=4)
+        train(cache, key(1), 1, [True] * 4)
+        cache.mark_promoted(key(1), 1, True)
+        cache.mark_promoted(key(1), 1, False)
+        assert cache.stats.promotions == 1
+        assert cache.stats.demotions == 1
+
+
+class TestReplacement:
+    def test_difficulty_aware_lru_prefers_easy_victims(self):
+        cache = small_cache(entries=8, assoc=2, training_interval=2)
+        # Two keys in the same set (path_id selects the set).
+        difficult = key(1)
+        train(cache, difficult, 0, [True, True])   # difficult
+        easy = key(2)
+        # allocated via a mispredict, then two clean intervals clear it
+        train(cache, easy, 0, [True, False, False, False])
+        train(cache, easy, 0, [False])             # easy is now MRU
+        # New allocation in the same set must evict 'easy' (not difficult),
+        # even though 'difficult' is LRU.
+        cache.update(key(3), 0, mispredicted=True)
+        assert cache.lookup(difficult, 0) is not None
+        assert cache.lookup(easy, 0) is None
+
+    def test_plain_lru_when_disabled(self):
+        cache = small_cache(entries=8, assoc=2, training_interval=2,
+                            difficulty_aware_lru=False)
+        difficult = key(1)
+        train(cache, difficult, 0, [True, True])
+        easy = key(2)
+        train(cache, easy, 0, [True])
+        cache.update(key(3), 0, mispredicted=True)
+        # difficult was LRU -> evicted under plain LRU
+        assert cache.lookup(difficult, 0) is None
+
+    def test_eviction_stats(self):
+        cache = small_cache(entries=8, assoc=2)
+        for i in range(5):
+            cache.update(key(i), 0, mispredicted=True)
+        assert cache.stats.evictions == 3
+
+
+class TestConfigValidation:
+    def test_entries_divisible_by_assoc(self):
+        with pytest.raises(ValueError):
+            PathCacheConfig(entries=10, assoc=4)
+
+    def test_sets_power_of_two(self):
+        with pytest.raises(ValueError):
+            PathCacheConfig(entries=24, assoc=4)
+
+    def test_threshold_range(self):
+        with pytest.raises(ValueError):
+            PathCacheConfig(difficulty_threshold=1.5)
+
+    def test_training_interval_positive(self):
+        with pytest.raises(ValueError):
+            PathCacheConfig(training_interval=0)
+
+
+class TestQueries:
+    def test_difficult_count(self):
+        cache = small_cache(training_interval=2)
+        train(cache, key(1), 1, [True, True])
+        train(cache, key(2), 2, [True, False, False, False])
+        assert cache.difficult_count() == 1
+
+    def test_lookup_miss_returns_none(self):
+        assert small_cache().lookup(key(9), 9) is None

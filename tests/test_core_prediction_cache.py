@@ -1,0 +1,75 @@
+"""Tests for the Prediction Cache (paper §4.3.3)."""
+
+import pytest
+
+from repro.core.prediction_cache import PredictionCache, PredictionCacheEntry
+
+
+def entry(taken=True, target=0, arrival=10, writer=None):
+    return PredictionCacheEntry(taken, target, arrival, writer)
+
+
+class TestBasicOperation:
+    def test_write_then_lookup(self):
+        cache = PredictionCache(capacity=8)
+        cache.write(100, 50, entry(taken=True, arrival=7), current_seq=40)
+        found = cache.lookup(100, 50)
+        assert found is not None and found.taken and found.arrival_cycle == 7
+
+    def test_lookup_requires_both_keys(self):
+        """(Path_Id, Seq_Num) jointly identify the instance."""
+        cache = PredictionCache(capacity=8)
+        cache.write(100, 50, entry(), current_seq=40)
+        assert cache.lookup(100, 51) is None
+        assert cache.lookup(101, 50) is None
+
+    def test_miss_stats(self):
+        cache = PredictionCache(capacity=8)
+        cache.lookup(1, 1)
+        cache.write(1, 1, entry(), current_seq=0)
+        cache.lookup(1, 1)
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+
+class TestStaleReclaim:
+    def test_stale_entries_deallocated_first(self):
+        cache = PredictionCache(capacity=2)
+        cache.write(1, 10, entry(), current_seq=5)
+        cache.write(2, 20, entry(), current_seq=15)
+        # cache full; seq 10 < current front-end seq 30 -> stale
+        cache.write(3, 40, entry(), current_seq=30)
+        assert cache.stats.stale_deallocations >= 1
+        assert cache.lookup(3, 40) is not None
+        assert cache.lookup(2, 20) is None or cache.lookup(1, 10) is None
+
+    def test_live_eviction_when_no_stale(self):
+        cache = PredictionCache(capacity=2)
+        cache.write(1, 100, entry(), current_seq=5)
+        cache.write(2, 200, entry(), current_seq=5)
+        cache.write(3, 150, entry(), current_seq=5)  # all live; evict farthest
+        assert cache.stats.live_evictions == 1
+        assert cache.lookup(2, 200) is None  # farthest target evicted
+        assert cache.lookup(3, 150) is not None
+
+    def test_overwrite_same_key_no_eviction(self):
+        cache = PredictionCache(capacity=1)
+        cache.write(1, 10, entry(taken=True), current_seq=0)
+        cache.write(1, 10, entry(taken=False), current_seq=0)
+        assert cache.stats.live_evictions == 0
+        assert cache.lookup(1, 10).taken is False
+
+
+class TestInvalidation:
+    def test_invalidate_by_writer(self):
+        cache = PredictionCache(capacity=8)
+        writer = object()
+        cache.write(1, 10, entry(writer=writer), current_seq=0)
+        cache.write(2, 20, entry(writer=object()), current_seq=0)
+        cache.invalidate_writer(writer)
+        assert cache.lookup(1, 10) is None
+        assert cache.lookup(2, 20) is not None
+        assert cache.stats.invalidations == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PredictionCache(capacity=0)

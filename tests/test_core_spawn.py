@@ -1,0 +1,185 @@
+"""Tests for spawning, microcontexts and the abort mechanism (§4.3)."""
+
+import pytest
+
+from repro.core.microthread import Microthread, MicroOp, topological_order
+from repro.core.path import PathKey
+from repro.core.spawn import SpawnManager
+from repro.isa.instructions import Opcode
+
+
+def make_thread(prefix=(), suffix=(), separation=20, term_pc=99):
+    root = MicroOp("branch", op=Opcode.BEQ,
+                   inputs=[MicroOp("const", imm=0), MicroOp("const", imm=0)])
+    return Microthread(
+        key=PathKey(term_pc, tuple(prefix) + tuple(suffix)),
+        path_id=term_pc,
+        root=root,
+        nodes=topological_order(root),
+        live_in_regs=(),
+        spawn_pc=5,
+        separation=separation,
+        term_pc=term_pc,
+        term_taken_target=0,
+        prefix=tuple(prefix),
+        expected_suffix=tuple(suffix),
+    )
+
+
+class TestPreAllocationFilter:
+    def test_matching_prefix_spawns(self):
+        manager = SpawnManager(n_contexts=4)
+        thread = make_thread(prefix=(10, 20))
+        instance = manager.attempt_spawn(thread, 100, 0,
+                                         recent_taken=(5, 10, 20))
+        assert instance is not None
+        assert manager.stats.spawned == 1
+
+    def test_mismatched_prefix_aborts_pre_allocation(self):
+        manager = SpawnManager(n_contexts=4)
+        thread = make_thread(prefix=(10, 20))
+        instance = manager.attempt_spawn(thread, 100, 0,
+                                         recent_taken=(5, 10, 21))
+        assert instance is None
+        assert manager.stats.pre_allocation_aborts == 1
+        assert manager.stats.spawned == 0
+
+    def test_empty_prefix_always_passes(self):
+        manager = SpawnManager(n_contexts=4)
+        assert manager.attempt_spawn(make_thread(), 100, 0, ()) is not None
+
+    def test_filter_disabled_without_abort(self):
+        manager = SpawnManager(n_contexts=4, abort_enabled=False)
+        thread = make_thread(prefix=(10, 20))
+        assert manager.attempt_spawn(thread, 100, 0, (1, 2, 3)) is not None
+
+
+class TestMicrocontexts:
+    def test_contexts_exhaust(self):
+        manager = SpawnManager(n_contexts=2)
+        for i in range(2):
+            instance = manager.attempt_spawn(make_thread(), 100 + i, 0, ())
+            manager.commit_timing(instance, completion_cycle=1000,
+                                  arrival_cycle=900)
+        assert manager.attempt_spawn(make_thread(), 110, 5, ()) is None
+        assert manager.stats.no_free_context == 1
+
+    def test_context_frees_at_completion(self):
+        manager = SpawnManager(n_contexts=1)
+        instance = manager.attempt_spawn(make_thread(), 100, 0, ())
+        manager.commit_timing(instance, completion_cycle=50, arrival_cycle=40)
+        assert manager.attempt_spawn(make_thread(), 200, 49, ()) is None
+        assert manager.attempt_spawn(make_thread(), 200, 50, ()) is not None
+
+    def test_abort_frees_context_early(self):
+        manager = SpawnManager(n_contexts=1)
+        thread = make_thread(suffix=(7,), separation=50)
+        instance = manager.attempt_spawn(thread, 100, 0, ())
+        manager.commit_timing(instance, completion_cycle=500, arrival_cycle=400)
+        # deviation at cycle 10 aborts and frees the context
+        manager.on_taken_control(pc=8, idx=110, cycle=10)
+        assert instance.aborted
+        assert manager.attempt_spawn(make_thread(), 200, 10, ()) is not None
+
+    def test_rejects_zero_contexts(self):
+        with pytest.raises(ValueError):
+            SpawnManager(n_contexts=0)
+
+
+class TestSuffixAbort:
+    def test_matching_suffix_survives(self):
+        manager = SpawnManager(n_contexts=4)
+        thread = make_thread(suffix=(7, 9), separation=50)
+        instance = manager.attempt_spawn(thread, 100, 0, ())
+        manager.on_taken_control(7, 110, 5)
+        manager.on_taken_control(9, 120, 6)
+        assert not instance.aborted
+        assert instance.suffix_progress == 2
+
+    def test_deviation_aborts(self):
+        manager = SpawnManager(n_contexts=4)
+        thread = make_thread(suffix=(7, 9), separation=50)
+        instance = manager.attempt_spawn(thread, 100, 0, ())
+        aborted = manager.on_taken_control(8, 110, 5)  # expected 7
+        assert instance in aborted
+        assert manager.stats.aborted_active == 1
+
+    def test_extra_taken_branch_aborts(self):
+        """More taken branches than expected before the target = deviation."""
+        manager = SpawnManager(n_contexts=4)
+        thread = make_thread(suffix=(7,), separation=50)
+        instance = manager.attempt_spawn(thread, 100, 0, ())
+        manager.on_taken_control(7, 110, 5)
+        aborted = manager.on_taken_control(7, 120, 6)
+        assert instance in aborted
+
+    def test_taken_controls_outside_window_ignored(self):
+        manager = SpawnManager(n_contexts=4)
+        thread = make_thread(suffix=(7,), separation=10)
+        instance = manager.attempt_spawn(thread, 100, 0, ())
+        manager.on_taken_control(99, 100, 1)   # at spawn idx: ignored
+        manager.on_taken_control(99, 111, 2)   # past target_seq: ignored
+        assert not instance.aborted
+
+    def test_abort_disabled(self):
+        manager = SpawnManager(n_contexts=4, abort_enabled=False)
+        thread = make_thread(suffix=(7,), separation=50)
+        instance = manager.attempt_spawn(thread, 100, 0, ())
+        assert manager.on_taken_control(8, 110, 5) == []
+        assert not instance.aborted
+
+
+class TestMemoryViolations:
+    def test_store_to_loaded_address_violates(self):
+        manager = SpawnManager(n_contexts=4)
+        thread = make_thread(separation=50)
+        instance = manager.attempt_spawn(thread, 100, 0, ())
+        instance.load_set = frozenset({0x200})
+        violated = manager.on_store_retired(0x200, 120, 10)
+        assert instance in violated
+        assert manager.stats.memdep_violations == 1
+        assert instance.aborted
+
+    def test_unrelated_store_ignored(self):
+        manager = SpawnManager(n_contexts=4)
+        thread = make_thread(separation=50)
+        instance = manager.attempt_spawn(thread, 100, 0, ())
+        instance.load_set = frozenset({0x200})
+        assert manager.on_store_retired(0x300, 120, 10) == []
+
+    def test_store_outside_window_ignored(self):
+        manager = SpawnManager(n_contexts=4)
+        thread = make_thread(separation=10)
+        instance = manager.attempt_spawn(thread, 100, 0, ())
+        instance.load_set = frozenset({0x200})
+        assert manager.on_store_retired(0x200, 95, 10) == []   # before spawn
+        assert manager.on_store_retired(0x200, 115, 10) == []  # past target
+
+
+class TestRetirePast:
+    def test_completed_instances_counted(self):
+        manager = SpawnManager(n_contexts=4)
+        thread = make_thread(separation=10)
+        manager.attempt_spawn(thread, 100, 0, ())
+        manager.retire_past(109)
+        assert manager.stats.completed == 0
+        manager.retire_past(110)
+        assert manager.stats.completed == 1
+        assert manager.active == []
+
+    def test_aborted_not_counted_completed(self):
+        manager = SpawnManager(n_contexts=4)
+        thread = make_thread(suffix=(7,), separation=10)
+        instance = manager.attempt_spawn(thread, 100, 0, ())
+        manager.on_taken_control(8, 105, 3)
+        manager.retire_past(110)
+        assert manager.stats.completed == 0
+
+    def test_abort_rates(self):
+        manager = SpawnManager(n_contexts=4)
+        thread = make_thread(prefix=(1,), suffix=(7,), separation=10)
+        manager.attempt_spawn(thread, 100, 0, (2,))     # pre-alloc abort
+        inst = manager.attempt_spawn(thread, 100, 0, (1,))
+        manager.on_taken_control(8, 105, 3)              # active abort
+        assert manager.stats.pre_allocation_abort_rate == 0.5
+        assert manager.stats.active_abort_rate == 1.0

@@ -1,0 +1,109 @@
+"""Microthreads for indirect terminating branches (jump tables).
+
+The paper's mechanism covers indirect branches: ``Store_PCache`` carries
+a pre-computed *target* instead of a direction, and the Prediction Cache
+match works identically.  These tests build microthreads for the
+interpreter kernel's dispatch ``jr`` and check target pre-computation
+end to end.
+"""
+
+import pytest
+
+from repro.analysis.experiments import baseline_run
+from repro.core.builder import BuilderConfig, MicrothreadBuilder
+from repro.core.path import PathTracker
+from repro.core.prb import PostRetirementBuffer
+from repro.core.ssmt import SSMTConfig, run_ssmt
+from repro.sim.functional import run_program
+from repro.valuepred import PredictorTrainer
+from repro.workloads.kernels import build_kernel
+
+
+@pytest.fixture(scope="module")
+def interp_trace():
+    return run_program(build_kernel("interpreter"), max_instructions=30_000)
+
+
+def build_for_indirect(trace, instance=40, n=4,
+                       config=None):
+    """Replay; build at the given dynamic instance of the dispatch jr."""
+    tracker = PathTracker(n)
+    prb = PostRetirementBuffer(512)
+    trainer = PredictorTrainer()
+    builder = MicrothreadBuilder(config or BuilderConfig())
+    count = 0
+    for idx, rec in enumerate(trace):
+        flags = trainer.observe(rec)
+        prb.insert(rec, idx, *flags)
+        event = tracker.observe(rec, idx)
+        if rec.inst.is_indirect and not rec.inst.is_return:
+            count += 1
+            if count == instance:
+                return builder.request(event, prb, 0), event, idx, trainer
+    raise AssertionError("instance not reached")
+
+
+class TestIndirectExtraction:
+    def test_builds_for_jump_register(self, interp_trace):
+        thread, event, idx, _ = build_for_indirect(interp_trace)
+        assert thread is not None
+        assert thread.root.kind == "branch"
+        assert thread.root.op.name == "JR"
+
+    def test_routine_contains_dispatch_dataflow(self, interp_trace):
+        thread, _, _, _ = build_for_indirect(
+            interp_trace, config=BuilderConfig(pruning=False))
+        kinds = [n.kind for n in thread.nodes]
+        assert "load" in kinds   # the bytecode load
+        assert "branch" in kinds
+
+    def test_predicted_target_matches_actual(self, interp_trace):
+        """Execute the routine at a later same-path instance and compare
+        the pre-computed target with the trace's actual next_pc."""
+        thread, event, built_idx, _ = build_for_indirect(
+            interp_trace, config=BuilderConfig(pruning=False))
+        trace = interp_trace
+        tracker = PathTracker(4)
+        target_idx = None
+        for i, rec in enumerate(trace):
+            ev = tracker.observe(rec, i)
+            if (ev is not None and i > built_idx and target_idx is None
+                    and ev.key == thread.key):
+                target_idx = i
+        if target_idx is None:
+            pytest.skip("no later same-path instance in this window")
+        spawn_idx = target_idx - thread.separation
+
+        regs = [0] * 32
+        memory = dict(trace.initial_memory)
+        for rec in trace[:spawn_idx]:
+            dest = rec.inst.dest_reg()
+            if dest is not None:
+                regs[dest] = rec.result
+            if rec.inst.is_store:
+                memory[rec.ea] = rec.result
+        prediction = thread.execute(
+            {r: regs[r] for r in thread.live_in_regs}, memory.get,
+            lambda pc, ahead: None, lambda pc, ahead: None)
+        assert prediction.taken
+        assert prediction.target == trace[target_idx].next_pc
+
+
+class TestIndirectUnderSSMT:
+    def test_indirect_mispredicts_reduced(self, interp_trace):
+        base = baseline_run(interp_trace)
+        result, engine = run_ssmt(
+            interp_trace, SSMTConfig(n=4, training_interval=8,
+                                     build_latency=20))
+        assert base.indirect_branches > 500
+        # microthreads convert a meaningful share of target mispredicts
+        assert result.effective_mispredicts < base.effective_mispredicts
+
+    def test_microthread_targets_accurate(self, interp_trace):
+        _, engine = run_ssmt(
+            interp_trace, SSMTConfig(n=4, training_interval=8,
+                                     build_latency=20))
+        ok = engine.correct_microthread_predictions
+        bad = engine.incorrect_microthread_predictions
+        assert ok > 50
+        assert ok / (ok + bad) > 0.9

@@ -1,0 +1,101 @@
+"""Integration tests: the full pipeline over suite benchmarks.
+
+These use short traces (tens of thousands of instructions) so the whole
+file stays fast; the benchmark harness runs the full-length versions.
+"""
+
+import pytest
+
+from repro.analysis import (
+    characterize_paths,
+    collect_control_events,
+    coverage_analysis,
+)
+from repro.analysis.experiments import (
+    baseline_run,
+    figure6_potential,
+    figure7_realistic,
+    figure8_routines,
+    figure9_timeliness,
+    intro_perfect_prediction,
+)
+from repro.core.ssmt import SSMTConfig, run_ssmt
+from repro.workloads import BENCHMARK_NAMES, benchmark_trace
+
+SHORT = 40_000
+SAMPLE = ("comp", "li")
+
+
+class TestBaselinePipeline:
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_baseline_runs(self, name):
+        result = baseline_run(benchmark_trace(name, SHORT))
+        assert result.instructions == SHORT
+        assert 0.5 < result.ipc < 16.0
+
+    def test_all_benchmarks_generate(self):
+        for name in BENCHMARK_NAMES:
+            trace = benchmark_trace(name, 2_000)
+            assert len(trace) == 2_000
+
+
+class TestAnalysisPipeline:
+    def test_table1_pipeline(self):
+        events = collect_control_events(benchmark_trace("comp", SHORT))
+        result = characterize_paths(events, n=4)
+        assert result.unique_paths > 0
+        assert result.mean_scope > 0
+
+    def test_table2_pipeline(self):
+        events = collect_control_events(benchmark_trace("comp", SHORT))
+        results = coverage_analysis(events, ns=(4,), thresholds=(0.10,))
+        assert len(results) == 2
+
+
+class TestExperimentDrivers:
+    def test_intro_driver(self):
+        speedups = intro_perfect_prediction(SAMPLE, trace_length=SHORT)
+        assert set(speedups) == set(SAMPLE)
+        assert all(s >= 0.95 for s in speedups.values())
+
+    def test_figure6_driver(self):
+        results = figure6_potential(("comp",), ns=(4,), trace_length=SHORT)
+        assert 4 in results["comp"]
+        assert results["comp"][4] > 0.9
+
+    def test_figure7_through_9_drivers(self):
+        realistic = figure7_realistic(("comp",), trace_length=SHORT,
+                                      build_latency=20)
+        row = realistic[0]
+        assert row.baseline_ipc > 0
+        assert row.speedup_pruning > 0.8
+
+        fig8 = figure8_routines(realistic)
+        assert "size_pruning" in fig8["comp"]
+
+        fig9 = figure9_timeliness(realistic)
+        breakdown = fig9["comp"]["pruning"]
+        if breakdown["total"]:
+            total_fraction = (breakdown["early"] + breakdown["late"]
+                              + breakdown["useless"])
+            assert total_fraction == pytest.approx(1.0)
+
+
+class TestSSMTOnSuite:
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_ssmt_machine_runs_clean(self, name):
+        trace = benchmark_trace(name, SHORT)
+        result, engine = run_ssmt(
+            trace, SSMTConfig(training_interval=8, build_latency=20))
+        assert result.instructions == SHORT
+        report = engine.report()
+        assert report["microthread_incorrect"] <= max(
+            10, report["microthread_correct"])
+
+    def test_determinism(self):
+        trace = benchmark_trace("comp", SHORT)
+        config = SSMTConfig(training_interval=8)
+        first, _ = run_ssmt(trace, config)
+        second, _ = run_ssmt(trace, SSMTConfig(training_interval=8))
+        assert first.cycles == second.cycles
+        assert first.effective_mispredicts == second.effective_mispredicts

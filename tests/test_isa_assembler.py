@@ -1,0 +1,137 @@
+"""Tests for the two-pass text assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.instructions import Opcode
+
+
+class TestBasicAssembly:
+    def test_alu_and_halt(self):
+        program = assemble("""
+            li   r1, 5
+            li   r2, 7
+            add  r3, r1, r2
+            halt
+        """)
+        assert [i.opcode for i in program.instructions] == [
+            Opcode.LI, Opcode.LI, Opcode.ADD, Opcode.HALT
+        ]
+        assert program[2].rd == 3
+
+    def test_labels_and_branches(self):
+        program = assemble("""
+        main:
+            li r1, 0
+        loop:
+            addi r1, r1, 1
+            blt  r1, r2, loop
+            halt
+        """)
+        assert program.labels["loop"] == 1
+        assert program[2].target == 1
+
+    def test_memory_operands(self):
+        program = assemble("""
+            ld r1, 8(r2)
+            st r1, 16(sp)
+            halt
+        """)
+        assert program[0].imm == 8 and program[0].rs1 == 2
+        assert program[1].imm == 16
+
+    def test_comments_ignored(self):
+        program = assemble("""
+            ; full line comment
+            li r1, 1   # trailing comment
+            halt       ; another
+        """)
+        assert len(program) == 2
+
+    def test_hex_immediates(self):
+        program = assemble("li r1, 0x10\nhalt")
+        assert program[0].imm == 16
+
+    def test_negative_immediates(self):
+        program = assemble("addi r1, r1, -3\nhalt")
+        assert program[0].imm == -3
+
+
+class TestDataDirectives:
+    def test_data_symbol_reference(self):
+        program = assemble("""
+        .data table 4 10 20 30 40
+            li r1, &table
+            ld r2, 0(r1)
+            halt
+        """)
+        base = program[0].imm
+        assert program.data.load(base) == 10
+        assert program.data.load(base + 3) == 40
+
+    def test_two_data_symbols_distinct(self):
+        program = assemble("""
+        .data a 8
+        .data b 8
+            li r1, &a
+            li r2, &b
+            halt
+        """)
+        assert program[1].imm == program[0].imm + 8
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(AssemblyError, match="unknown data symbol"):
+            assemble("li r1, &missing\nhalt")
+
+    def test_duplicate_symbol_raises(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble(".data x 1\n.data x 1\nhalt")
+
+
+class TestAssemblyErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1\nhalt")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("add r1, r2\nhalt")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError, match="memory operand"):
+            assemble("ld r1, r2\nhalt")
+
+    def test_micro_op_not_assemblable(self):
+        with pytest.raises(AssemblyError):
+            assemble("store_pcache r1\nhalt")
+
+    def test_bad_immediate_in_alu_op(self):
+        with pytest.raises(AssemblyError, match="bad immediate"):
+            assemble("addi r1, r1, abc\nhalt")
+
+    def test_li_unknown_label_immediate(self):
+        """LI immediates may name code labels; unknown ones fail at link."""
+        from repro.isa.program import ProgramError
+
+        with pytest.raises(ProgramError, match="unresolved label immediate"):
+            assemble("li r1, abc\nhalt")
+
+    def test_li_code_label_immediate_resolves(self):
+        program = assemble("li r1, target\nhalt\ntarget:\nnop")
+        assert program[0].imm == 2
+
+
+class TestControlFlow:
+    def test_jump_register(self):
+        program = assemble("jr r5\nhalt")
+        assert program[0].opcode == Opcode.JR and program[0].rs1 == 5
+
+    def test_call_ret(self):
+        program = assemble("""
+            call fn
+            halt
+        fn:
+            ret
+        """)
+        assert program[0].target == 2
+        assert program[2].opcode == Opcode.RET

@@ -1,0 +1,146 @@
+"""Tests for opcode classification and Instruction dataflow queries."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ALU_IMM_OPS,
+    ALU_OPS,
+    CONDITIONAL_BRANCHES,
+    CONTROL_OPS,
+    DIRECT_JUMPS,
+    INDIRECT_JUMPS,
+    MEMORY_OPS,
+    MICRO_OPS,
+    PATH_TERMINATING_OPS,
+    TAKEN_CONTROL_OPS,
+    Instruction,
+    Opcode,
+)
+from repro.isa.registers import REG_RA, REG_ZERO
+
+
+class TestOpcodeFamilies:
+    def test_families_are_disjoint(self):
+        assert not (ALU_OPS & ALU_IMM_OPS)
+        assert not (ALU_OPS & CONTROL_OPS)
+        assert not (MEMORY_OPS & CONTROL_OPS)
+        assert not (MICRO_OPS & CONTROL_OPS)
+
+    def test_control_partition(self):
+        assert CONTROL_OPS == CONDITIONAL_BRANCHES | DIRECT_JUMPS | INDIRECT_JUMPS
+
+    def test_taken_controls_always_redirect(self):
+        assert Opcode.JMP in TAKEN_CONTROL_OPS
+        assert Opcode.CALL in TAKEN_CONTROL_OPS
+        assert Opcode.RET in TAKEN_CONTROL_OPS
+        assert Opcode.JR in TAKEN_CONTROL_OPS
+        assert Opcode.BEQ not in TAKEN_CONTROL_OPS
+
+    def test_path_terminating_ops(self):
+        """Paper §3: terminating branches are conditional or indirect."""
+        assert PATH_TERMINATING_OPS == CONDITIONAL_BRANCHES | INDIRECT_JUMPS
+        assert Opcode.JMP not in PATH_TERMINATING_OPS
+        assert Opcode.CALL not in PATH_TERMINATING_OPS
+
+
+class TestClassificationProperties:
+    def test_conditional_branch(self):
+        inst = Instruction(Opcode.BLT, rs1=1, rs2=2, target=10)
+        assert inst.is_control
+        assert inst.is_conditional_branch
+        assert inst.is_path_terminating
+        assert not inst.is_indirect
+
+    def test_indirect_jump(self):
+        inst = Instruction(Opcode.JR, rs1=5)
+        assert inst.is_control
+        assert inst.is_indirect
+        assert inst.is_path_terminating
+        assert not inst.is_conditional_branch
+
+    def test_call_and_return(self):
+        call = Instruction(Opcode.CALL, target=3)
+        ret = Instruction(Opcode.RET)
+        assert call.is_call and not call.is_return
+        assert ret.is_return and ret.is_indirect
+
+    def test_memory_ops(self):
+        load = Instruction(Opcode.LD, rd=1, rs1=2, imm=4)
+        store = Instruction(Opcode.ST, rs1=2, rs2=3, imm=4)
+        assert load.is_load and load.is_memory and not load.is_store
+        assert store.is_store and store.is_memory and not store.is_load
+
+    def test_micro_ops(self):
+        assert Instruction(Opcode.STORE_PCACHE, rs1=1).is_micro_op
+        assert Instruction(Opcode.VP_INST, rd=1).is_micro_op
+        assert not Instruction(Opcode.ADD).is_micro_op
+
+
+class TestDestReg:
+    def test_alu_writes_rd(self):
+        assert Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2).dest_reg() == 3
+        assert Instruction(Opcode.ADDI, rd=7, rs1=1, imm=5).dest_reg() == 7
+
+    def test_write_to_r0_discarded(self):
+        assert Instruction(Opcode.ADD, rd=REG_ZERO, rs1=1, rs2=2).dest_reg() is None
+
+    def test_load_writes_rd(self):
+        assert Instruction(Opcode.LD, rd=4, rs1=1).dest_reg() == 4
+
+    def test_store_writes_nothing(self):
+        assert Instruction(Opcode.ST, rs1=1, rs2=2).dest_reg() is None
+
+    def test_call_writes_ra(self):
+        assert Instruction(Opcode.CALL, target=0).dest_reg() == REG_RA
+
+    def test_branches_write_nothing(self):
+        assert Instruction(Opcode.BEQ, rs1=1, rs2=2, target=0).dest_reg() is None
+        assert Instruction(Opcode.JMP, target=0).dest_reg() is None
+
+
+class TestSrcRegs:
+    def test_alu_reads_both(self):
+        assert Instruction(Opcode.SUB, rd=3, rs1=1, rs2=2).src_regs() == (1, 2)
+
+    def test_imm_reads_one(self):
+        assert Instruction(Opcode.ADDI, rd=3, rs1=1, imm=5).src_regs() == (1,)
+
+    def test_li_reads_none(self):
+        assert Instruction(Opcode.LI, rd=3, imm=5).src_regs() == ()
+
+    def test_zero_sources_excluded(self):
+        assert Instruction(Opcode.ADD, rd=3, rs1=REG_ZERO, rs2=2).src_regs() == (2,)
+
+    def test_store_reads_base_and_value(self):
+        assert Instruction(Opcode.ST, rs1=1, rs2=2).src_regs() == (1, 2)
+
+    def test_return_reads_ra(self):
+        assert Instruction(Opcode.RET).src_regs() == (REG_RA,)
+
+    def test_jr_reads_target_register(self):
+        assert Instruction(Opcode.JR, rs1=9).src_regs() == (9,)
+
+    def test_conditional_reads_both(self):
+        assert Instruction(Opcode.BNE, rs1=4, rs2=5, target=0).src_regs() == (4, 5)
+
+
+class TestDisassembly:
+    @pytest.mark.parametrize("inst,expected", [
+        (Instruction(Opcode.ADD, rd=1, rs1=5, rs2=3), "add r1, r5, r3"),
+        (Instruction(Opcode.LI, rd=4, imm=42), "li r4, 42"),
+        (Instruction(Opcode.MOV, rd=4, rs1=5), "mov r4, r5"),
+        (Instruction(Opcode.LD, rd=1, rs1=9, imm=8), "ld r1, 8(r9)"),
+        (Instruction(Opcode.ST, rs1=9, rs2=1, imm=8), "st r1, 8(r9)"),
+        (Instruction(Opcode.BEQ, rs1=1, rs2=9, target=7), "beq r1, r9, 7"),
+        (Instruction(Opcode.RET), "ret"),
+        (Instruction(Opcode.JR, rs1=6), "jr r6"),
+    ])
+    def test_disassemble(self, inst, expected):
+        assert inst.disassemble() == expected
+
+    def test_copy_is_independent(self):
+        inst = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3, pc=9)
+        clone = inst.copy()
+        clone.rd = 7
+        assert inst.rd == 1
+        assert clone.pc == 9

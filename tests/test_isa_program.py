@@ -1,0 +1,136 @@
+"""Tests for Program linking and validation, and ProgramBuilder."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import DataSegment, Program, ProgramError
+
+
+def _nop():
+    return Instruction(Opcode.NOP)
+
+
+class TestProgramLinking:
+    def test_pcs_assigned_sequentially(self):
+        program = Program([_nop(), _nop(), _nop()])
+        assert [inst.pc for inst in program.instructions] == [0, 1, 2]
+
+    def test_label_targets_resolved(self):
+        insts = [Instruction(Opcode.JMP, target="end"), _nop(), _nop()]
+        program = Program(insts, labels={"end": 2})
+        assert program[0].target == 2
+
+    def test_unresolved_label_raises(self):
+        with pytest.raises(ProgramError, match="unresolved"):
+            Program([Instruction(Opcode.JMP, target="nowhere")])
+
+    def test_label_immediate_for_li(self):
+        insts = [Instruction(Opcode.LI, rd=1, imm="table"), _nop(), _nop()]
+        program = Program(insts, labels={"table": 2})
+        assert program[0].imm == 2
+
+    def test_out_of_range_target_raises(self):
+        with pytest.raises(ProgramError, match="out of range"):
+            Program([Instruction(Opcode.JMP, target=5), _nop()])
+
+    def test_empty_program_raises(self):
+        with pytest.raises(ProgramError, match="empty"):
+            Program([])
+
+    def test_bad_entry_raises(self):
+        with pytest.raises(ProgramError, match="entry"):
+            Program([_nop()], entry=3)
+
+    def test_micro_op_rejected(self):
+        with pytest.raises(ProgramError, match="micro-op"):
+            Program([Instruction(Opcode.STORE_PCACHE, rs1=1)])
+
+    def test_static_branch_count(self):
+        insts = [
+            Instruction(Opcode.BEQ, rs1=1, rs2=2, target=0),
+            _nop(),
+            Instruction(Opcode.JMP, target=0),
+        ]
+        assert Program(insts).static_branch_count() == 2
+
+    def test_disassemble_includes_labels(self):
+        insts = [_nop(), Instruction(Opcode.JMP, target="loop")]
+        listing = Program(insts, labels={"loop": 0}).disassemble()
+        assert "loop:" in listing
+        assert "jmp" in listing
+
+
+class TestDataSegment:
+    def test_store_load_roundtrip(self):
+        seg = DataSegment()
+        seg.store(100, 42)
+        assert seg.load(100) == 42
+
+    def test_default_zero(self):
+        assert DataSegment().load(999) == 0
+
+
+class TestProgramBuilder:
+    def test_emit_and_build(self):
+        b = ProgramBuilder()
+        b.li(1, 5)
+        b.emit(Opcode.ADD, rd=2, rs1=1, rs2=1)
+        b.emit(Opcode.HALT)
+        program = b.build()
+        assert len(program) == 3
+        assert program[1].opcode == Opcode.ADD
+
+    def test_forward_label_fixup(self):
+        b = ProgramBuilder()
+        b.jmp("skip")
+        b.emit(Opcode.NOP)
+        b.label("skip")
+        b.emit(Opcode.HALT)
+        program = b.build()
+        assert program[0].target == 2
+
+    def test_fresh_labels_are_unique(self):
+        b = ProgramBuilder()
+        assert b.fresh_label() != b.fresh_label()
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder()
+        b.emit(Opcode.NOP)
+        b.label("x")
+        with pytest.raises(ProgramError, match="duplicate"):
+            b.label("x")
+
+    def test_bind_reserved_label(self):
+        b = ProgramBuilder()
+        name = b.fresh_label()
+        b.jmp(name)
+        b.bind(name)
+        b.emit(Opcode.HALT)
+        assert b.build()[0].target == 1
+
+    def test_alloc_returns_distinct_bases(self):
+        b = ProgramBuilder()
+        first = b.alloc(16)
+        second = b.alloc(16)
+        assert second == first + 16
+
+    def test_alloc_initialises_data(self):
+        b = ProgramBuilder()
+        base = b.alloc(4, [9, 8, 7])
+        b.emit(Opcode.HALT)
+        program = b.build()
+        assert program.data.load(base) == 9
+        assert program.data.load(base + 2) == 7
+        assert program.data.load(base + 3) == 0
+
+    def test_alloc_initializer_too_long_raises(self):
+        b = ProgramBuilder()
+        with pytest.raises(ProgramError):
+            b.alloc(2, [1, 2, 3])
+
+    def test_here_tracks_position(self):
+        b = ProgramBuilder()
+        assert b.here == 0
+        b.emit(Opcode.NOP)
+        assert b.here == 1

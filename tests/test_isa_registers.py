@@ -1,0 +1,57 @@
+"""Tests for register naming and parsing."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_FP,
+    REG_RA,
+    REG_RV,
+    REG_SP,
+    REG_ZERO,
+    parse_register,
+    register_name,
+)
+
+
+class TestRegisterName:
+    def test_plain_registers(self):
+        assert register_name(5) == "r5"
+        assert register_name(15) == "r15"
+
+    def test_aliased_registers(self):
+        assert register_name(REG_ZERO) == "zero"
+        assert register_name(REG_SP) == "sp"
+        assert register_name(REG_FP) == "fp"
+        assert register_name(REG_RA) == "ra"
+        assert register_name(REG_RV) == "rv"
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            register_name(NUM_REGS)
+        with pytest.raises(ValueError):
+            register_name(-1)
+
+
+class TestParseRegister:
+    def test_parse_plain(self):
+        assert parse_register("r0") == 0
+        assert parse_register("r31") == 31
+
+    def test_parse_alias(self):
+        assert parse_register("sp") == REG_SP
+        assert parse_register("ra") == REG_RA
+        assert parse_register("zero") == REG_ZERO
+
+    def test_parse_strips_comma_and_case(self):
+        assert parse_register("R7,") == 7
+        assert parse_register(" SP ") == REG_SP
+
+    def test_bad_tokens_raise(self):
+        for token in ("r32", "x5", "", "r-1", "rr3"):
+            with pytest.raises(ValueError):
+                parse_register(token)
+
+    def test_roundtrip_all_registers(self):
+        for index in range(NUM_REGS):
+            assert parse_register(register_name(index)) == index

@@ -1,0 +1,131 @@
+"""Tests for the hand-written assembly kernels."""
+
+import pytest
+
+from repro.analysis.experiments import baseline_run
+from repro.branch.unit import BranchPredictorComplex
+from repro.core.ssmt import SSMTConfig, run_ssmt
+from repro.sim.functional import run_program
+from repro.workloads.kernels import KERNEL_NAMES, KERNELS, build_kernel
+
+
+def kernel_trace(name, n=40_000):
+    return run_program(build_kernel(name), max_instructions=n)
+
+
+class TestKernelBasics:
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_kernel_runs_forever(self, name):
+        trace = kernel_trace(name, 10_000)
+        assert len(trace) == 10_000
+        assert not trace.halted
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_kernel_deterministic(self, name):
+        first = kernel_trace(name, 3_000)
+        second = kernel_trace(name, 3_000)
+        assert all(a.pc == b.pc and a.result == b.result
+                   for a, b in zip(first, second))
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            build_kernel("nonsense")
+
+    def test_registry_consistent(self):
+        assert set(KERNEL_NAMES) == set(KERNELS)
+        assert len(KERNEL_NAMES) >= 6
+
+
+class TestKernelSemantics:
+    def test_linked_list_visits_every_node(self):
+        trace = kernel_trace("linked_list", 10_000)
+        # pointer loads (offset 1) walk distinct node addresses
+        next_loads = {r.ea for r in trace
+                      if r.is_load and r.inst.imm == 1}
+        assert len(next_loads) == 256
+
+    def test_binary_search_probe_count_logarithmic(self):
+        trace = kernel_trace("binary_search", 20_000)
+        # the probe loop runs ~log2(1024)=10 probes per query
+        probes = sum(1 for r in trace
+                     if r.is_load and r.inst.tag is None and r.inst.imm == 0)
+        outers = sum(1 for r in trace if r.inst.opcode.name == "JMP"
+                     and r.pc > 0 and r.next_pc < 5)
+        assert probes > 5 * max(1, outers)
+
+    def test_interpreter_dispatches_all_opcodes(self):
+        trace = kernel_trace("interpreter", 20_000)
+        indirect_targets = {r.next_pc for r in trace if r.inst.is_indirect}
+        assert len(indirect_targets) == 4
+
+    def test_histogram_counts_accumulate(self):
+        program = build_kernel("histogram")
+        from repro.sim.functional import FunctionalSimulator
+
+        sim = FunctionalSimulator(program, max_instructions=30_000)
+        sim.run()
+        stores = [rec for rec in []]  # state checked via memory below
+        counts_base = None
+        # counts is the second .data block: find any store address
+        store_addresses = {ea for ea, v in sim.memory.items() if v > 5}
+        assert store_addresses  # buckets accumulated past their initial 0
+
+    def test_state_machine_states_in_range(self):
+        trace = kernel_trace("state_machine", 20_000)
+        # loads from the transition table produce the next state (< 8)
+        state_loads = [r for r in trace if r.is_load and r.inst.rd == 2]
+        assert state_loads
+        assert all(r.result < 8 for r in state_loads)
+
+
+class TestKernelPredictability:
+    def test_interpreter_indirects_are_difficult(self):
+        trace = kernel_trace("interpreter", 40_000)
+        unit = BranchPredictorComplex()
+        for rec in trace:
+            if rec.inst.is_control:
+                unit.process(rec)
+        assert unit.indirect_mispredicts / unit.indirect_count > 0.3
+
+    def test_partition_comparison_is_difficult(self):
+        trace = kernel_trace("partition", 40_000)
+        base = baseline_run(trace)
+        assert base.mispredict_rate() > 0.05
+
+    def test_linked_list_values_are_difficult(self):
+        trace = kernel_trace("linked_list", 40_000)
+        base = baseline_run(trace)
+        assert base.mispredict_rate() > 0.05
+
+
+class TestKernelsUnderSSMT:
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_ssmt_runs_clean_and_accurate(self, name):
+        trace = kernel_trace(name, 40_000)
+        _, engine = run_ssmt(trace, SSMTConfig(n=6, training_interval=8,
+                                               build_latency=20))
+        ok = engine.correct_microthread_predictions
+        bad = engine.incorrect_microthread_predictions
+        if ok + bad > 50:
+            assert ok / (ok + bad) > 0.9
+
+    def test_partition_gains_from_ssmt(self):
+        trace = kernel_trace("partition", 60_000)
+        base = baseline_run(trace)
+        result, _ = run_ssmt(trace, SSMTConfig(n=6, training_interval=8,
+                                               build_latency=20))
+        assert result.ipc > base.ipc
+
+    def test_throttle_rescues_binary_search(self):
+        """binary_search is overhead-dominated; the §5.3 throttle must
+        recover most of the loss."""
+        trace = kernel_trace("binary_search", 60_000)
+        base = baseline_run(trace)
+        plain, _ = run_ssmt(trace, SSMTConfig(n=6, training_interval=8,
+                                              build_latency=20))
+        throttled, engine = run_ssmt(trace, SSMTConfig(
+            n=6, training_interval=8, build_latency=20,
+            throttle_enabled=True))
+        assert engine.throttled_paths > 0
+        assert throttled.ipc > plain.ipc
+        assert throttled.ipc > 0.85 * base.ipc

@@ -1,0 +1,131 @@
+"""Model-based property tests: hardware structures vs reference models.
+
+Each structure is driven with random operation sequences and compared
+against an obviously-correct Python reference implementation.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.core.microram import MicroRAM
+from repro.core.microthread import Microthread, MicroOp, topological_order
+from repro.core.path import PathKey
+from repro.core.prediction_cache import PredictionCache, PredictionCacheEntry
+from repro.isa.instructions import Opcode
+from repro.uarch.caches import _SetAssocCache
+
+
+def make_thread(term_pc, spawn_pc):
+    root = MicroOp("branch", op=Opcode.BEQ,
+                   inputs=[MicroOp("const", imm=0), MicroOp("const", imm=0)])
+    return Microthread(
+        key=PathKey(term_pc, (term_pc + 1,)), path_id=term_pc, root=root,
+        nodes=topological_order(root), live_in_regs=(), spawn_pc=spawn_pc,
+        separation=5, term_pc=term_pc, term_taken_target=0, prefix=(),
+        expected_suffix=(),
+    )
+
+
+class ReferenceLRU:
+    """Reference fully-associative LRU of bounded size."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.order = []  # least-recent first
+
+    def touch(self, key):
+        if key in self.order:
+            self.order.remove(key)
+        self.order.append(key)
+        evicted = None
+        if len(self.order) > self.capacity:
+            evicted = self.order.pop(0)
+        return evicted
+
+
+class TestMicroRAMAgainstReference:
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "touch", "remove"]),
+                              st.integers(0, 9)), max_size=120),
+           st.integers(2, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_lru_behaviour_matches_reference(self, operations, capacity):
+        ram = MicroRAM(capacity=capacity)
+        reference = ReferenceLRU(capacity)
+        for op, key_id in operations:
+            key = PathKey(key_id, (key_id + 1,))
+            if op == "insert":
+                evicted = ram.insert(make_thread(key_id, key_id + 100))
+                ref_evicted = reference.touch(key)
+                assert evicted == ref_evicted
+            elif op == "touch":
+                ram.touch(key)
+                if key in reference.order:
+                    reference.touch(key)
+            else:
+                ram.remove(key)
+                if key in reference.order:
+                    reference.order.remove(key)
+            assert len(ram) == len(reference.order)
+            for live in reference.order:
+                assert live in ram
+
+
+class TestSetAssocCacheAgainstReference:
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=300),
+           st.sampled_from([(64, 2, 8), (128, 4, 8), (64, 1, 8)]))
+    @settings(max_examples=60, deadline=None)
+    def test_hit_miss_sequence_matches_reference(self, lines, geometry):
+        total, assoc, line_words = geometry
+        cache = _SetAssocCache(total, assoc, line_words)
+        n_sets = total // (assoc * line_words)
+        reference = {s: [] for s in range(n_sets)}  # per-set MRU-last
+        for line in lines:
+            ways = reference[line % n_sets]
+            expected_hit = line in ways
+            if expected_hit:
+                ways.remove(line)
+            elif len(ways) >= assoc:
+                ways.pop(0)
+            ways.append(line)
+            assert cache.lookup(line) == expected_hit
+
+
+class TestPredictionCacheAgainstReference:
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 40)),
+                    max_size=120),
+           st.integers(2, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_written_entries_retrievable_until_reclaimed(self, writes,
+                                                         capacity):
+        cache = PredictionCache(capacity=capacity)
+        live = {}
+        for path_id, seq in writes:
+            current = 10  # front-end position; seqs < 10 become stale
+            cache.write(path_id, seq, PredictionCacheEntry(True, 0, 0),
+                        current_seq=current)
+            live[(path_id, seq)] = True
+            assert len(cache) <= capacity
+            # the just-written key is always retrievable
+            assert cache.lookup(path_id, seq) is not None
+
+
+class TestBTBAgainstReference:
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 127)),
+                    max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_direct_mapped_semantics(self, operations):
+        btb = BranchTargetBuffer(entries=16)
+        reference = {}  # slot -> (tag, target)
+        for is_update, pc in operations:
+            slot = pc % 16
+            if is_update:
+                btb.update(pc, pc * 3)
+                reference[slot] = (pc, pc * 3)
+            else:
+                expected = None
+                if slot in reference and reference[slot][0] == pc:
+                    expected = reference[slot][1]
+                assert btb.lookup(pc) == expected

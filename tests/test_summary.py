@@ -1,0 +1,70 @@
+"""Tests for paper-data constants and the markdown report generator."""
+
+import pytest
+
+from repro.analysis import paper_data
+from repro.analysis.summary import _md_table, generate_report
+from repro.cli import main
+from repro.workloads import BENCHMARK_NAMES
+
+
+class TestPaperData:
+    def test_table1_covers_all_benchmarks(self):
+        assert set(paper_data.TABLE1_PATHS_SCOPE) == set(BENCHMARK_NAMES)
+
+    def test_table1_paths_grow_with_n(self):
+        for bench, per_n in paper_data.TABLE1_PATHS_SCOPE.items():
+            assert per_n[4][0] <= per_n[10][0] <= per_n[16][0], bench
+
+    def test_table1_scope_grows_with_n_mostly(self):
+        # bzip2_2k is the paper's own exception at n=16 (551.77 -> 541.59)
+        for bench, per_n in paper_data.TABLE1_PATHS_SCOPE.items():
+            if bench == "bzip2_2k":
+                continue
+            assert per_n[4][1] < per_n[16][1], bench
+
+    def test_table2_average_direction(self):
+        branch = paper_data.TABLE2_AVERAGE_T10["branch"]
+        path16 = paper_data.TABLE2_AVERAGE_T10["path(16)"]
+        assert path16[0] > branch[0]  # higher misprediction coverage
+        assert path16[1] < branch[1]  # lower execution coverage
+
+    def test_headline_constants(self):
+        assert paper_data.FIG7_MEAN_GAIN_PERCENT == 8.4
+        assert paper_data.FIG7_MAX_GAIN_PERCENT == 42.0
+        assert paper_data.PATH_CACHE_ENTRIES == 8192
+        assert paper_data.PREDICTION_CACHE_ENTRIES == 128
+
+    def test_lookup_helper(self):
+        paths, scope = paper_data.paper_table1_row("gcc", 4)
+        assert paths == 131967 and scope == 37.14
+
+    def test_shape_checks_documented(self):
+        assert len(paper_data.SHAPE_CHECKS) >= 8
+        for check in paper_data.SHAPE_CHECKS:
+            assert check.name and check.description
+
+
+class TestMarkdownTable:
+    def test_renders_pipes_and_floats(self):
+        text = _md_table(["a", "b"], [["x", 1.5]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "1.500" in lines[2]
+
+
+class TestGenerateReport:
+    def test_report_contains_all_sections(self):
+        report = generate_report(("comp",), trace_length=20_000)
+        for heading in ("Table 1", "Table 2", "Figure 6", "Figure 7",
+                        "Figure 8", "Figure 9", "Shape checks",
+                        "perfect-prediction headroom"):
+            assert heading in report
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        assert main(["report", "--instructions", "20000",
+                     "--benchmarks", "comp", "--output", str(output)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "Table 1" in output.read_text()

@@ -1,0 +1,54 @@
+"""Tests for the configuration sweep helpers."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    SweepPoint,
+    sweep_machine_width,
+    sweep_report,
+    sweep_ssmt_knob,
+)
+
+SHORT = 30_000
+BENCHES = ("comp",)
+
+
+class TestSweepSSMTKnob:
+    def test_sweep_n(self):
+        points = sweep_ssmt_knob("n", [4, 10], BENCHES, SHORT)
+        assert [p.setting for p in points] == [4, 10]
+        for p in points:
+            assert set(p.per_benchmark) == set(BENCHES)
+            assert p.mean_speedup > 0.8
+
+    def test_sweep_threshold(self):
+        points = sweep_ssmt_knob("difficulty_threshold", [0.05, 0.15],
+                                 BENCHES, SHORT)
+        assert len(points) == 2
+
+    def test_unknown_knob_raises(self):
+        with pytest.raises(ValueError, match="no knob"):
+            sweep_ssmt_knob("bogus", [1], BENCHES, SHORT)
+
+    def test_geomean_matches_single_benchmark(self):
+        points = sweep_ssmt_knob("n", [4], BENCHES, SHORT)
+        p = points[0]
+        assert p.geomean_speedup == pytest.approx(p.mean_speedup)
+
+
+class TestSweepMachineWidth:
+    def test_widths_each_use_own_baseline(self):
+        points = sweep_machine_width([4, 16], BENCHES, SHORT)
+        assert [p.setting for p in points] == [4, 16]
+        for p in points:
+            # gains are relative to a same-width baseline, so they stay
+            # in a plausible band even for the narrow machine
+            assert 0.7 < p.mean_speedup < 2.0
+
+
+class TestSweepReport:
+    def test_report_renders(self):
+        points = [SweepPoint(4, {"comp": 1.1}), SweepPoint(10, {"comp": 1.2})]
+        text = sweep_report(points, "n")
+        assert "Sensitivity to n" in text
+        assert "1.100" in text and "1.200" in text

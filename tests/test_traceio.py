@@ -1,0 +1,119 @@
+"""Tests for trace serialization round-trips."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.sim.functional import run_program
+from repro.sim.traceio import (
+    TraceIOError,
+    dumps,
+    load_trace,
+    loads,
+    save_trace,
+)
+
+SOURCE = """
+.data arr 8 5 6 7 8 9 10 11 12
+    li r1, 0
+    li r2, 30
+loop:
+    andi r3, r1, 7
+    li r4, &arr
+    add r5, r4, r3
+    ld r6, 0(r5)
+    li r7, 9
+    blt r6, r7, low
+    st r6, 1(r5)
+low:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_program(assemble(SOURCE), max_instructions=2_000)
+
+
+class TestRoundTrip:
+    def test_record_count_and_name(self, trace):
+        restored = loads(dumps(trace))
+        assert len(restored) == len(trace)
+        assert restored.name == trace.name
+        assert restored.halted == trace.halted
+
+    def test_dynamic_fields_preserved(self, trace):
+        restored = loads(dumps(trace))
+        for original, copy in zip(trace, restored):
+            assert original.pc == copy.pc
+            assert original.result == copy.result
+            assert original.ea == copy.ea
+            assert original.taken == copy.taken
+            assert original.next_pc == copy.next_pc
+            assert original.seq == copy.seq
+
+    def test_static_instructions_shared(self, trace):
+        """Records at the same pc share one Instruction object."""
+        restored = loads(dumps(trace))
+        by_pc = {}
+        for rec in restored:
+            by_pc.setdefault(rec.pc, rec.inst)
+            assert rec.inst is by_pc[rec.pc]
+
+    def test_opcode_and_operands_preserved(self, trace):
+        restored = loads(dumps(trace))
+        for original, copy in zip(trace, restored):
+            assert original.inst.opcode == copy.inst.opcode
+            assert original.inst.rd == copy.inst.rd
+            assert original.inst.imm == copy.inst.imm
+            assert original.inst.target == copy.inst.target
+
+    def test_initial_memory_preserved(self, trace):
+        restored = loads(dumps(trace))
+        assert restored.initial_memory == trace.initial_memory
+
+    def test_file_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.rpt"
+        save_trace(trace, str(path))
+        restored = load_trace(str(path))
+        assert len(restored) == len(trace)
+
+    def test_restored_trace_drives_analyses(self, trace):
+        from repro.analysis import collect_control_events
+
+        restored = loads(dumps(trace))
+        original_events = collect_control_events(trace, warmup=0)
+        restored_events = collect_control_events(restored, warmup=0)
+        assert len(original_events) == len(restored_events)
+        assert all(a.mispredicted == b.mispredicted
+                   for a, b in zip(original_events, restored_events))
+
+    def test_restored_trace_drives_ssmt(self, trace):
+        from repro.core.ssmt import SSMTConfig, run_ssmt
+
+        restored = loads(dumps(trace))
+        first, _ = run_ssmt(trace, SSMTConfig(n=4, training_interval=8))
+        second, _ = run_ssmt(restored, SSMTConfig(n=4, training_interval=8))
+        assert first.cycles == second.cycles
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(TraceIOError, match="not a repro trace"):
+            loads("garbage v1\n")
+
+    def test_bad_version(self):
+        with pytest.raises(TraceIOError, match="unsupported version"):
+            loads("repro-trace v99\n")
+
+    def test_truncated_file(self, trace):
+        text = dumps(trace)
+        with pytest.raises((TraceIOError, ValueError, IndexError)):
+            loads(text[: len(text) // 2])
+
+    def test_unknown_pc_reference(self):
+        text = ("repro-trace v1\nname x\nhalted 0\nstatic 0\nmemory 0\n"
+                "records 1\nD 5 0 0 0 - 0 6\n")
+        with pytest.raises(TraceIOError, match="unknown pc"):
+            loads(text)

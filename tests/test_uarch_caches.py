@@ -1,0 +1,132 @@
+"""Tests for the cache hierarchy and MSHR-style in-flight fills."""
+
+import pytest
+
+from repro.uarch.caches import CacheHierarchy, _SetAssocCache
+from repro.uarch.config import MachineConfig
+
+
+def small_config(**overrides):
+    defaults = dict(l1_words=64, l1_assoc=2, l2_words=256, l2_assoc=4,
+                    line_words=8)
+    defaults.update(overrides)
+    return MachineConfig().scaled(**defaults)
+
+
+class TestSetAssocCache:
+    def test_miss_then_hit(self):
+        cache = _SetAssocCache(64, 2, 8)
+        assert not cache.lookup(5)
+        assert cache.lookup(5)
+
+    def test_lru_eviction(self):
+        cache = _SetAssocCache(64, 2, 8)  # 4 sets
+        a, b, c = 0, 4, 8  # all map to set 0
+        cache.lookup(a)
+        cache.lookup(b)
+        cache.lookup(c)  # evicts a (LRU)
+        assert cache.lookup(b)
+        assert not cache.lookup(a)
+
+    def test_lookup_refreshes_lru(self):
+        cache = _SetAssocCache(64, 2, 8)
+        a, b, c = 0, 4, 8
+        cache.lookup(a)
+        cache.lookup(b)
+        cache.lookup(a)  # a becomes MRU
+        cache.lookup(c)  # evicts b
+        assert cache.lookup(a)
+        assert not cache.lookup(b)
+
+    def test_invalidate(self):
+        cache = _SetAssocCache(64, 2, 8)
+        cache.lookup(3)
+        cache.invalidate(3)
+        assert not cache.lookup(3)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            _SetAssocCache(60, 2, 8)
+
+
+class TestHierarchyLatencies:
+    def test_cold_miss_pays_full_latency(self):
+        cfg = small_config()
+        h = CacheHierarchy(cfg)
+        latency = h.load_latency(0x1000, when=0)
+        assert latency == cfg.l1_latency + cfg.l2_latency + cfg.memory_latency
+
+    def test_warm_hit_is_l1(self):
+        cfg = small_config()
+        h = CacheHierarchy(cfg)
+        h.load_latency(0x1000, when=0)
+        assert h.load_latency(0x1000, when=1000) == cfg.l1_latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        cfg = small_config()
+        h = CacheHierarchy(cfg)
+        h.load_latency(0x1000, when=0)
+        # Touch 3 more lines mapping to the same set: the 2-way L1 evicts
+        # the original line but the 4-way L2 still holds all four.
+        for i in range(1, 4):
+            h.load_latency(0x1000 + i * 64 * 8, when=0)
+        latency = h.load_latency(0x1000, when=10_000)
+        assert latency == cfg.l1_latency + cfg.l2_latency
+
+    def test_same_line_hits(self):
+        cfg = small_config()
+        h = CacheHierarchy(cfg)
+        h.load_latency(0x1000, when=0)
+        assert h.load_latency(0x1007, when=1000) == cfg.l1_latency
+
+    def test_stats_counted(self):
+        h = CacheHierarchy(small_config())
+        h.load_latency(0x1000, when=0)
+        h.load_latency(0x1000, when=1000)
+        assert h.stats.l1_misses == 1
+        assert h.stats.l1_hits == 1
+        assert 0.0 <= h.stats.l1_hit_rate <= 1.0
+
+
+class TestInFlightFills:
+    """A prefetch only helps accesses issued after its fill completes."""
+
+    def test_access_during_fill_waits(self):
+        cfg = small_config()
+        h = CacheHierarchy(cfg)
+        miss_latency = h.load_latency(0x1000, when=100)  # fill completes at 100+L
+        fill_done = 100 + miss_latency
+        # Second access halfway through the fill waits the remainder.
+        halfway = 100 + miss_latency // 2
+        latency = h.load_latency(0x1000, when=halfway)
+        assert latency == fill_done - halfway
+
+    def test_access_after_fill_is_fast(self):
+        cfg = small_config()
+        h = CacheHierarchy(cfg)
+        miss_latency = h.load_latency(0x1000, when=0)
+        assert h.load_latency(0x1000, when=miss_latency + 1) == cfg.l1_latency
+
+    def test_acausal_benefit_denied(self):
+        """An access issued *before* the prefetch even started still pays."""
+        cfg = small_config()
+        h = CacheHierarchy(cfg)
+        h.load_latency(0x1000, when=500)  # "prefetch" at cycle 500
+        latency = h.load_latency(0x1000, when=0)  # earlier access
+        assert latency >= cfg.memory_latency  # waits for the fill
+
+
+class TestStores:
+    def test_store_invalidates_l1_keeps_l2(self):
+        cfg = small_config()
+        h = CacheHierarchy(cfg)
+        h.load_latency(0x1000, when=0)
+        h.store(0x1000)
+        latency = h.load_latency(0x1000, when=10_000)
+        assert latency == cfg.l1_latency + cfg.l2_latency
+
+    def test_store_latency_constant(self):
+        cfg = small_config()
+        h = CacheHierarchy(cfg)
+        assert h.store(0x2000) == cfg.store_latency
+        assert h.stats.stores == 1

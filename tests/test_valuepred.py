@@ -1,0 +1,131 @@
+"""Tests for the stride/last-value predictors and the trainer."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.sim.functional import run_program
+from repro.valuepred import AddressPredictor, PredictorTrainer, StridePredictor
+
+
+class TestStridePredictor:
+    def test_constant_value_becomes_confident(self):
+        predictor = StridePredictor(confidence_threshold=4)
+        for _ in range(6):
+            predictor.train(10, 42)
+        assert predictor.is_confident(10)
+        assert predictor.predict(10) == 42
+
+    def test_stride_sequence(self):
+        predictor = StridePredictor(confidence_threshold=4)
+        for value in range(0, 60, 5):
+            predictor.train(10, value)
+        assert predictor.is_confident(10)
+        assert predictor.predict(10, ahead=1) == 60
+        assert predictor.predict(10, ahead=3) == 70
+
+    def test_ahead_zero_returns_last_value(self):
+        predictor = StridePredictor()
+        for value in (3, 6, 9):
+            predictor.train(10, value)
+        assert predictor.predict(10, ahead=0) == 9
+
+    def test_random_values_never_confident(self):
+        predictor = StridePredictor(confidence_threshold=4)
+        import random
+        rng = random.Random(1)
+        for _ in range(200):
+            predictor.train(10, rng.randrange(1 << 30))
+        assert not predictor.is_confident(10)
+
+    def test_stride_change_resets_confidence(self):
+        predictor = StridePredictor(confidence_threshold=2)
+        for value in (0, 1, 2, 3, 4):
+            predictor.train(10, value)
+        assert predictor.is_confident(10)
+        predictor.train(10, 100)  # stride breaks
+        assert not predictor.is_confident(10)
+
+    def test_unknown_pc_predicts_none(self):
+        assert StridePredictor().predict(999) is None
+        assert StridePredictor().confidence(999) == 0
+
+    def test_capacity_eviction(self):
+        predictor = StridePredictor(capacity=2)
+        predictor.train(1, 10)
+        predictor.train(2, 20)
+        predictor.train(3, 30)
+        assert len(predictor) == 2
+        assert predictor.predict(1) is None
+
+    def test_wraparound_stride(self):
+        predictor = StridePredictor(confidence_threshold=2)
+        top = (1 << 64) - 2
+        for value in (top, top + 1, (top + 2) & ((1 << 64) - 1)):
+            predictor.train(5, value & ((1 << 64) - 1))
+        assert predictor.predict(5) == ((top + 3) & ((1 << 64) - 1))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            StridePredictor(max_confidence=3, confidence_threshold=5)
+
+
+class TestAddressPredictor:
+    def test_base_register_stride(self):
+        predictor = AddressPredictor(confidence_threshold=3)
+        for base in (0x100, 0x108, 0x110, 0x118, 0x120):
+            predictor.train_load(50, base)
+        assert predictor.is_confident(50)
+        assert predictor.predict_base(50) == 0x128
+
+
+class TestPredictorTrainer:
+    def _trace(self):
+        return run_program(assemble("""
+        .data arr 8 1 2 3 4 5 6 7 8
+            li r1, 0
+            li r2, 40
+        loop:
+            li r3, &arr
+            add r4, r3, r1
+            ld r5, 0(r4)
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """), max_instructions=2000)
+
+    def test_trains_value_and_address(self):
+        trainer = PredictorTrainer()
+        for rec in self._trace():
+            trainer.observe(rec)
+        assert trainer.value_predictor.trains > 0
+        assert trainer.address_predictor.trains > 0
+
+    def test_confidence_snapshot_precedes_training(self):
+        """The flags returned describe state *before* this instance."""
+        trainer = PredictorTrainer()
+        flags = []
+        for rec in self._trace():
+            if rec.inst.is_load:
+                flags.append(trainer.observe(rec))
+        # first loads cannot be confident; later ones should become so
+        assert flags[0] == (False, False)
+        assert any(value or addr for value, addr in flags[10:])
+
+    def test_loop_counter_becomes_value_confident(self):
+        trainer = PredictorTrainer()
+        addi_pc = None
+        for rec in self._trace():
+            trainer.observe(rec)
+            if rec.inst.opcode.name == "ADDI" and rec.inst.rd == 1:
+                addi_pc = rec.pc
+        assert trainer.value_predictor.is_confident(addi_pc)
+
+    def test_constant_base_becomes_address_confident(self):
+        trainer = PredictorTrainer()
+        load_pc = None
+        for rec in self._trace():
+            trainer.observe(rec)
+            if rec.inst.is_load:
+                load_pc = rec.pc
+        # base register walks with stride 1 -> confident
+        assert trainer.address_predictor.is_confident(load_pc)

@@ -1,0 +1,146 @@
+"""Unit tests for GenContext code-generation helpers."""
+
+import random
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.sim.functional import run_program
+from repro.workloads.generator import (
+    GenContext,
+    PERSISTENT_REGS,
+    R_ITER,
+    SCRATCH_FIRST,
+    SCRATCH_LAST,
+)
+from repro.workloads.spec import SiteKind, SiteSpec, WorkloadSpec
+
+
+def make_context():
+    builder = ProgramBuilder(name="ctx-test")
+    spec = WorkloadSpec(name="ctx-test")
+    return GenContext(builder, random.Random(1), spec), builder
+
+
+class TestScratchAllocation:
+    def test_sequential_allocation(self):
+        ctx, _ = make_context()
+        assert ctx.scratch() == SCRATCH_FIRST
+        assert ctx.scratch() == SCRATCH_FIRST + 1
+
+    def test_reset(self):
+        ctx, _ = make_context()
+        ctx.scratch()
+        ctx.reset_scratch()
+        assert ctx.scratch() == SCRATCH_FIRST
+
+    def test_exhaustion_raises(self):
+        ctx, _ = make_context()
+        for _ in range(SCRATCH_LAST - SCRATCH_FIRST + 1):
+            ctx.scratch()
+        with pytest.raises(RuntimeError, match="scratch"):
+            ctx.scratch()
+
+
+class TestPersistentValues:
+    def test_publish_rotates_registers(self):
+        ctx, _ = make_context()
+        source = ctx.scratch()
+        destinations = []
+        for _ in range(len(PERSISTENT_REGS) + 1):
+            ctx.publish_value(source, 50)
+            destinations.append(ctx.persistent[-1][0])
+        assert destinations[0] == destinations[len(PERSISTENT_REGS)]
+        assert len(set(destinations[:len(PERSISTENT_REGS)])) \
+            == len(PERSISTENT_REGS)
+
+    def test_pick_published_returns_latest(self):
+        ctx, _ = make_context()
+        source = ctx.scratch()
+        ctx.publish_value(source, 10)
+        ctx.publish_value(source, 20)
+        _, threshold = ctx.pick_published()
+        assert threshold == 20
+
+    def test_pick_published_empty(self):
+        ctx, _ = make_context()
+        assert ctx.pick_published() is None
+
+
+class TestEmittedFragments:
+    def _run(self, builder, iterations=40):
+        builder.emit(Opcode.HALT)
+        program = builder.build()
+        return run_program(program, max_instructions=5_000)
+
+    def test_emit_index_computes_masked_affine(self):
+        ctx, builder = make_context()
+        builder.li(R_ITER, 21)
+        ctx.begin_site()
+        site = SiteSpec(kind=SiteKind.DATA, index=0, stride=3, phase=5,
+                        array_size=64)
+        idx_reg = ctx.emit_index(site)
+        builder.emit(Opcode.HALT)
+        program = builder.build()
+        from repro.sim.functional import FunctionalSimulator
+
+        sim = FunctionalSimulator(program)
+        sim.run()
+        assert sim.regs[idx_reg] == (21 * 3 + 5) & 63
+
+    def test_emit_load_reads_allocated_array(self):
+        ctx, builder = make_context()
+        builder.li(R_ITER, 0)
+        ctx.begin_site()
+        base = ctx.alloc_value_array(16)
+        idx = ctx.scratch()
+        builder.li(idx, 3)
+        value_reg = ctx.emit_load(base, idx)
+        builder.emit(Opcode.HALT)
+        program = builder.build()
+        from repro.sim.functional import FunctionalSimulator
+
+        sim = FunctionalSimulator(program)
+        sim.run()
+        assert sim.regs[value_reg] == program.data.load(base + 3)
+
+    def test_alloc_value_array_respects_entropy(self):
+        ctx, _ = make_context()
+        ctx.spec.data_entropy = 0.2  # heavy skew toward small values
+        base = ctx.alloc_value_array(256)
+        values = [ctx.builder._data.load(base + i) for i in range(256)]
+        assert sum(1 for v in values if v < 20) > 180
+
+    def test_emit_hops_produces_taken_jumps(self):
+        ctx, builder = make_context()
+        builder.li(R_ITER, 0)
+        ctx.begin_site()
+        site = SiteSpec(kind=SiteKind.DATA, index=0, hops=3, filler=2,
+                        noise_prob=0.0)
+        ctx.emit_hops(site)
+        trace = self._run(builder)
+        jumps = [r for r in trace if r.opcode == Opcode.JMP]
+        assert len(jumps) == 3
+        assert all(r.taken for r in jumps)
+
+    def test_emit_consumer_branches_on_threshold(self):
+        ctx, builder = make_context()
+        builder.li(R_ITER, 0)
+        ctx.begin_site()
+        value = ctx.scratch()
+        builder.li(value, 10)
+        ctx.emit_consumer(value, 50, tag="test0")
+        trace = self._run(builder)
+        branch = next(r for r in trace if r.is_conditional_branch)
+        assert branch.taken  # 10 < 50
+        assert branch.inst.tag == "test0"
+
+    def test_filler_balances_load_fraction(self):
+        ctx, builder = make_context()
+        builder.li(R_ITER, 0)
+        ctx.begin_site()
+        ctx.emit_filler(64)
+        trace = self._run(builder)
+        loads = sum(1 for r in trace if r.is_load)
+        assert 8 <= loads <= 24  # ~25% of 64

@@ -1,0 +1,116 @@
+"""Tests for the synthetic workload generator and the named suite."""
+
+import pytest
+
+from repro.sim.functional import run_program
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    benchmark_spec,
+    benchmark_trace,
+    build_benchmark,
+    generate_program,
+)
+from repro.workloads.spec import SiteKind, WorkloadSpec
+
+
+class TestWorkloadSpec:
+    def test_validate_accepts_defaults(self):
+        WorkloadSpec(name="x").validate()
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", mix={}).validate()
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", mix={SiteKind.DATA: -1}).validate()
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", mix={SiteKind.DATA: 0.0}).validate()
+
+    def test_rejects_non_power_of_two_array(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", array_size=1000).validate()
+
+    def test_rejects_zero_sites(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", sites_per_function=0).validate()
+
+
+class TestGenerator:
+    def test_deterministic_generation(self):
+        spec = WorkloadSpec(name="det-test", seed=7)
+        first = generate_program(spec)
+        second = generate_program(spec)
+        assert len(first) == len(second)
+        assert all(a.opcode == b.opcode and a.rd == b.rd and a.imm == b.imm
+                   for a, b in zip(first.instructions, second.instructions))
+
+    def test_different_seeds_differ(self):
+        a = generate_program(WorkloadSpec(name="seed-test", seed=1))
+        b = generate_program(WorkloadSpec(name="seed-test", seed=2))
+        assert (len(a) != len(b)
+                or any(x.opcode != y.opcode
+                       for x, y in zip(a.instructions, b.instructions)))
+
+    def test_every_site_kind_generates_runnable_code(self):
+        for kind in SiteKind:
+            spec = WorkloadSpec(name=f"kind-{kind.value}", seed=3,
+                                n_functions=2, sites_per_function=3,
+                                mix={kind: 1.0})
+            trace = run_program(generate_program(spec),
+                                max_instructions=20_000)
+            assert len(trace) == 20_000  # ran without fault, no early halt
+
+    def test_generated_program_loops_forever(self):
+        program = build_benchmark("comp")
+        trace = run_program(program, max_instructions=5_000)
+        assert not trace.halted
+
+    def test_branch_tags_attached(self):
+        program = build_benchmark("gcc")
+        tags = {i.tag for i in program.instructions if i.tag}
+        assert any(t.startswith("data") for t in tags)
+        assert any(t.startswith("biased") for t in tags)
+
+
+class TestSuite:
+    def test_twenty_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 20
+
+    def test_paper_benchmark_names_present(self):
+        for name in ("comp", "gcc", "go", "mcf_2k", "eon_2k", "vpr_2k"):
+            assert name in BENCHMARK_NAMES
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_spec("nonsense")
+
+    def test_trace_cache_returns_same_object(self):
+        first = benchmark_trace("comp", 5_000)
+        second = benchmark_trace("comp", 5_000)
+        assert first is second
+
+    def test_trace_length_respected(self):
+        assert len(benchmark_trace("li", 7_000)) == 7_000
+
+    def test_control_density_realistic(self):
+        """Integer-code-like control density: 15-35% control transfers."""
+        trace = benchmark_trace("gcc", 30_000)
+        control_fraction = trace.control_count() / len(trace)
+        assert 0.10 < control_fraction < 0.40
+
+    def test_load_density_realistic(self):
+        trace = benchmark_trace("gcc", 30_000)
+        loads = sum(1 for r in trace if r.inst.is_load)
+        assert 0.05 < loads / len(trace) < 0.40
+
+    def test_suite_programs_have_expected_scale_order(self):
+        """gcc-like benchmarks are much larger than comp-like ones."""
+        assert len(build_benchmark("gcc")) > 2 * len(build_benchmark("comp"))
+
+    def test_big_scope_benchmarks_have_bigger_blocks(self):
+        vpr = benchmark_spec("vpr_2k")
+        gcc = benchmark_spec("gcc")
+        assert vpr.filler_range[1] > gcc.filler_range[1]
