@@ -15,7 +15,7 @@ once per session and is shared through :func:`realistic_results`.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import pytest
 

@@ -14,7 +14,6 @@ Ablations run on a representative subset so the bench stays tractable.
 
 import statistics
 
-import pytest
 
 from repro.analysis import format_table
 from repro.analysis.experiments import baseline_run

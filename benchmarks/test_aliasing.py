@@ -8,7 +8,6 @@ breakdown point.
 
 import statistics
 
-import pytest
 
 from repro.analysis import collect_control_events, format_table
 from repro.analysis.aliasing import path_id_aliasing

@@ -13,7 +13,6 @@
 
 import statistics
 
-import pytest
 
 from repro.analysis import format_table
 from repro.analysis.experiments import baseline_run

@@ -9,7 +9,6 @@ difficult paths; moderate sensitivity to n.
 
 import statistics
 
-import pytest
 
 from repro.analysis import format_table
 from repro.analysis.experiments import figure6_potential

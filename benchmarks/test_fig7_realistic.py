@@ -12,7 +12,6 @@ the §4.1 claim that allocate-on-mispredict avoids ~45% of allocations.
 
 import statistics
 
-import pytest
 
 from benchmarks.conftest import realistic_results
 from repro.analysis import format_table

@@ -8,7 +8,6 @@ Ap_Inst replaces a live-in (the paper's compress example).
 
 import statistics
 
-import pytest
 
 from benchmarks.conftest import realistic_results
 from repro.analysis import format_table

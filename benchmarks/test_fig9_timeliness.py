@@ -9,7 +9,6 @@ majority arrive late on this aggressive front-end.
 
 import statistics
 
-import pytest
 
 from benchmarks.conftest import realistic_results
 from repro.analysis import format_table

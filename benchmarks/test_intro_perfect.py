@@ -7,7 +7,6 @@ prediction over the baseline hybrid, expecting a geometric mean around 2x
 with large spread (memory-bound and branchy benchmarks gain most).
 """
 
-import pytest
 
 from repro.analysis import format_table
 from repro.analysis.experiments import (

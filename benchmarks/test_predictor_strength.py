@@ -11,7 +11,6 @@ more for microthreads to harvest.
 
 import statistics
 
-import pytest
 
 from repro.analysis import format_table
 from repro.branch.bimodal import BimodalPredictor

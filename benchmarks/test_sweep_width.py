@@ -6,7 +6,6 @@ have spare execution bandwidth for microthreads.  This bench sweeps the
 machine width (fetch/issue/retire) with per-width baselines.
 """
 
-import pytest
 
 from repro.analysis.sweeps import sweep_machine_width, sweep_report
 

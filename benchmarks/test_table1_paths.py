@@ -10,7 +10,6 @@ difficult-path count is remarkably stable across T; gcc/go dominate path
 counts while comp/li are small.
 """
 
-import pytest
 
 from repro.analysis import (
     characterize_paths,

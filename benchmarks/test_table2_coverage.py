@@ -8,7 +8,6 @@ longer paths push further in the same direction.
 
 import statistics
 
-import pytest
 
 from repro.analysis import collect_control_events, coverage_analysis, format_table
 from repro.workloads import benchmark_trace

@@ -8,7 +8,6 @@ the suite as the machine-sanity row.
 
 import statistics
 
-import pytest
 
 from repro.analysis import format_table
 from repro.analysis.experiments import baseline_run

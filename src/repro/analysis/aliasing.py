@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.analysis.events import ControlEvent
 from repro.core.path import PathKey, path_id_hash

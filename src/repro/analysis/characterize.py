@@ -15,8 +15,8 @@ the difficult set across ``T``, per-benchmark ordering) are preserved.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
 
 from repro.analysis.events import ControlEvent
 from repro.core.path import PathKey

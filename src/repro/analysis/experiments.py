@@ -9,8 +9,8 @@ benchmark harness prints and EXPERIMENTS.md records.  All drivers accept
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from repro.branch.unit import BranchPredictorComplex, oracle_complex
 from repro.core.oracle import PotentialConfig, run_potential

@@ -10,14 +10,14 @@ space exploration.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import baseline_run
-from repro.core.ssmt import SSMTConfig, run_ssmt
-from repro.uarch.config import MachineConfig, TABLE3_BASELINE
-from repro.uarch.timing import OoOTimingModel
 from repro.branch.unit import BranchPredictorComplex
+from repro.core.ssmt import SSMTConfig, run_ssmt
+from repro.uarch.config import TABLE3_BASELINE, MachineConfig
+from repro.uarch.timing import OoOTimingModel
 from repro.workloads import benchmark_trace
 
 

@@ -11,8 +11,8 @@ profile-guided variant.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.branch.unit import BranchPredictorComplex
 from repro.sim.trace import Trace

@@ -6,7 +6,10 @@
 * ``run`` — baseline vs SSMT comparison on one benchmark,
 * ``profile`` — Table 1/2-style difficult-path profiling,
 * ``experiment`` — regenerate one of the paper's tables/figures,
-* ``disasm`` — disassemble a generated benchmark.
+* ``disasm`` — disassemble a generated benchmark,
+* ``verify`` — statically verify every built microthread (and, with
+  ``--sanitize``, check runtime invariants); exits non-zero on errors
+  so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -32,6 +35,8 @@ from repro.analysis.experiments import (
 )
 from repro.core.ssmt import SSMTConfig, run_ssmt
 from repro.core.static import run_profile_guided
+from repro.verify import RULES, SimSanitizer, verify_suite
+from repro.verify.runner import DEFAULT_VERIFY_LENGTH
 from repro.workloads import BENCHMARK_NAMES, benchmark_trace, build_benchmark
 from repro.workloads.suite import DEFAULT_TRACE_LENGTH
 
@@ -65,11 +70,18 @@ def cmd_run(args) -> int:
     base = baseline_run(trace)
     config = SSMTConfig(n=args.n, difficulty_threshold=args.threshold,
                         pruning=not args.no_pruning)
+    sanitizer = None
+    if args.sanitize:
+        if args.profile_guided:
+            raise SystemExit(
+                "--sanitize checks the dynamic engine's structures; it "
+                "cannot be combined with --profile-guided")
+        sanitizer = SimSanitizer()
     if args.profile_guided:
         result, engine = run_profile_guided(trace, config)
         label = "profile-guided SSMT"
     else:
-        result, engine = run_ssmt(trace, config)
+        result, engine = run_ssmt(trace, config, sanitizer=sanitizer)
         label = "dynamic SSMT"
     print(format_table(
         ["configuration", "IPC", "mispredicts", "speed-up"],
@@ -83,7 +95,68 @@ def cmd_run(args) -> int:
     print(f"\nroutines: {len(engine.microram)}  spawned: {spawn.spawned}  "
           f"aborted: {spawn.aborted_active}  "
           f"arrivals: {dict(engine.prediction_kind_counts)}")
+    if sanitizer is not None:
+        report = sanitizer.final_check(engine)
+        return _print_sanitizer_summary(report)
     return 0
+
+
+def _print_sanitizer_summary(report) -> int:
+    """Render the simsan outcome; non-zero exit when invariants broke."""
+    by_rule = {}
+    for diag in report.diagnostics:
+        by_rule[diag.rule] = by_rule.get(diag.rule, 0) + 1
+    rows = [[rule, count, RULES[rule].split(":")[0]]
+            for rule, count in sorted(by_rule.items())]
+    print()
+    if not rows:
+        print("sanitizer: all runtime invariants held")
+        return 0
+    print(format_table(["rule", "count", "invariant"], rows,
+                       title="Sanitizer violations"))
+    for diag in report.diagnostics[:20]:
+        print("  " + diag.format())
+    if len(report.diagnostics) > 20:
+        print(f"  ... ({len(report.diagnostics) - 20} more)")
+    return 1
+
+
+def cmd_verify(args) -> int:
+    if args.rules:
+        rows = [[rule, text] for rule, text in sorted(RULES.items())]
+        print(format_table(["rule", "description"], rows,
+                           title="Verifier rules and sanitizer invariants"))
+        return 0
+    if args.benchmarks:
+        benchmarks = tuple(_check_benchmark(b) for b in args.benchmarks)
+    else:
+        benchmarks = BENCHMARK_NAMES
+    config = SSMTConfig(n=args.n, difficulty_threshold=args.threshold)
+    results = verify_suite(benchmarks, instructions=args.instructions,
+                           config=config, sanitize=args.sanitize)
+    rows = []
+    failing = []
+    for r in results:
+        status = "ok" if r.ok else "FAIL"
+        rows.append([r.benchmark, r.routines_built, r.clean, r.error_count,
+                     r.warning_count, r.sanitizer_errors, status])
+        if not r.ok:
+            failing.append(r)
+    print(format_table(
+        ["benchmark", "built", "clean", "errors", "warnings",
+         "san errors", "status"],
+        rows, title=f"Microthread verification ({args.instructions} "
+                    f"instructions, n={args.n}, T={args.threshold})"))
+    total_errors = sum(r.error_count + r.sanitizer_errors for r in results)
+    total_built = sum(r.routines_built for r in results)
+    print(f"\n{total_built} routines verified, {total_errors} errors")
+    for r in failing:
+        print(f"\n== {r.benchmark} ==")
+        for report in r.error_reports[:args.max_reports]:
+            print(report.format())
+        if r.sanitizer_report is not None and r.sanitizer_report.errors:
+            print(r.sanitizer_report.format())
+    return 1 if failing else 0
 
 
 def cmd_profile(args) -> int:
@@ -217,6 +290,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--no-pruning", action="store_true")
     run_parser.add_argument("--profile-guided", action="store_true",
                             help="use the compile-time variant")
+    run_parser.add_argument("--sanitize", action="store_true",
+                            help="check runtime invariants (simsan); "
+                                 "exits non-zero on violations")
 
     profile_parser = sub.add_parser("profile",
                                     help="difficult-path profiling")
@@ -240,6 +316,25 @@ def build_parser() -> argparse.ArgumentParser:
     disasm_parser = sub.add_parser("disasm", help="disassemble a benchmark")
     disasm_parser.add_argument("benchmark")
     disasm_parser.add_argument("--head", type=int, default=80)
+
+    verify_parser = sub.add_parser(
+        "verify",
+        help="statically verify every microthread built over the suite")
+    verify_parser.add_argument("benchmarks", nargs="*",
+                               help="subset (default: all 20)")
+    verify_parser.add_argument("--instructions", type=int,
+                               default=DEFAULT_VERIFY_LENGTH,
+                               help="dynamic instructions per benchmark")
+    verify_parser.add_argument("--n", type=int, default=10)
+    verify_parser.add_argument("--threshold", type=float, default=0.10)
+    verify_parser.add_argument("--sanitize", action="store_true",
+                               help="also run the runtime invariant "
+                                    "sanitizer (simsan)")
+    verify_parser.add_argument("--max-reports", type=int, default=10,
+                               help="failing routines to detail per "
+                                    "benchmark")
+    verify_parser.add_argument("--rules", action="store_true",
+                               help="list every rule id and exit")
 
     report_parser = sub.add_parser(
         "report", help="generate the full markdown experiment report")
@@ -275,6 +370,7 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "disasm": cmd_disasm,
     "report": cmd_report,
+    "verify": cmd_verify,
 }
 
 

@@ -23,7 +23,7 @@ naturally retries at a later retire.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core import mcb
@@ -46,7 +46,7 @@ class BuilderConfig:
     #: build is in flight be served instead of refused.
     ports: int = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.mcb_capacity <= 0:
             raise ValueError("mcb_capacity must be positive")
         if self.build_latency < 0:
@@ -105,7 +105,7 @@ def _instances_ahead(prb: PostRetirementBuffer, pc: int, spawn_idx: int,
 class MicrothreadBuilder:
     """Single-ported builder with a fixed build latency."""
 
-    def __init__(self, config: Optional[BuilderConfig] = None):
+    def __init__(self, config: Optional[BuilderConfig] = None) -> None:
         self.config = config or BuilderConfig()
         self._port_busy_until: List[int] = [0] * self.config.ports
         self.stats = BuildStats()
@@ -218,10 +218,10 @@ class MicrothreadBuilder:
                 node.ahead = _instances_ahead(prb, node.pc, spawn_idx,
                                               node.order)
 
+        window = (prb.get(pos) for pos in range(spawn_idx, branch_idx))
         expected_suffix = tuple(
-            prb.get(pos).rec.pc
-            for pos in range(spawn_idx, branch_idx)
-            if prb.get(pos) is not None and prb.get(pos).rec.is_taken_control
+            entry.rec.pc for entry in window
+            if entry is not None and entry.rec.is_taken_control
         )
         prefix = tuple(
             pc for pc, idx in zip(event.key.branches, event.branch_idxs)

@@ -18,7 +18,7 @@ with :func:`repro.core.microthread.topological_order`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.microthread import MicroOp, topological_order
 from repro.isa.instructions import Opcode

@@ -63,6 +63,14 @@ class MicroRAM:
             if not bucket:
                 del self._by_spawn_pc[thread.spawn_pc]
 
+    def routines(self) -> List[Microthread]:
+        """Every resident routine (used by the sanitizer)."""
+        return list(self._by_key.values())
+
+    def spawn_index_len(self) -> int:
+        """Total routines reachable through the spawn-PC index."""
+        return sum(len(bucket) for bucket in self._by_spawn_pc.values())
+
     def routines_at(self, spawn_pc: int) -> List[Microthread]:
         """Routines whose spawn point is ``spawn_pc`` (front-end check)."""
         return self._by_spawn_pc.get(spawn_pc, [])

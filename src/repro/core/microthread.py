@@ -25,8 +25,8 @@ routine size reported in Figure 8.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.path import PathKey
 from repro.isa.instructions import (

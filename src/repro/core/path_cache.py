@@ -21,8 +21,8 @@ is emitted when the Difficult bit falls while Promoted is set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.path import PathKey
 
@@ -177,6 +177,11 @@ class PathCache:
 
     def lookup(self, key: PathKey, path_id: int) -> Optional[_Entry]:
         return self._sets[path_id & self._set_mask].get(key)
+
+    def entries(self) -> Iterator[Tuple[PathKey, _Entry]]:
+        """Every resident ``(key, entry)`` pair (used by the sanitizer)."""
+        for ways in self._sets:
+            yield from ways.items()
 
     def is_difficult(self, key: PathKey, path_id: int) -> bool:
         entry = self.lookup(key, path_id)

@@ -13,7 +13,7 @@ deallocated on demand.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 
 @dataclass
@@ -78,6 +78,10 @@ class PredictionCache:
             return None
         self.stats.hits += 1
         return entry
+
+    def entries(self) -> Iterator[PredictionCacheEntry]:
+        """Every resident entry, valid or not (used by the sanitizer)."""
+        return iter(self._entries.values())
 
     def invalidate_writer(self, writer: object) -> None:
         """Invalidate entries written by an aborted/violated microthread."""

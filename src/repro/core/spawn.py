@@ -12,8 +12,8 @@ reclaims the microcontext (~66% of successful spawns).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
 
 from repro.core.microthread import Microthread, MicrothreadPrediction
 

@@ -23,14 +23,20 @@ predictions are never consumed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
-from repro.branch.unit import BranchPredictorComplex
+from repro.branch.unit import BranchOutcome, BranchPredictorComplex
 from repro.core.builder import BuilderConfig, MicrothreadBuilder
-from repro.core.microthread import Microthread
+from repro.core.events import EventLog
 from repro.core.microram import MicroRAM
-from repro.core.path import PathKey, PathTracker, DEFAULT_PATH_ID_BITS
+from repro.core.microthread import Microthread
+from repro.core.path import (
+    DEFAULT_PATH_ID_BITS,
+    PathEvent,
+    PathKey,
+    PathTracker,
+)
 from repro.core.path_cache import PathCache, PathCacheConfig
 from repro.core.prb import PostRetirementBuffer
 from repro.core.prediction_cache import (
@@ -38,10 +44,14 @@ from repro.core.prediction_cache import (
     PredictionCacheEntry,
 )
 from repro.core.spawn import ActiveMicrothread, SpawnManager
-from repro.sim.trace import Trace
+from repro.sim.trace import DynamicInstruction, Trace
 from repro.uarch.config import MachineConfig, TABLE3_BASELINE
 from repro.uarch.timing import OoOTimingModel, PredictionEntry, TimingResult
 from repro.valuepred import AddressPredictor, PredictorTrainer, StridePredictor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.verify.sanitizer import SimSanitizer
+    from repro.verify.static import BuildVerifier
 
 
 @dataclass
@@ -138,9 +148,17 @@ class SSMTEngine:
 
     def __init__(self, config: Optional[SSMTConfig] = None,
                  initial_memory: Optional[Dict[int, int]] = None,
-                 event_log=None):
+                 event_log: Optional[EventLog] = None,
+                 verifier: Optional["BuildVerifier"] = None,
+                 sanitizer: Optional["SimSanitizer"] = None):
         self.config = config or SSMTConfig()
         self.event_log = event_log
+        #: optional static verifier, run over every successfully built
+        #: routine while its extraction window is still PRB-resident
+        self.verifier = verifier
+        #: optional runtime invariant sanitizer ("simsan"); ``None``
+        #: keeps the hooks at a single identity test per site
+        self.sanitizer = sanitizer
         cfg = self.config
         self.tracker = PathTracker(cfg.n, cfg.path_id_bits)
         self.trainer = PredictorTrainer(
@@ -160,11 +178,11 @@ class SSMTEngine:
         self.correct_microthread_predictions = 0
         self.incorrect_microthread_predictions = 0
         # throttling feedback state: per-path consumed-prediction tallies
-        self._throttle_tallies: Dict[object, List[int]] = {}
-        self._throttled: set = set()
+        self._throttle_tallies: Dict[PathKey, List[int]] = {}
+        self._throttled: Set[PathKey] = set()
         self.throttled_paths = 0
         # repeated-violation rebuild policy state
-        self._violation_counts: Dict[object, int] = {}
+        self._violation_counts: Dict[PathKey, int] = {}
 
     # -- memory / predictor closures for microthread execution ----------------
 
@@ -179,7 +197,7 @@ class SSMTEngine:
 
     # -- listener protocol -------------------------------------------------------
 
-    def on_fetch(self, idx: int, rec, fetch_cycle: int,
+    def on_fetch(self, idx: int, rec: DynamicInstruction, fetch_cycle: int,
                  engine: OoOTimingModel) -> None:
         routines = self.microram.routines_at(rec.pc)
         if not routines:
@@ -204,7 +222,7 @@ class SSMTEngine:
                 log.emit("pre_alloc_abort", idx, fetch_cycle,
                          thread.term_pc)
 
-    def lookup_prediction(self, idx: int, rec,
+    def lookup_prediction(self, idx: int, rec: DynamicInstruction,
                           fetch_cycle: int) -> Optional[PredictionEntry]:
         if not self.config.use_predictions:
             return None
@@ -217,13 +235,15 @@ class SSMTEngine:
             return None
         return PredictionEntry(entry.taken, entry.target, entry.arrival_cycle)
 
-    def on_control(self, idx: int, rec, outcome, fetch_cycle: int,
+    def on_control(self, idx: int, rec: DynamicInstruction,
+                   outcome: BranchOutcome, fetch_cycle: int,
                    resolve_cycle: int) -> None:
         if rec.inst.is_path_terminating:
             self._pending_mispredict[idx] = outcome.mispredicted
 
-    def on_prediction_outcome(self, idx: int, rec, kind: str, used: bool,
-                              correct: bool, hw_mispredict: bool) -> None:
+    def on_prediction_outcome(self, idx: int, rec: DynamicInstruction,
+                              kind: str, used: bool, correct: bool,
+                              hw_mispredict: bool) -> None:
         self.prediction_kind_counts[kind] = \
             self.prediction_kind_counts.get(kind, 0) + 1
         if kind != "useless":
@@ -238,8 +258,8 @@ class SSMTEngine:
         if self.config.throttle_enabled:
             self._throttle_feedback(rec, kind, correct, hw_mispredict)
 
-    def _throttle_feedback(self, rec, kind: str, correct: bool,
-                           hw_mispredict: bool) -> None:
+    def _throttle_feedback(self, rec: DynamicInstruction, kind: str,
+                           correct: bool, hw_mispredict: bool) -> None:
         """Demote paths whose predictions persistently do not help.
 
         A consumed prediction is *helpful* when it changed the outcome
@@ -262,16 +282,19 @@ class SSMTEngine:
                 self._demote(key, self._key_id(key))
             self._throttle_tallies[key] = [0, 0]
 
-    def on_retire(self, idx: int, rec, retire_cycle: int) -> None:
+    def on_retire(self, idx: int, rec: DynamicInstruction,
+                  retire_cycle: int) -> None:
         inst = rec.inst
 
         # Memory-dependence violation: a store hits an address a live
         # microthread already read -> abort and rebuild (paper §4.2.4).
         log = self.event_log
-        if inst.is_store:
+        if inst.is_store and rec.ea is not None:
             for violated in self.spawner.on_store_retired(rec.ea, idx,
                                                           retire_cycle):
                 self.prediction_cache.invalidate_writer(violated)
+                if self.sanitizer is not None:
+                    self.sanitizer.note_violation(violated)
                 key = violated.thread.key
                 count = self._violation_counts.get(key, 0) + 1
                 if log is not None:
@@ -313,6 +336,9 @@ class SSMTEngine:
                 event.key, event.path_id)
             promotion = self.path_cache.update(classify_key, classify_id,
                                                mispredicted)
+            if self.sanitizer is not None:
+                self.sanitizer.note_path_update(self, classify_key,
+                                                classify_id)
             if promotion is not None:
                 if promotion.promote:
                     self._promote(event, retire_cycle)
@@ -325,8 +351,11 @@ class SSMTEngine:
         dest = inst.dest_reg()
         if dest is not None:
             self.reg_values[dest] = rec.result
-        if inst.is_store:
+        if inst.is_store and rec.ea is not None:
             self.memory[rec.ea] = rec.result
+
+        if self.sanitizer is not None:
+            self.sanitizer.on_retire(self, idx, rec)
 
     # -- promotion machinery ---------------------------------------------------
 
@@ -345,7 +374,7 @@ class SSMTEngine:
             return key.term_pc & ((1 << self.config.path_id_bits) - 1)
         return key.path_id(self.config.path_id_bits)
 
-    def _promote(self, event, now_cycle: int) -> None:
+    def _promote(self, event: PathEvent, now_cycle: int) -> None:
         classify_key, classify_id = self._classification_identity(
             event.key, event.path_id)
         if classify_key in self._throttled:
@@ -356,6 +385,10 @@ class SSMTEngine:
                 self.event_log.emit("build_failed", event.branch_idx,
                                     now_cycle, event.key.term_pc)
             return  # builder busy/failed; Promoted stays clear, will retry
+        if self.verifier is not None:
+            # Audit while the extraction window is still PRB-resident
+            # (and before the classify-by-branch key rewrite below).
+            self.verifier.verify_built(thread, self.prb)
         if self.event_log is not None:
             self.event_log.emit(
                 "build", event.branch_idx, now_cycle, event.key.term_pc,
@@ -372,10 +405,14 @@ class SSMTEngine:
             self.path_cache.mark_promoted(evicted, self._key_id(evicted),
                                           False)
         self.path_cache.mark_promoted(classify_key, classify_id, True)
+        if self.sanitizer is not None:
+            self.sanitizer.note_promote(classify_key)
 
-    def _demote(self, key, path_id: int) -> None:
+    def _demote(self, key: PathKey, path_id: int) -> None:
         self.microram.remove(key)
         self.path_cache.mark_promoted(key, path_id, False)
+        if self.sanitizer is not None:
+            self.sanitizer.note_demote(key)
         if self.event_log is not None:
             self.event_log.emit("demote", 0, 0, key.term_pc)
 
@@ -423,7 +460,7 @@ class SSMTEngine:
                 latency = engine.caches.load_latency(next(loads), slot)
             elif node.kind in ("vp", "ap"):
                 latency = cfg.vp_latency
-            elif node.kind == "op":
+            elif node.kind == "op" and node.op is not None:
                 latency = engine.op_latency(node.op)
             else:  # const, branch (Store_PCache)
                 latency = 1
@@ -462,9 +499,12 @@ def run_ssmt(
     config: Optional[SSMTConfig] = None,
     machine: MachineConfig = TABLE3_BASELINE,
     predictor: Optional[BranchPredictorComplex] = None,
+    verifier: Optional["BuildVerifier"] = None,
+    sanitizer: Optional["SimSanitizer"] = None,
 ) -> Tuple[TimingResult, SSMTEngine]:
     """Run the full SSMT machine over ``trace``; returns timing + engine."""
-    engine = SSMTEngine(config, initial_memory=trace.initial_memory)
+    engine = SSMTEngine(config, initial_memory=trace.initial_memory,
+                        verifier=verifier, sanitizer=sanitizer)
     model = OoOTimingModel(machine)
     predictor = predictor if predictor is not None else BranchPredictorComplex()
     result = model.run(trace, predictor, listener=engine)

@@ -19,14 +19,13 @@ allocates a data array; its base address can be loaded with
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.isa.builder import ProgramBuilder
 from repro.isa.instructions import (
     ALU_IMM_OPS,
     ALU_OPS,
     CONDITIONAL_BRANCHES,
-    Instruction,
     Opcode,
 )
 from repro.isa.program import Program

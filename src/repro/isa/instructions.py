@@ -14,7 +14,7 @@ The opcode space is split into five families:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
 from typing import Optional, Tuple
 

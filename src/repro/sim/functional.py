@@ -8,9 +8,9 @@ outcomes recorded — everything the back-end models need.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.isa.instructions import Instruction, Opcode
+from repro.isa.instructions import Opcode
 from repro.isa.program import Program
 from repro.isa.registers import NUM_REGS, REG_RA, REG_SP, REG_ZERO
 from repro.sim.trace import DynamicInstruction, Trace

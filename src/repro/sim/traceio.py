@@ -14,7 +14,7 @@ carry their values, effective addresses and control outcomes.
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Optional, TextIO, Union
+from typing import Dict, List, TextIO, Union
 
 from repro.isa.instructions import Instruction, Opcode
 from repro.sim.trace import DynamicInstruction, Trace

@@ -7,7 +7,7 @@ folded into effective latencies; those folds are noted inline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ Stage letters: ``F`` fetch, ``D`` dispatch (rename done), ``I`` issue,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 
 @dataclass

@@ -8,9 +8,9 @@ spot pruning opportunities without re-querying the predictors.
 
 from __future__ import annotations
 
+from repro.sim.trace import DynamicInstruction
 from repro.valuepred.address import AddressPredictor
 from repro.valuepred.stride import StridePredictor
-from repro.sim.trace import DynamicInstruction
 
 
 class PredictorTrainer:

@@ -1,0 +1,43 @@
+"""Correctness tooling for the SSMT mechanism (``repro verify``).
+
+Two layers:
+
+* :mod:`repro.verify.static` — an IR-level static verifier over built
+  :class:`~repro.core.microthread.Microthread` programs (def-before-use,
+  dead code, terminator form, spawn legality, optimization soundness
+  re-derived from the PRB snapshot, pruning soundness);
+* :mod:`repro.verify.sanitizer` — an opt-in runtime invariant sanitizer
+  ("simsan") over the Path Cache / MicroRAM / Prediction Cache / spawn
+  state machines of a running :class:`~repro.core.ssmt.SSMTEngine`.
+
+Both emit structured :class:`~repro.verify.diagnostics.Diagnostic`
+records so the CLI (and CI) can gate on them.
+"""
+
+from repro.verify.diagnostics import (
+    RULES,
+    Diagnostic,
+    Severity,
+    VerifyReport,
+)
+from repro.verify.runner import (
+    WorkloadVerifyResult,
+    verify_suite,
+    verify_workload,
+)
+from repro.verify.sanitizer import SanitizerConfig, SimSanitizer
+from repro.verify.static import BuildVerifier, verify_microthread
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "Severity",
+    "VerifyReport",
+    "BuildVerifier",
+    "verify_microthread",
+    "SanitizerConfig",
+    "SimSanitizer",
+    "WorkloadVerifyResult",
+    "verify_workload",
+    "verify_suite",
+]

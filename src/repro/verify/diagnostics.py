@@ -1,0 +1,123 @@
+"""Structured diagnostics shared by the static verifier and the sanitizer.
+
+Every check failure is a :class:`Diagnostic` carrying a stable rule id
+(``MT0xx`` for static microthread rules, ``SAN0xx`` for runtime sanitizer
+invariants), a severity, the offending micro-op index where applicable,
+and a fix hint.  Diagnostics accumulate into a :class:`VerifyReport` per
+verified object; reports render as rows for the CLI summary table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Tuple
+
+
+class Severity(IntEnum):
+    """How bad a finding is; only ``ERROR`` gates the exit code."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+#: Registry of every rule id, for docs and ``repro verify --rules``.
+RULES: Dict[str, str] = {
+    # -- static microthread verifier --------------------------------------
+    "MT001": "use-before-def: a micro-op reads an operand that is not "
+             "defined earlier in the routine listing",
+    "MT002": "dead-op: a micro-op does not reach the terminating "
+             "Store_PCache through the use-def chain",
+    "MT003": "terminator-form: the routine must contain exactly one "
+             "terminating Store_PCache node, as its root and final op",
+    "MT004": "illegal-spawn: the spawn point does not precede the branch, "
+             "lies outside the extracted scope, or runs before a live-in "
+             "producer / conflicting store",
+    "MT005": "dataflow-mismatch: re-deriving the backward dataflow tree "
+             "from the PRB snapshot disagrees with the built program "
+             "(unsound move elimination / constant propagation)",
+    "MT006": "unsound-prune: a Vp_Inst/Ap_Inst replacement is not backed "
+             "by predictor confidence or does not cover the pruned "
+             "subtree's live-outs",
+    "MT007": "livein-mismatch: the routine's declared live-in register "
+             "set differs from the live-ins its graph actually reads",
+    "MT008": "suffix-mismatch: the spawn prefix / expected taken-branch "
+             "suffix disagrees with the PRB's recorded control flow",
+    # -- runtime sanitizer ("simsan") --------------------------------------
+    "SAN001": "path-cache-counters: a Path Cache entry's counters are "
+              "outside 0 <= mispredicts <= occurrences < interval",
+    "SAN002": "difficult-untrained: an entry's Difficult bit is set "
+              "before a full training interval completed",
+    "SAN003": "promoted-no-routine: an entry's Promoted bit is set but "
+              "no routine is resident in the MicroRAM",
+    "SAN004": "occupancy: a structure exceeds its configured capacity "
+              "(MicroRAM, Prediction Cache, MCB routine size, contexts)",
+    "SAN005": "stale-prediction: a Prediction Cache entry written by a "
+              "memory-dependence-violated microthread is still valid",
+    "SAN006": "demoted-routine: a demoted/rebuilt path still has a stale "
+              "routine resident in the MicroRAM",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding."""
+
+    rule: str                 # stable id, e.g. "MT002"
+    severity: Severity
+    message: str
+    node_index: int = -1      # micro-op index in the routine listing
+    hint: str = ""            # how to fix / where to look
+
+    def format(self) -> str:
+        loc = f" @op[{self.node_index}]" if self.node_index >= 0 else ""
+        text = f"{self.rule} {self.severity.name}{loc}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+
+@dataclass
+class VerifyReport:
+    """All diagnostics for one verified object (routine or engine)."""
+
+    subject: str = ""                       # e.g. "path 0x1a2b term_pc=77"
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def emit(self, rule: str, severity: Severity, message: str,
+             node_index: int = -1, hint: str = "") -> Diagnostic:
+        if rule not in RULES:
+            raise ValueError(f"unknown rule id {rule!r}")
+        diag = Diagnostic(rule, severity, message, node_index, hint)
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, other: "VerifyReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """No errors (warnings do not fail verification)."""
+        return not self.errors
+
+    def rule_ids(self) -> Tuple[str, ...]:
+        return tuple(d.rule for d in self.diagnostics)
+
+    def has_rule(self, rule: str) -> bool:
+        return any(d.rule == rule for d in self.diagnostics)
+
+    def format(self) -> str:
+        lines = [self.subject or "<anonymous>"]
+        lines.extend("  " + d.format() for d in self.diagnostics)
+        if not self.diagnostics:
+            lines.append("  clean")
+        return "\n".join(lines)

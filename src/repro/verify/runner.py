@@ -1,0 +1,97 @@
+"""Drive the static verifier (and optionally simsan) over workloads.
+
+``repro verify`` uses :func:`verify_suite` to run the full SSMT machine
+over each benchmark with a :class:`~repro.verify.static.BuildVerifier`
+attached, so every microthread the builder constructs is audited against
+the live PRB snapshot at build time.  ``--sanitize`` additionally
+attaches a :class:`~repro.verify.sanitizer.SimSanitizer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.ssmt import SSMTConfig, run_ssmt
+from repro.uarch.config import TABLE3_BASELINE, MachineConfig
+from repro.verify.diagnostics import VerifyReport
+from repro.verify.sanitizer import SanitizerConfig, SimSanitizer
+from repro.verify.static import BuildVerifier
+
+#: Paths only promote after a full Path Cache training interval, so
+#: verification needs the same trace length the analyses use; shorter
+#: traces silently audit nothing on the branchier benchmarks.
+DEFAULT_VERIFY_LENGTH = 400_000
+
+
+@dataclass
+class WorkloadVerifyResult:
+    """Verification outcome for one benchmark."""
+
+    benchmark: str
+    routines_built: int
+    error_reports: List[VerifyReport] = field(default_factory=list)
+    error_count: int = 0
+    warning_count: int = 0
+    sanitizer_report: Optional[VerifyReport] = None
+
+    @property
+    def clean(self) -> int:
+        return self.routines_built - len(self.error_reports)
+
+    @property
+    def sanitizer_errors(self) -> int:
+        if self.sanitizer_report is None:
+            return 0
+        return len(self.sanitizer_report.errors)
+
+    @property
+    def ok(self) -> bool:
+        return self.error_count == 0 and self.sanitizer_errors == 0
+
+
+def verify_workload(
+    name: str,
+    instructions: int = DEFAULT_VERIFY_LENGTH,
+    config: Optional[SSMTConfig] = None,
+    machine: MachineConfig = TABLE3_BASELINE,
+    sanitize: bool = False,
+    sanitizer_config: Optional[SanitizerConfig] = None,
+) -> WorkloadVerifyResult:
+    """Run SSMT over ``name`` and statically verify every built routine."""
+    from repro.workloads import benchmark_trace
+
+    trace = benchmark_trace(name, instructions)
+    verifier = BuildVerifier()
+    sanitizer = SimSanitizer(sanitizer_config) if sanitize else None
+    _, engine = run_ssmt(trace, config, machine=machine,
+                         verifier=verifier, sanitizer=sanitizer)
+    sanitizer_report = None
+    if sanitizer is not None:
+        sanitizer_report = sanitizer.final_check(engine)
+    return WorkloadVerifyResult(
+        benchmark=name,
+        routines_built=verifier.verified,
+        error_reports=verifier.error_reports,
+        error_count=verifier.error_count,
+        warning_count=verifier.warning_count,
+        sanitizer_report=sanitizer_report,
+    )
+
+
+def verify_suite(
+    benchmarks: Optional[Sequence[str]] = None,
+    instructions: int = DEFAULT_VERIFY_LENGTH,
+    config: Optional[SSMTConfig] = None,
+    machine: MachineConfig = TABLE3_BASELINE,
+    sanitize: bool = False,
+) -> Tuple[WorkloadVerifyResult, ...]:
+    """Verify every benchmark (default: the whole 20-program suite)."""
+    from repro.workloads import BENCHMARK_NAMES
+
+    names = tuple(benchmarks) if benchmarks else BENCHMARK_NAMES
+    return tuple(
+        verify_workload(name, instructions=instructions, config=config,
+                        machine=machine, sanitize=sanitize)
+        for name in names
+    )

@@ -1,0 +1,234 @@
+"""Runtime invariant sanitizer over the SSMT engine ("simsan").
+
+An opt-in hook layer for :class:`~repro.core.ssmt.SSMTEngine`: the
+engine calls into the sanitizer at each retire, path-cache update,
+promotion, demotion and memory-dependence violation, and the sanitizer
+asserts cross-structure invariants (rule ids ``SAN001``-``SAN006`` in
+:data:`repro.verify.diagnostics.RULES`):
+
+``SAN001``  Path Cache counters stay in ``0 <= mispredicts <=
+            occurrences < training_interval`` after every update.
+``SAN002``  The ``Difficult`` bit is only ever set after a full
+            training interval of observed occurrences (tracked in a
+            shadow tally, so eviction/re-allocation cannot fake it).
+``SAN003``  A ``Promoted`` entry always has its routine resident in the
+            MicroRAM.
+``SAN004``  Occupancy: MicroRAM and Prediction Cache never exceed their
+            capacity, the MicroRAM's spawn-PC index stays in sync, every
+            stored routine fits the MCB, and every active microthread
+            holds a legal context id.
+``SAN005``  Predictions written by a memory-dependence-violated
+            microthread are invalidated (rebuild-on-violation actually
+            kills the stale output).
+``SAN006``  A demoted path's routine actually leaves the MicroRAM and
+            stays out until the path is re-promoted.
+
+When no sanitizer is attached the engine pays one ``is None`` test per
+hook site — effectively zero overhead.  When attached, cheap per-entry
+checks run on every touched Path Cache entry and a full structural
+sweep runs every ``check_every`` retires (and on demand via
+:meth:`SimSanitizer.final_check`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Deque, Dict, Optional, Set
+
+from repro.verify.diagnostics import Severity, VerifyReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.path import PathKey
+    from repro.core.ssmt import SSMTEngine
+
+
+class SanitizerError(AssertionError):
+    """Raised on the first violation when ``raise_on_error`` is set."""
+
+
+@dataclass
+class SanitizerConfig:
+    #: run the full structural sweep every N retires (0 = only on
+    #: :meth:`SimSanitizer.final_check`)
+    check_every: int = 64
+    #: stop accumulating diagnostics past this many (the run is already
+    #: broken; keep the report readable)
+    max_diagnostics: int = 200
+    #: raise :class:`SanitizerError` at the first ERROR (debugging aid)
+    raise_on_error: bool = False
+    #: how many recently-violated microthread instances to keep checking
+    #: against the Prediction Cache
+    violation_memory: int = 256
+
+    def __post_init__(self) -> None:
+        if self.check_every < 0:
+            raise ValueError("check_every must be >= 0")
+        if self.max_diagnostics <= 0:
+            raise ValueError("max_diagnostics must be positive")
+        if self.violation_memory <= 0:
+            raise ValueError("violation_memory must be positive")
+
+
+class SimSanitizer:
+    """Cross-structure invariant checker; see module docstring."""
+
+    def __init__(self, config: Optional[SanitizerConfig] = None) -> None:
+        self.config = config or SanitizerConfig()
+        self.report = VerifyReport(subject="simsan")
+        self.retires_seen = 0
+        self.sweeps = 0
+        #: shadow per-path occurrence tally backing SAN002
+        self._shadow_occurrences: Dict[Any, int] = {}
+        #: instances whose predictions must be invalid (SAN005)
+        self._violated: Deque[Any] = deque(
+            maxlen=self.config.violation_memory)
+        #: demoted keys that must stay out of the MicroRAM (SAN006)
+        self._demoted: Set[Any] = set()
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def violations(self) -> int:
+        return len(self.report.errors)
+
+    @property
+    def ok(self) -> bool:
+        return not self.report.errors
+
+    def _emit(self, rule: str, message: str, hint: str = "") -> None:
+        if len(self.report.diagnostics) >= self.config.max_diagnostics:
+            return
+        self.report.emit(rule, Severity.ERROR, message, hint=hint)
+        if self.config.raise_on_error:
+            raise SanitizerError(f"{rule}: {message}")
+
+    # -- engine hooks --------------------------------------------------------
+
+    def note_path_update(self, engine: "SSMTEngine", key: "PathKey",
+                         path_id: int) -> None:
+        """Called after every Path Cache update of ``key``."""
+        self._shadow_occurrences[key] = \
+            self._shadow_occurrences.get(key, 0) + 1
+        entry = engine.path_cache.lookup(key, path_id)
+        if entry is not None:
+            self._check_entry(engine, key, entry)
+
+    def note_violation(self, instance: Any) -> None:
+        """Called for each microthread hit by a memory-dependence
+        violation; its Prediction Cache output must now be dead."""
+        self._violated.append(instance)
+
+    def note_demote(self, key: "PathKey") -> None:
+        self._demoted.add(key)
+
+    def note_promote(self, key: "PathKey") -> None:
+        self._demoted.discard(key)
+
+    def on_retire(self, engine: "SSMTEngine", idx: int, rec: Any) -> None:
+        self.retires_seen += 1
+        every = self.config.check_every
+        if every and self.retires_seen % every == 0:
+            self.sweep(engine)
+
+    def final_check(self, engine: "SSMTEngine") -> VerifyReport:
+        """Run one last full sweep and return the accumulated report."""
+        self.sweep(engine)
+        return self.report
+
+    # -- invariant checks ----------------------------------------------------
+
+    def _check_entry(self, engine: "SSMTEngine", key: "PathKey",
+                     entry: Any) -> None:
+        interval = engine.path_cache.config.training_interval
+        if not (0 <= entry.mispredicts <= entry.occurrences < interval):
+            self._emit(
+                "SAN001",
+                f"path {key.term_pc}: counters mispredicts="
+                f"{entry.mispredicts} occurrences={entry.occurrences} "
+                f"violate 0 <= m <= o < {interval}",
+                hint="counters must reset exactly at the interval end")
+        if entry.difficult and \
+                self._shadow_occurrences.get(key, 0) < interval:
+            self._emit(
+                "SAN002",
+                f"path {key.term_pc}: Difficult set after only "
+                f"{self._shadow_occurrences.get(key, 0)} occurrences "
+                f"(interval={interval})",
+                hint="difficulty may only be classified at training "
+                     "interval boundaries")
+        if entry.promoted and key not in engine.microram:
+            self._emit(
+                "SAN003",
+                f"path {key.term_pc}: Promoted bit set but no routine "
+                "in the MicroRAM",
+                hint="mark_promoted must track MicroRAM insert/evict")
+
+    def sweep(self, engine: "SSMTEngine") -> None:
+        """Full structural sweep over every engine structure."""
+        self.sweeps += 1
+        for key, entry in engine.path_cache.entries():
+            self._check_entry(engine, key, entry)
+        self._check_occupancy(engine)
+        self._check_violated(engine)
+        self._check_demoted(engine)
+
+    def _check_occupancy(self, engine: "SSMTEngine") -> None:
+        microram = engine.microram
+        if len(microram) > microram.capacity:
+            self._emit(
+                "SAN004",
+                f"MicroRAM holds {len(microram)} routines, capacity "
+                f"{microram.capacity}")
+        if microram.spawn_index_len() != len(microram):
+            self._emit(
+                "SAN004",
+                f"MicroRAM spawn-PC index holds "
+                f"{microram.spawn_index_len()} routines but the key "
+                f"index holds {len(microram)}",
+                hint="insert/remove must update both indexes")
+        mcb_capacity = engine.config.mcb_capacity
+        for thread in microram.routines():
+            if thread.routine_size > mcb_capacity:
+                self._emit(
+                    "SAN004",
+                    f"routine for term_pc={thread.term_pc} has "
+                    f"{thread.routine_size} micro-ops, over the MCB "
+                    f"capacity {mcb_capacity}")
+        pcache = engine.prediction_cache
+        if len(pcache) > pcache.capacity:
+            self._emit(
+                "SAN004",
+                f"Prediction Cache holds {len(pcache)} entries, "
+                f"capacity {pcache.capacity}")
+        n_contexts = engine.spawner.n_contexts
+        for instance in engine.spawner.active:
+            if not 0 <= instance.context_id < n_contexts:
+                self._emit(
+                    "SAN004",
+                    f"active microthread for term_pc="
+                    f"{instance.thread.term_pc} holds illegal context "
+                    f"id {instance.context_id} (of {n_contexts})")
+
+    def _check_violated(self, engine: "SSMTEngine") -> None:
+        if not self._violated:
+            return
+        violated = {id(instance) for instance in self._violated}
+        for entry in engine.prediction_cache.entries():
+            if entry.valid and id(entry.writer) in violated:
+                self._emit(
+                    "SAN005",
+                    f"prediction arriving at cycle {entry.arrival_cycle} "
+                    "from a violated microthread is still valid",
+                    hint="invalidate_writer must cover every entry of "
+                         "the violated instance")
+
+    def _check_demoted(self, engine: "SSMTEngine") -> None:
+        for key in self._demoted:
+            if key in engine.microram:
+                self._emit(
+                    "SAN006",
+                    f"demoted path term_pc={key.term_pc} still has a "
+                    "routine resident in the MicroRAM",
+                    hint="demotion must remove the routine until the "
+                         "path is re-promoted")

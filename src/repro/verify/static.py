@@ -1,0 +1,510 @@
+"""Static verification of built microthread routines.
+
+:func:`verify_microthread` analyses one built
+:class:`~repro.core.microthread.Microthread` and emits a
+:class:`~repro.verify.diagnostics.VerifyReport`.  The rules (ids in
+:data:`repro.verify.diagnostics.RULES`):
+
+``MT001``
+    Def-before-use over the routine listing: every operand of every
+    micro-op must be produced by an earlier node, and the listing must
+    not contain duplicates (a cycle in the graph surfaces here too).
+``MT002``
+    No dead micro-ops: every node must reach the terminating
+    ``Store_PCache`` through the use-def chain.
+``MT003``
+    Exactly-one-terminator form: one ``branch`` node, it is the root,
+    it is the final op, nothing consumes its result, and its opcode can
+    terminate a path (indirect terminators must compute a target).
+``MT004``
+    Spawn-point legality: the spawn strictly precedes the terminating
+    branch, every live-in producer retires before the spawn, and no
+    in-window store feeding an included load retires at/after it.
+``MT005``
+    Move-elimination / constant-propagation soundness: the verifier
+    re-derives the backward dataflow from the PRB snapshot (recorded
+    operand values, effective addresses and results) and diffs it
+    against the built program node by node, ending with the recorded
+    branch outcome.
+``MT006``
+    Pruning soundness: every ``Vp_Inst``/``Ap_Inst`` must be a leaf,
+    must be backed by the confidence snapshot stored in the PRB, and an
+    ``Ap_Inst`` must feed exactly the load whose base sub-tree it
+    replaced (the pruned subtree's only live-out).
+``MT007``
+    The declared live-in register set must equal the live-ins the graph
+    actually reads.
+``MT008``
+    The spawn prefix must be a prefix of the path key, and the expected
+    taken-branch suffix must match the control flow recorded in the PRB
+    between spawn point and terminating branch.
+
+PRB-dependent rules (parts of MT004, MT005, MT006, MT008) degrade
+gracefully: entries that have fallen out of the buffer simply skip the
+corresponding check (a ``WARNING`` is emitted where the skip leaves a
+pruning decision unaudited).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.microthread import Microthread, MicroOp
+from repro.core.prb import PostRetirementBuffer, PRBEntry
+from repro.isa.instructions import CONDITIONAL_BRANCHES, INDIRECT_JUMPS
+from repro.verify.diagnostics import Severity, VerifyReport
+
+_MASK = (1 << 64) - 1
+
+#: Sentinel for values the PRB snapshot can no longer reconstruct.
+_UNKNOWN = object()
+
+_VALID_KINDS = frozenset(
+    {"op", "load", "const", "livein", "vp", "ap", "branch"})
+
+
+def _subject(thread: Microthread) -> str:
+    return (f"path_id=0x{thread.path_id:x} term_pc={thread.term_pc} "
+            f"spawn_pc={thread.spawn_pc} size={thread.routine_size}")
+
+
+def _entry_at(prb: Optional[PostRetirementBuffer], pos: int,
+              pc: int) -> Optional[PRBEntry]:
+    """The PRB entry a node was extracted from, if still resident."""
+    if prb is None or pos < 0:
+        return None
+    entry = prb.get(pos)
+    if entry is None or entry.rec.pc != pc:
+        return None
+    return entry
+
+
+def verify_microthread(thread: Microthread,
+                       prb: Optional[PostRetirementBuffer] = None
+                       ) -> VerifyReport:
+    """Run every static rule over ``thread``; see module docstring.
+
+    ``prb`` is the Post-Retirement Buffer the routine was extracted
+    from, ideally snapshotted at build time; it enables the dataflow
+    re-derivation rules (MT005 and friends).
+    """
+    report = VerifyReport(subject=_subject(thread))
+    nodes = thread.nodes
+    if not nodes:
+        report.emit("MT003", Severity.ERROR, "routine has no micro-ops",
+                    hint="builder produced an empty extraction")
+        return report
+
+    index_of: Dict[int, int] = {}
+    _check_def_before_use(report, nodes, index_of)
+    reachable = _check_dead_ops(report, thread, index_of)
+    _check_terminator(report, thread, index_of)
+    _check_liveins(report, thread, reachable)
+    _check_spawn(report, thread, prb, index_of)
+    _check_prune(report, thread, prb, index_of)
+    _check_dataflow(report, thread, prb, index_of)
+    _check_suffix(report, thread, prb)
+    return report
+
+
+# -- MT001 ----------------------------------------------------------------
+
+def _check_def_before_use(report: VerifyReport, nodes: List[MicroOp],
+                          index_of: Dict[int, int]) -> None:
+    for i, node in enumerate(nodes):
+        if node.uid in index_of:
+            report.emit(
+                "MT001", Severity.ERROR,
+                f"micro-op {node.describe()!r} appears twice in the listing",
+                node_index=i, hint="listing must be a topological order")
+            continue
+        if node.kind not in _VALID_KINDS:
+            report.emit(
+                "MT001", Severity.ERROR,
+                f"unknown micro-op kind {node.kind!r}", node_index=i)
+        for child in node.inputs:
+            if child.uid not in index_of:
+                report.emit(
+                    "MT001", Severity.ERROR,
+                    f"{node.describe()!r} reads operand "
+                    f"{child.describe()!r} that is not defined earlier",
+                    node_index=i,
+                    hint="re-linearize with topological_order after "
+                         "graph rewrites")
+        index_of[node.uid] = i
+
+
+# -- MT002 ----------------------------------------------------------------
+
+def _check_dead_ops(report: VerifyReport, thread: Microthread,
+                    index_of: Dict[int, int]) -> frozenset:
+    reachable = set()
+    stack = [thread.root]
+    while stack:
+        node = stack.pop()
+        if node.uid in reachable:
+            continue
+        reachable.add(node.uid)
+        stack.extend(node.inputs)
+    for node in thread.nodes:
+        if node.uid not in reachable:
+            report.emit(
+                "MT002", Severity.ERROR,
+                f"dead micro-op {node.describe()!r} never reaches "
+                "Store_PCache",
+                node_index=index_of.get(node.uid, -1),
+                hint="rebuild the listing from the Store_PCache root "
+                     "after pruning/rewrites")
+    return frozenset(reachable)
+
+
+# -- MT003 ----------------------------------------------------------------
+
+def _check_terminator(report: VerifyReport, thread: Microthread,
+                      index_of: Dict[int, int]) -> None:
+    nodes = thread.nodes
+    branches = [n for n in nodes if n.kind == "branch"]
+    if len(branches) != 1:
+        report.emit(
+            "MT003", Severity.ERROR,
+            f"routine has {len(branches)} terminator nodes, expected "
+            "exactly one",
+            hint="extraction must convert exactly the terminating "
+                 "branch into Store_PCache")
+        return
+    term = branches[0]
+    if term is not thread.root:
+        report.emit(
+            "MT003", Severity.ERROR,
+            "terminator node is not the routine root",
+            node_index=index_of.get(term.uid, -1))
+    if nodes[-1] is not term:
+        report.emit(
+            "MT003", Severity.ERROR,
+            f"terminator is not the final micro-op "
+            f"(last is {nodes[-1].describe()!r})",
+            node_index=index_of.get(term.uid, -1))
+    for i, node in enumerate(nodes):
+        if term in node.inputs:
+            report.emit(
+                "MT003", Severity.ERROR,
+                f"{node.describe()!r} consumes the terminator's result",
+                node_index=i)
+    op = term.op
+    if op in INDIRECT_JUMPS:
+        if not term.inputs:
+            report.emit(
+                "MT003", Severity.ERROR,
+                "indirect terminator has no target operand",
+                node_index=index_of.get(term.uid, -1))
+    elif op not in CONDITIONAL_BRANCHES:
+        report.emit(
+            "MT003", Severity.ERROR,
+            f"terminator opcode {op!r} cannot terminate a path",
+            node_index=index_of.get(term.uid, -1))
+
+
+# -- MT007 ----------------------------------------------------------------
+
+def _check_liveins(report: VerifyReport, thread: Microthread,
+                   reachable: frozenset) -> None:
+    actual = sorted({n.reg for n in thread.nodes
+                     if n.kind == "livein" and n.uid in reachable})
+    declared = sorted(thread.live_in_regs)
+    if actual != declared:
+        report.emit(
+            "MT007", Severity.ERROR,
+            f"declared live-in registers {declared} but the graph reads "
+            f"{actual}",
+            hint="live_in_regs must be recomputed after every graph "
+                 "rewrite")
+
+
+# -- MT004 ----------------------------------------------------------------
+
+def _check_spawn(report: VerifyReport, thread: Microthread,
+                 prb: Optional[PostRetirementBuffer],
+                 index_of: Dict[int, int]) -> None:
+    if thread.separation <= 0:
+        report.emit(
+            "MT004", Severity.ERROR,
+            f"spawn point does not precede the terminating branch "
+            f"(separation={thread.separation})",
+            hint="spawn must be strictly older than the branch")
+        return
+    spawn_idx = thread.built_from_idx - thread.separation
+    for node in thread.nodes:
+        if node.kind == "livein" and node.producer_idx is not None \
+                and node.producer_idx >= spawn_idx:
+            report.emit(
+                "MT004", Severity.ERROR,
+                f"live-in r{node.reg} is produced at PRB position "
+                f"{node.producer_idx}, at/after the spawn point "
+                f"({spawn_idx})",
+                node_index=index_of.get(node.uid, -1),
+                hint="spawn selection must run after every surviving "
+                     "live-in producer")
+        if node.kind == "load":
+            entry = _entry_at(prb, node.order, node.pc)
+            if entry is not None and entry.mem_producer is not None \
+                    and entry.mem_producer >= spawn_idx:
+                report.emit(
+                    "MT004", Severity.ERROR,
+                    f"included load at pc={node.pc} depends on a store "
+                    f"at PRB position {entry.mem_producer}, at/after "
+                    f"the spawn point ({spawn_idx})",
+                    node_index=index_of.get(node.uid, -1),
+                    hint="memory-dependence constraints must push the "
+                         "spawn past the store")
+    if prb is not None:
+        spawn_entry = prb.get(spawn_idx)
+        if spawn_entry is not None \
+                and spawn_entry.rec.pc != thread.spawn_pc:
+            report.emit(
+                "MT004", Severity.ERROR,
+                f"spawn_pc={thread.spawn_pc} but the PRB records pc="
+                f"{spawn_entry.rec.pc} at the spawn position {spawn_idx}")
+
+
+# -- MT006 ----------------------------------------------------------------
+
+def _check_prune(report: VerifyReport, thread: Microthread,
+                 prb: Optional[PostRetirementBuffer],
+                 index_of: Dict[int, int]) -> None:
+    loads_by_ap_uid: Dict[int, MicroOp] = {}
+    for node in thread.nodes:
+        if node.kind == "load" and node.inputs:
+            base = node.inputs[0]
+            if base.kind == "ap":
+                loads_by_ap_uid[base.uid] = node
+    for node in thread.nodes:
+        if node.kind not in ("vp", "ap"):
+            continue
+        i = index_of.get(node.uid, -1)
+        what = "Vp_Inst" if node.kind == "vp" else "Ap_Inst"
+        if not thread.pruned:
+            report.emit(
+                "MT006", Severity.ERROR,
+                f"{what} present but the routine was built with pruning "
+                "disabled", node_index=i)
+        if node.inputs:
+            report.emit(
+                "MT006", Severity.ERROR,
+                f"{what} must be a leaf but has "
+                f"{len(node.inputs)} operand(s)", node_index=i,
+                hint="prediction micro-ops replace whole sub-trees")
+        entry = _entry_at(prb, node.order, node.pc)
+        if entry is None:
+            if prb is not None:
+                report.emit(
+                    "MT006", Severity.WARNING,
+                    f"{what} for pc={node.pc} has no PRB entry left to "
+                    "audit its confidence against", node_index=i)
+        elif node.kind == "vp":
+            if not entry.value_confident:
+                report.emit(
+                    "MT006", Severity.ERROR,
+                    f"Vp_Inst replaced pc={node.pc} whose PRB entry was "
+                    "not value-confident", node_index=i,
+                    hint="prune only on the stored confidence snapshot")
+            if entry.rec.inst.dest_reg() is None:
+                report.emit(
+                    "MT006", Severity.ERROR,
+                    f"Vp_Inst replaced pc={node.pc} which produces no "
+                    "register value", node_index=i)
+        else:  # ap
+            if not entry.address_confident:
+                report.emit(
+                    "MT006", Severity.ERROR,
+                    f"Ap_Inst for pc={node.pc} whose PRB entry was not "
+                    "address-confident", node_index=i,
+                    hint="prune only on the stored confidence snapshot")
+            if not entry.rec.inst.is_load:
+                report.emit(
+                    "MT006", Severity.ERROR,
+                    f"Ap_Inst attached to non-load pc={node.pc}",
+                    node_index=i)
+        if node.kind == "ap":
+            consumer = loads_by_ap_uid.get(node.uid)
+            if consumer is None or consumer.order != node.order:
+                report.emit(
+                    "MT006", Severity.ERROR,
+                    f"Ap_Inst for pc={node.pc} does not feed the load it "
+                    "was created for", node_index=i,
+                    hint="an Ap_Inst must cover exactly the pruned base "
+                         "sub-tree's live-out")
+
+
+# -- MT005 ----------------------------------------------------------------
+
+def _check_dataflow(report: VerifyReport, thread: Microthread,
+                    prb: Optional[PostRetirementBuffer],
+                    index_of: Dict[int, int]) -> None:
+    """Re-derive the dataflow from the PRB and diff the built program.
+
+    Each node is evaluated from the *recorded* values of its operands,
+    compared against the recorded result of the instruction it was
+    extracted from, and the recorded value is propagated onward so one
+    unsound rewrite yields one diagnostic at the node that broke.
+    """
+    if prb is None:
+        return
+    values: Dict[int, Any] = {}
+    for node in thread.nodes:
+        i = index_of.get(node.uid, -1)
+        kind = node.kind
+        if kind == "livein":
+            if node.producer_idx is None:
+                values[node.uid] = _UNKNOWN
+            else:
+                producer = prb.get(node.producer_idx)
+                values[node.uid] = (producer.rec.result & _MASK
+                                    if producer is not None else _UNKNOWN)
+            continue
+        entry = _entry_at(prb, node.order, node.pc)
+        recorded = entry.rec.result & _MASK if entry is not None else None
+        if kind == "const":
+            value = node.imm & _MASK
+            if recorded is not None and value != recorded:
+                report.emit(
+                    "MT005", Severity.ERROR,
+                    f"constant {value} disagrees with the recorded "
+                    f"result {recorded} of pc={node.pc}",
+                    node_index=i,
+                    hint="constant propagation folded a wrong value")
+            values[node.uid] = value
+        elif kind in ("vp", "ap"):
+            if entry is None:
+                values[node.uid] = _UNKNOWN
+            elif kind == "vp":
+                values[node.uid] = recorded
+            else:
+                values[node.uid] = entry.rec.src1_val & _MASK
+        elif kind == "load":
+            base = values[node.uid] = _UNKNOWN
+            if node.inputs:
+                base = values.get(node.inputs[0].uid, _UNKNOWN)
+            if entry is not None and base is not _UNKNOWN:
+                ea = (base + node.imm) & _MASK
+                if entry.rec.ea is not None and ea != entry.rec.ea & _MASK:
+                    report.emit(
+                        "MT005", Severity.ERROR,
+                        f"load at pc={node.pc} computes address {ea} but "
+                        f"the PRB recorded {entry.rec.ea}",
+                        node_index=i,
+                        hint="base sub-tree was rewired incorrectly")
+            if entry is not None:
+                values[node.uid] = recorded
+        elif kind == "op":
+            known = all(values.get(c.uid, _UNKNOWN) is not _UNKNOWN
+                        for c in node.inputs)
+            if known:
+                computed = thread._eval_op(node, values) & _MASK
+                if recorded is not None and computed != recorded:
+                    report.emit(
+                        "MT005", Severity.ERROR,
+                        f"{node.describe()!r} computes {computed} but "
+                        f"the PRB recorded {recorded}",
+                        node_index=i,
+                        hint="move elimination / rewiring changed the "
+                             "computed value")
+                values[node.uid] = (recorded if recorded is not None
+                                    else computed)
+            else:
+                values[node.uid] = (recorded if recorded is not None
+                                    else _UNKNOWN)
+        elif kind == "branch":
+            if entry is None:
+                continue
+            known = all(values.get(c.uid, _UNKNOWN) is not _UNKNOWN
+                        for c in node.inputs)
+            if not known:
+                continue
+            prediction = thread._eval_branch(node, values, ())
+            if prediction.taken != entry.rec.taken:
+                report.emit(
+                    "MT005", Severity.ERROR,
+                    f"routine resolves the terminator "
+                    f"{'taken' if prediction.taken else 'not-taken'} but "
+                    f"the PRB recorded "
+                    f"{'taken' if entry.rec.taken else 'not-taken'}",
+                    node_index=i,
+                    hint="the extracted dataflow does not compute the "
+                         "branch predicate")
+            elif prediction.target != entry.rec.next_pc:
+                report.emit(
+                    "MT005", Severity.ERROR,
+                    f"routine predicts target {prediction.target} but "
+                    f"the PRB recorded next_pc={entry.rec.next_pc}",
+                    node_index=i)
+
+
+# -- MT008 ----------------------------------------------------------------
+
+def _check_suffix(report: VerifyReport, thread: Microthread,
+                  prb: Optional[PostRetirementBuffer]) -> None:
+    prefix = thread.prefix
+    if tuple(thread.key.branches[:len(prefix)]) != tuple(prefix):
+        report.emit(
+            "MT008", Severity.ERROR,
+            f"spawn prefix {tuple(prefix)} is not a prefix of the path "
+            f"key branches {tuple(thread.key.branches)}",
+            hint="prefix must list the path branches older than the "
+                 "spawn point, oldest first")
+    if prb is None or thread.separation <= 0:
+        return
+    spawn_idx = thread.built_from_idx - thread.separation
+    window = [prb.get(pos)
+              for pos in range(spawn_idx, thread.built_from_idx)]
+    entries = [entry for entry in window if entry is not None]
+    if len(entries) != len(window):
+        return  # window partially evicted; nothing sound to diff
+    derived = tuple(entry.rec.pc for entry in entries
+                    if entry.rec.is_taken_control)
+    if derived != tuple(thread.expected_suffix):
+        report.emit(
+            "MT008", Severity.ERROR,
+            f"expected taken-branch suffix {tuple(thread.expected_suffix)} "
+            f"but the PRB records {derived}",
+            hint="suffix must cover every taken control between spawn "
+                 "and terminator")
+
+
+class BuildVerifier:
+    """Accumulates a report per built routine; engine-side hook.
+
+    Attach via ``SSMTEngine(..., verifier=BuildVerifier())`` (or
+    ``run_ssmt(..., verifier=...)``): the engine calls
+    :meth:`verify_built` with the live PRB right after each successful
+    build, which is the only moment the full extraction window is
+    guaranteed resident.
+    """
+
+    def __init__(self) -> None:
+        self.reports: List[VerifyReport] = []
+
+    def verify_built(self, thread: Microthread,
+                     prb: PostRetirementBuffer) -> VerifyReport:
+        report = verify_microthread(thread, prb)
+        self.reports.append(report)
+        return report
+
+    @property
+    def verified(self) -> int:
+        return len(self.reports)
+
+    @property
+    def error_reports(self) -> List[VerifyReport]:
+        return [r for r in self.reports if not r.ok]
+
+    @property
+    def error_count(self) -> int:
+        return sum(len(r.errors) for r in self.reports)
+
+    @property
+    def warning_count(self) -> int:
+        return sum(len(r.warnings) for r in self.reports)
+
+    @property
+    def ok(self) -> bool:
+        return not self.error_reports

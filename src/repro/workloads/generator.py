@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.isa.builder import ProgramBuilder
 from repro.isa.instructions import Opcode

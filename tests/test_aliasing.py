@@ -1,8 +1,7 @@
 """Tests for the Path_Id aliasing analysis."""
 
-import pytest
 
-from repro.analysis.aliasing import AliasingResult, path_id_aliasing
+from repro.analysis.aliasing import path_id_aliasing
 from repro.analysis.events import ControlEvent
 
 

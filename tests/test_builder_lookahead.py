@@ -1,6 +1,5 @@
 """Tests for the Vp/Ap look-ahead distance computation (§4.2.5)."""
 
-import pytest
 
 from repro.core.builder import BuilderConfig, MicrothreadBuilder, _instances_ahead
 from repro.core.path import PathTracker

@@ -1,6 +1,5 @@
 """Tests for the text chart renderers."""
 
-import pytest
 
 from repro.analysis.charts import bar_chart, grouped_bar_chart, timeliness_stack
 

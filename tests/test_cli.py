@@ -66,3 +66,58 @@ class TestCommands:
     def test_unknown_benchmark_exits(self):
         with pytest.raises(SystemExit):
             main(["run", "nonsense"])
+
+
+class TestVerifyCommand:
+    def test_verify_defaults(self):
+        from repro.verify.runner import DEFAULT_VERIFY_LENGTH
+
+        args = build_parser().parse_args(["verify"])
+        assert args.instructions == DEFAULT_VERIFY_LENGTH
+        assert args.benchmarks == []
+        assert not args.sanitize
+
+    def test_rules_listing(self, capsys):
+        assert main(["verify", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "MT001" in out and "SAN001" in out
+        assert "use-before-def" in out
+
+    def test_verify_clean_benchmark_exits_zero(self, capsys):
+        assert main(["verify", "comp", "--instructions", "20000",
+                     "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "routines verified, 0 errors" in out
+        assert "ok" in out and "FAIL" not in out
+
+    def test_verify_unknown_benchmark_exits(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "nonsense"])
+
+    def test_verify_failure_exits_nonzero(self, capsys, monkeypatch):
+        from repro.verify.diagnostics import Severity, VerifyReport
+        from repro.verify.runner import WorkloadVerifyResult
+
+        report = VerifyReport(subject="path_id=0xbad term_pc=7")
+        report.emit("MT002", Severity.ERROR, "dead micro-op seeded")
+
+        def fake_suite(benchmarks, **kwargs):
+            return (WorkloadVerifyResult(
+                benchmark="comp", routines_built=3,
+                error_reports=[report], error_count=1, warning_count=0),)
+
+        monkeypatch.setattr("repro.cli.verify_suite", fake_suite)
+        assert main(["verify", "comp"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "MT002" in out and "dead micro-op seeded" in out
+
+    def test_run_sanitize_clean(self, capsys):
+        assert main(["run", "comp", "--instructions", "20000",
+                     "--sanitize"]) == 0
+        assert "invariants held" in capsys.readouterr().out
+
+    def test_run_sanitize_rejects_profile_guided(self):
+        with pytest.raises(SystemExit):
+            main(["run", "comp", "--instructions", "20000",
+                  "--sanitize", "--profile-guided"])

@@ -1,13 +1,7 @@
 """Tests for microthread data-flow graphs and functional execution."""
 
-import pytest
 
-from repro.core.microthread import (
-    Microthread,
-    MicroOp,
-    MicrothreadPrediction,
-    topological_order,
-)
+from repro.core.microthread import Microthread, MicroOp, topological_order
 from repro.core.path import PathKey
 from repro.isa.instructions import Opcode
 
@@ -61,13 +55,14 @@ class TestTopologicalOrder:
 
     def test_diamond_ordering(self):
         top = MicroOp("livein", reg=1, order=0)
-        l = MicroOp("op", op=Opcode.ADDI, imm=1, inputs=[top], order=1)
-        r = MicroOp("op", op=Opcode.ADDI, imm=2, inputs=[top], order=2)
-        join = MicroOp("op", op=Opcode.ADD, inputs=[l, r], order=3)
+        left = MicroOp("op", op=Opcode.ADDI, imm=1, inputs=[top], order=1)
+        right = MicroOp("op", op=Opcode.ADDI, imm=2, inputs=[top], order=2)
+        join = MicroOp("op", op=Opcode.ADD, inputs=[left, right], order=3)
         root = MicroOp("branch", op=Opcode.BNE, inputs=[join, top], order=4)
         order = topological_order(root)
         positions = {n.uid: i for i, n in enumerate(order)}
-        assert positions[top.uid] < min(positions[l.uid], positions[r.uid])
+        assert positions[top.uid] < min(positions[left.uid],
+                                        positions[right.uid])
         assert positions[join.uid] < positions[root.uid]
 
     def test_deep_chain_no_recursion_error(self):

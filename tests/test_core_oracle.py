@@ -3,7 +3,7 @@
 import pytest
 
 from repro.branch.unit import BranchPredictorComplex
-from repro.core.oracle import PotentialConfig, PotentialEngine, run_potential
+from repro.core.oracle import PotentialConfig, run_potential
 from repro.isa.assembler import assemble
 from repro.sim.functional import run_program
 from repro.uarch.timing import OoOTimingModel

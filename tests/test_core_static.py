@@ -6,7 +6,6 @@ import pytest
 from repro.analysis.experiments import baseline_run
 from repro.core.ssmt import SSMTConfig, run_ssmt
 from repro.core.static import (
-    StaticSSMTEngine,
     prebuild_microthreads,
     profile_difficult_paths,
     run_profile_guided,

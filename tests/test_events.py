@@ -3,7 +3,7 @@
 import pytest
 
 from repro.branch.unit import BranchPredictorComplex
-from repro.core.events import Event, EventLog, KINDS
+from repro.core.events import Event, EventLog
 from repro.core.ssmt import SSMTConfig, SSMTEngine
 from repro.isa.assembler import assemble
 from repro.sim.functional import run_program

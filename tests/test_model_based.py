@@ -4,7 +4,6 @@ Each structure is driven with random operation sequences and compared
 against an obviously-correct Python reference implementation.
 """
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for pipeline timing capture and rendering."""
 
-import pytest
 
 from repro.branch.unit import BranchPredictorComplex
 from repro.isa.assembler import assemble

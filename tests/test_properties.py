@@ -3,12 +3,12 @@ invariants."""
 
 import random
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.branch.base import SaturatingCounterTable
 from repro.core.microthread import MicroOp, topological_order
-from repro.core.path import PathKey, path_id_hash
+from repro.core.path import path_id_hash
 from repro.core.prb import PostRetirementBuffer
 from repro.core.prediction_cache import PredictionCache, PredictionCacheEntry
 from repro.isa.instructions import Instruction, Opcode

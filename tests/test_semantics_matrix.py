@@ -2,7 +2,6 @@
 evaluation must agree for every ALU form (the microthread pre-computes
 exactly what the primary thread will compute)."""
 
-import random
 
 import pytest
 

@@ -1,12 +1,10 @@
 """Tests for the architectural simulator: per-opcode semantics."""
 
-import pytest
 
 from repro.isa.assembler import assemble
 from repro.sim.functional import (
     DEFAULT_SP,
     FunctionalSimulator,
-    SimulationError,
     run_program,
     to_signed,
     to_unsigned,

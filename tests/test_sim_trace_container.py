@@ -1,6 +1,5 @@
 """Tests for the Trace container and DynamicInstruction record."""
 
-import pytest
 
 from repro.isa.assembler import assemble
 from repro.isa.instructions import Instruction, Opcode

@@ -1,10 +1,8 @@
 """Behavioural tests of SSMT engine corner cases: demotion, eviction,
 prediction-cache keying, builder retry, branch-mode classification."""
 
-import pytest
 
 from repro.branch.unit import BranchPredictorComplex
-from repro.core.path import PathKey
 from repro.core.ssmt import SSMTConfig, SSMTEngine, run_ssmt
 from repro.isa.assembler import assemble
 from repro.sim.functional import run_program

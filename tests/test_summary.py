@@ -1,6 +1,5 @@
 """Tests for paper-data constants and the markdown report generator."""
 
-import pytest
 
 from repro.analysis import paper_data
 from repro.analysis.summary import _md_table, generate_report

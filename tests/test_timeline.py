@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.analysis.timeline import (
-    TimelinePoint,
-    ipc_timeline,
-    sparkline,
-    speedup_timeline,
-)
+from repro.analysis.timeline import ipc_timeline, sparkline, speedup_timeline
 from repro.core.ssmt import SSMTConfig, SSMTEngine
 from repro.isa.assembler import assemble
 from repro.sim.functional import run_program

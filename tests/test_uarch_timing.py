@@ -1,11 +1,10 @@
 """Tests for the out-of-order timing model."""
 
-import pytest
 
 from repro.branch.unit import BranchPredictorComplex, oracle_complex
 from repro.isa.assembler import assemble
 from repro.sim.functional import run_program
-from repro.uarch.config import MachineConfig, TABLE3_BASELINE
+from repro.uarch.config import TABLE3_BASELINE
 from repro.uarch.timing import OoOTimingModel, PredictionEntry
 
 

@@ -1,7 +1,6 @@
 """Additional timing-model coverage: retire width, taken-fetch limit,
 BTB bubbles, issue-slot contention."""
 
-import pytest
 
 from repro.branch.unit import BranchPredictorComplex
 from repro.isa.assembler import assemble

@@ -1,0 +1,64 @@
+"""Property test: builder output over generated workloads verifies clean.
+
+For arbitrary synthetic workloads (hypothesis-drawn seeds, shapes and
+path depths) every microthread the MicrothreadBuilder produces must pass
+the full static verifier against the live PRB snapshot at build time —
+zero errors and zero warnings.
+"""
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - optional dependency
+    pytest.skip("hypothesis not installed", allow_module_level=True)
+
+from repro.core.builder import BuilderConfig, MicrothreadBuilder
+from repro.core.path import PathTracker
+from repro.core.prb import PostRetirementBuffer
+from repro.sim.functional import run_program
+from repro.valuepred import PredictorTrainer
+from repro.verify import verify_microthread
+from repro.workloads.generator import generate_program
+from repro.workloads.spec import SiteKind, WorkloadSpec
+
+MIXES = [
+    {SiteKind.DATA: 3.0, SiteKind.LOOP: 1.0, SiteKind.BIASED: 1.0},
+    {SiteKind.PATTERN: 2.0, SiteKind.PATHDEP: 1.0, SiteKind.DATA: 1.0},
+    {SiteKind.STOREDEP: 2.0, SiteKind.DATA: 2.0, SiteKind.LOOP: 1.0},
+]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    n=st.sampled_from([2, 4, 8]),
+    mix=st.sampled_from(MIXES),
+    pruning=st.booleans(),
+)
+def test_builder_output_always_verifies_clean(seed, n, mix, pruning):
+    spec = WorkloadSpec(name=f"hyp-{seed}", seed=seed, n_functions=2,
+                        sites_per_function=4, mix=mix)
+    trace = run_program(generate_program(spec), max_instructions=8000)
+    tracker = PathTracker(n)
+    prb = PostRetirementBuffer(512)
+    trainer = PredictorTrainer()
+    builder = MicrothreadBuilder(BuilderConfig(build_latency=0,
+                                               pruning=pruning))
+    built = 0
+    for idx, rec in enumerate(trace):
+        flags = trainer.observe(rec)
+        prb.insert(rec, idx, *flags)
+        event = tracker.observe(rec, idx)
+        if event is None or event.partial:
+            continue
+        thread = builder.request(event, prb, 0)
+        if thread is None:
+            continue
+        built += 1
+        report = verify_microthread(thread, prb)
+        assert report.ok, report.format()
+        assert not report.warnings, report.format()
+        if built >= 60:  # plenty of coverage per example
+            break

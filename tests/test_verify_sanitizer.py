@@ -1,0 +1,211 @@
+"""Tests for the runtime invariant sanitizer (repro.verify.sanitizer).
+
+Each SAN rule is exercised by running the real SSMT engine over a short
+benchmark trace and then seeding exactly the cross-structure corruption
+the invariant exists to catch; an uncorrupted run must sanitize clean.
+"""
+
+import pytest
+
+from repro.core.prediction_cache import PredictionCacheEntry
+from repro.core.ssmt import SSMTConfig, run_ssmt
+from repro.verify import SanitizerConfig, SimSanitizer
+from repro.verify.sanitizer import SanitizerError
+
+TRACE_LEN = 20_000
+
+
+def run_engine(sanitizer=None, instructions=TRACE_LEN):
+    from repro.workloads import benchmark_trace
+
+    trace = benchmark_trace("comp", instructions)
+    _, engine = run_ssmt(trace, SSMTConfig(), sanitizer=sanitizer)
+    return engine
+
+
+def fresh():
+    """A finished engine plus a consistent sanitizer attached post-hoc.
+
+    The shadow occurrence tallies are primed to the training interval so
+    the engine's legitimately-difficult paths do not trip SAN002; tests
+    seeding an SAN002 defect zero the tally for their victim key.
+    """
+    engine = run_engine()
+    sanitizer = SimSanitizer(SanitizerConfig(check_every=0))
+    interval = engine.path_cache.config.training_interval
+    for key, _ in engine.path_cache.entries():
+        sanitizer._shadow_occurrences[key] = interval
+    return engine, sanitizer
+
+
+def rule_count(sanitizer, rule):
+    return sum(1 for d in sanitizer.report.errors if d.rule == rule)
+
+
+class TestCleanRun:
+    def test_attached_run_sanitizes_clean(self):
+        sanitizer = SimSanitizer(SanitizerConfig(check_every=64))
+        engine = run_engine(sanitizer=sanitizer)
+        report = sanitizer.final_check(engine)
+        assert report.ok, report.format()
+        assert sanitizer.ok
+        assert sanitizer.retires_seen == TRACE_LEN
+        assert sanitizer.sweeps > 1  # periodic sweeps plus the final one
+
+    def test_engine_promoted_paths_have_routines(self):
+        engine = run_engine()
+        assert len(engine.microram) > 0  # the corruptions below rely on it
+
+
+class TestSAN001PathCacheCounters:
+    def test_mispredicts_exceed_occurrences(self):
+        engine, sanitizer = fresh()
+        _, entry = next(iter(engine.path_cache.entries()))
+        entry.mispredicts = entry.occurrences + 3
+        sanitizer.sweep(engine)
+        assert rule_count(sanitizer, "SAN001") == 1
+
+    def test_occurrences_run_past_interval(self):
+        engine, sanitizer = fresh()
+        _, entry = next(iter(engine.path_cache.entries()))
+        interval = engine.path_cache.config.training_interval
+        entry.occurrences = interval + 5
+        entry.mispredicts = 0
+        sanitizer.sweep(engine)
+        assert rule_count(sanitizer, "SAN001") == 1
+
+
+class TestSAN002DifficultUntrained:
+    def test_difficult_bit_without_training(self):
+        engine, sanitizer = fresh()
+        key, entry = next(iter(engine.path_cache.entries()))
+        sanitizer._shadow_occurrences[key] = 0
+        entry.difficult = True
+        sanitizer.sweep(engine)
+        assert rule_count(sanitizer, "SAN002") >= 1
+
+    def test_trained_difficult_bit_is_legal(self):
+        engine, sanitizer = fresh()
+        key, entry = next(iter(engine.path_cache.entries()))
+        interval = engine.path_cache.config.training_interval
+        sanitizer._shadow_occurrences[key] = interval
+        entry.difficult = True
+        sanitizer.sweep(engine)
+        assert rule_count(sanitizer, "SAN002") == 0
+
+
+class TestSAN003PromotedNoRoutine:
+    def test_promoted_bit_without_routine(self):
+        engine, sanitizer = fresh()
+        interval = engine.path_cache.config.training_interval
+        for key, entry in engine.path_cache.entries():
+            if key not in engine.microram:
+                sanitizer._shadow_occurrences[key] = interval
+                entry.promoted = True
+                break
+        else:
+            raise AssertionError("every tracked path has a routine")
+        sanitizer.sweep(engine)
+        assert rule_count(sanitizer, "SAN003") == 1
+
+
+class TestSAN004Occupancy:
+    def test_prediction_cache_overfull(self):
+        engine, sanitizer = fresh()
+        pcache = engine.prediction_cache
+        for i in range(pcache.capacity + 1 - len(pcache)):
+            pcache._entries[(0x7FFF0000 + i, i)] = \
+                PredictionCacheEntry(True, 0, 0)
+        sanitizer.sweep(engine)
+        assert rule_count(sanitizer, "SAN004") == 1
+
+    def test_spawn_index_desync(self):
+        engine, sanitizer = fresh()
+        assert len(engine.microram) > 0
+        engine.microram._by_spawn_pc.clear()
+        sanitizer.sweep(engine)
+        assert rule_count(sanitizer, "SAN004") == 1
+
+    def test_routine_over_mcb_capacity(self):
+        engine, sanitizer = fresh()
+        assert len(engine.microram) > 0
+        engine.config.mcb_capacity = 1
+        sanitizer.sweep(engine)
+        assert rule_count(sanitizer, "SAN004") >= 1
+
+
+class TestSAN005StalePrediction:
+    def test_violated_writer_entry_still_valid(self):
+        engine, sanitizer = fresh()
+        ghost = object()
+        sanitizer.note_violation(ghost)
+        engine.prediction_cache._entries[(0x123456, 7)] = \
+            PredictionCacheEntry(True, 0, 0, writer=ghost, valid=True)
+        sanitizer.sweep(engine)
+        assert rule_count(sanitizer, "SAN005") == 1
+
+    def test_invalidated_entry_is_legal(self):
+        engine, sanitizer = fresh()
+        ghost = object()
+        sanitizer.note_violation(ghost)
+        engine.prediction_cache._entries[(0x123456, 7)] = \
+            PredictionCacheEntry(True, 0, 0, writer=ghost, valid=False)
+        sanitizer.sweep(engine)
+        assert rule_count(sanitizer, "SAN005") == 0
+
+
+class TestSAN006DemotedRoutine:
+    def test_demoted_key_still_resident(self):
+        engine, sanitizer = fresh()
+        key = next(iter(engine.microram.routines())).key
+        assert key in engine.microram
+        sanitizer.note_demote(key)
+        sanitizer.sweep(engine)
+        assert rule_count(sanitizer, "SAN006") == 1
+
+    def test_repromotion_clears_the_obligation(self):
+        engine, sanitizer = fresh()
+        key = next(iter(engine.microram.routines())).key
+        sanitizer.note_demote(key)
+        sanitizer.note_promote(key)
+        sanitizer.sweep(engine)
+        assert rule_count(sanitizer, "SAN006") == 0
+
+
+class TestConfigAndReporting:
+    def test_raise_on_error(self):
+        engine, _ = fresh()
+        sanitizer = SimSanitizer(SanitizerConfig(check_every=0,
+                                                 raise_on_error=True))
+        _, entry = next(iter(engine.path_cache.entries()))
+        entry.mispredicts = entry.occurrences + 1
+        with pytest.raises(SanitizerError):
+            sanitizer.sweep(engine)
+
+    def test_max_diagnostics_caps_the_report(self):
+        engine, _ = fresh()
+        sanitizer = SimSanitizer(SanitizerConfig(check_every=0,
+                                                 max_diagnostics=1))
+        for ghost in (object(), object(), object()):
+            sanitizer.note_violation(ghost)
+            engine.prediction_cache._entries[(id(ghost), 1)] = \
+                PredictionCacheEntry(True, 0, 0, writer=ghost)
+        sanitizer.sweep(engine)
+        assert len(sanitizer.report.diagnostics) == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"check_every": -1},
+        {"max_diagnostics": 0},
+        {"violation_memory": 0},
+    ])
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SanitizerConfig(**kwargs)
+
+    def test_check_every_zero_never_sweeps_inline(self):
+        sanitizer = SimSanitizer(SanitizerConfig(check_every=0))
+        engine = run_engine(sanitizer=sanitizer, instructions=5000)
+        assert sanitizer.retires_seen == 5000
+        assert sanitizer.sweeps == 0
+        sanitizer.final_check(engine)
+        assert sanitizer.sweeps == 1

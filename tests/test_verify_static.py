@@ -1,0 +1,404 @@
+"""Tests for the static microthread verifier (repro.verify.static).
+
+Each rule id is exercised by taking a genuine builder-produced
+microthread and seeding exactly the defect the rule exists to catch;
+unmodified builder output must verify clean.
+"""
+
+import copy
+
+import pytest
+
+from repro.core.builder import BuilderConfig, MicrothreadBuilder
+from repro.core.microthread import MicroOp
+from repro.core.path import PathTracker
+from repro.core.prb import PostRetirementBuffer
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Opcode
+from repro.sim.functional import run_program
+from repro.valuepred import PredictorTrainer
+from repro.verify import BuildVerifier, Severity, verify_microthread
+from repro.verify.diagnostics import RULES, VerifyReport
+
+DATA_LOOP = """
+.data arr 16 57 3 91 22 68 14 77 41 5 99 33 60 12 84 29 50
+    li r1, 0
+    li r2, 60
+loop:
+    andi r3, r1, 15
+    li r4, &arr
+    add r5, r4, r3
+    ld r6, 0(r5)
+    jmp h1
+h1:
+    addi r9, r9, 1
+    jmp h2
+h2:
+    li r7, 50
+    blt r6, r7, taken
+    addi r8, r8, 1
+taken:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+"""
+
+_TRACE = None
+
+
+def _trace():
+    global _TRACE
+    if _TRACE is None:
+        _TRACE = run_program(assemble(DATA_LOOP), max_instructions=3000)
+    return _TRACE
+
+
+def build_all(pruning=True):
+    """Replay DATA_LOOP, building (and keeping) every routine.
+
+    Returns ``(threads, prb)`` with the PRB in its end-of-trace state;
+    the youngest threads' extraction windows are still fully resident.
+    """
+    tracker = PathTracker(4)
+    prb = PostRetirementBuffer(512)
+    trainer = PredictorTrainer()
+    builder = MicrothreadBuilder(BuilderConfig(build_latency=0,
+                                               pruning=pruning))
+    built = []
+    for idx, rec in enumerate(_trace()):
+        flags = trainer.observe(rec)
+        prb.insert(rec, idx, *flags)
+        event = tracker.observe(rec, idx)
+        if event is not None and not event.partial:
+            thread = builder.request(event, prb, 0)
+            if thread is not None:
+                built.append(thread)
+    return built, prb
+
+
+def window_resident(thread, prb):
+    spawn_idx = thread.built_from_idx - thread.separation
+    return all(prb.get(pos) is not None
+               for pos in range(spawn_idx, thread.built_from_idx + 1))
+
+
+def pick_thread(built, prb, pred=lambda t: True):
+    """Youngest window-resident thread satisfying ``pred``, deep-copied
+    so tests can corrupt it freely."""
+    for thread in reversed(built):
+        if window_resident(thread, prb) and pred(thread):
+            return copy.deepcopy(thread)
+    raise AssertionError("no window-resident thread matches the predicate")
+
+
+def pick_node(built, prb, pred):
+    """Youngest resident (thread, node) pair satisfying ``pred``."""
+    for thread in reversed(built):
+        if not window_resident(thread, prb):
+            continue
+        for node in thread.nodes:
+            if pred(node, prb):
+                clone = copy.deepcopy(thread)
+                twin = next(n for n in clone.nodes if n.uid == node.uid)
+                return clone, twin
+    raise AssertionError("no window-resident node matches the predicate")
+
+
+def _entry_matches(node, prb):
+    entry = prb.get(node.order)
+    return entry is not None and entry.rec.pc == node.pc
+
+
+def has_kind(kind):
+    return lambda t: any(n.kind == kind for n in t.nodes)
+
+
+class TestCleanBuilderOutput:
+    def test_all_built_threads_verify_clean_at_build_time(self):
+        """Verified against the PRB snapshot at build time (the engine's
+        own usage via BuildVerifier): zero errors, zero warnings."""
+        tracker = PathTracker(4)
+        prb = PostRetirementBuffer(512)
+        trainer = PredictorTrainer()
+        builder = MicrothreadBuilder(BuilderConfig(build_latency=0))
+        verifier = BuildVerifier()
+        for idx, rec in enumerate(_trace()):
+            flags = trainer.observe(rec)
+            prb.insert(rec, idx, *flags)
+            event = tracker.observe(rec, idx)
+            if event is not None and not event.partial:
+                thread = builder.request(event, prb, 0)
+                if thread is not None:
+                    verifier.verify_built(thread, prb)
+        assert verifier.verified > 50
+        assert verifier.ok
+        assert verifier.error_count == 0
+        assert verifier.warning_count == 0
+
+    def test_clean_without_prb(self):
+        built, prb = build_all()
+        for thread in built:
+            report = verify_microthread(thread, None)
+            assert report.ok, report.format()
+
+    def test_harness_produces_pruned_threads(self):
+        built, prb = build_all()
+        assert any(has_kind("vp")(t) for t in built)
+        assert any(has_kind("ap")(t) for t in built)
+
+
+class TestMT001UseBeforeDef:
+    def test_reversed_listing(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb, lambda t: len(t.nodes) > 2)
+        thread.nodes = list(reversed(thread.nodes))
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT001")
+        assert not report.ok
+
+    def test_duplicate_node(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb, lambda t: len(t.nodes) > 2)
+        thread.nodes = thread.nodes + [thread.nodes[0]]
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT001")
+        assert any("twice" in d.message for d in report.errors)
+
+
+class TestMT002DeadOps:
+    def test_unreachable_op(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb, lambda t: len(t.nodes) > 2)
+        orphan = MicroOp("op", op=Opcode.ADD, pc=thread.term_pc,
+                         inputs=[thread.nodes[0]])
+        thread.nodes.insert(len(thread.nodes) - 1, orphan)
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT002")
+        dead = [d for d in report.errors if d.rule == "MT002"]
+        assert dead[0].node_index == len(thread.nodes) - 2
+
+
+class TestMT003TerminatorForm:
+    def test_empty_routine(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb)
+        thread.nodes = []
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT003")
+        assert not report.ok
+
+    def test_missing_terminator(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb, lambda t: len(t.nodes) > 2)
+        thread.nodes = [n for n in thread.nodes if n.kind != "branch"]
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT003")
+
+    def test_two_terminators(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb)
+        extra = MicroOp("branch", op=thread.root.op, pc=thread.term_pc,
+                        inputs=list(thread.root.inputs),
+                        order=thread.root.order)
+        thread.nodes.append(extra)
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT003")
+
+    def test_terminator_not_final(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb, lambda t: len(t.nodes) > 2)
+        thread.nodes = [thread.nodes[-1]] + thread.nodes[:-1]
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT003")
+
+
+class TestMT004IllegalSpawn:
+    def test_zero_separation(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb)
+        thread.separation = 0
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT004")
+
+    def test_livein_producer_after_spawn(self):
+        built, prb = build_all()
+        thread, node = pick_node(
+            built, prb,
+            lambda n, _: n.kind == "livein" and n.producer_idx is not None)
+        node.producer_idx = thread.built_from_idx
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT004")
+
+    def test_spawn_pc_disagrees_with_prb(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb)
+        thread.spawn_pc += 1
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT004")
+
+    def test_spawn_rules_skip_without_prb(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb)
+        thread.spawn_pc += 1
+        assert verify_microthread(thread, None).ok
+
+
+class TestMT005DataflowMismatch:
+    def test_tampered_constant(self):
+        built, prb = build_all()
+        thread, node = pick_node(
+            built, prb,
+            lambda n, p: n.kind == "const" and _entry_matches(n, p))
+        node.imm += 1
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT005")
+        assert any("constant" in d.message for d in report.errors)
+
+    def test_tampered_load_offset(self):
+        built, prb = build_all()
+
+        def corruptible_load(n, p):
+            if n.kind != "load" or not n.inputs or not _entry_matches(n, p):
+                return False
+            entry = p.get(n.order)
+            # base must be re-derivable from the snapshot alone
+            return n.inputs[0].kind in ("const", "ap") \
+                and entry.rec.ea is not None
+
+        thread, node = pick_node(built, prb, corruptible_load)
+        node.imm += 8
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT005")
+        assert any("address" in d.message for d in report.errors)
+
+
+class TestMT006UnsoundPrune:
+    def test_vp_without_value_confidence(self):
+        built, prb = build_all()
+        thread, node = pick_node(
+            built, prb,
+            lambda n, p: n.kind == "vp" and _entry_matches(n, p))
+        prb.get(node.order).value_confident = False
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT006")
+        assert any("value-confident" in d.message for d in report.errors)
+
+    def test_ap_without_address_confidence(self):
+        built, prb = build_all()
+        thread, node = pick_node(
+            built, prb,
+            lambda n, p: n.kind == "ap" and _entry_matches(n, p))
+        prb.get(node.order).address_confident = False
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT006")
+
+    def test_prune_node_with_pruning_disabled_flag(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb, has_kind("vp"))
+        thread.pruned = False
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT006")
+
+    def test_vp_must_be_leaf(self):
+        built, prb = build_all()
+        thread, node = pick_node(built, prb, lambda n, _: n.kind == "vp")
+        node.inputs = [thread.nodes[0]]
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT006")
+        assert any("leaf" in d.message for d in report.errors)
+
+    def test_ap_detached_from_its_load(self):
+        built, prb = build_all()
+        thread, node = pick_node(built, prb, lambda n, _: n.kind == "ap")
+        for load in thread.nodes:
+            if load.kind == "load" and load.inputs \
+                    and load.inputs[0].uid == node.uid:
+                load.inputs[0] = MicroOp("const", imm=0x1000, order=-1)
+                thread.nodes.insert(0, load.inputs[0])
+                break
+        else:
+            raise AssertionError("ap node has no consuming load")
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT006")
+        assert any("feed" in d.message for d in report.errors)
+
+    def test_evicted_entry_downgrades_to_warning(self):
+        built, prb = build_all()
+        # oldest pruned thread: its window has long been evicted
+        for thread in built:
+            if has_kind("vp")(thread) and not window_resident(thread, prb):
+                report = verify_microthread(thread, prb)
+                assert report.ok
+                assert any(d.rule == "MT006" and
+                           d.severity == Severity.WARNING
+                           for d in report.diagnostics)
+                return
+        pytest.skip("every pruned thread still resident")
+
+
+class TestMT007LiveinMismatch:
+    def test_declared_set_cleared(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb, lambda t: t.live_in_regs)
+        thread.live_in_regs = ()
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT007")
+
+    def test_declared_set_inflated(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb)
+        thread.live_in_regs = tuple(thread.live_in_regs) + (27,)
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT007")
+
+
+class TestMT008SuffixMismatch:
+    def test_bogus_prefix(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb, lambda t: t.key.branches)
+        thread.prefix = (0xDEAD,)
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT008")
+
+    def test_tampered_expected_suffix(self):
+        built, prb = build_all()
+        thread = pick_thread(built, prb)
+        thread.expected_suffix = tuple(thread.expected_suffix) + (4242,)
+        report = verify_microthread(thread, prb)
+        assert report.has_rule("MT008")
+
+
+class TestBuildVerifierAggregation:
+    def test_error_reports_and_counts(self):
+        built, prb = build_all()
+        verifier = BuildVerifier()
+        clean = pick_thread(built, prb)
+        verifier.verify_built(clean, prb)
+        assert verifier.ok and verifier.error_count == 0
+
+        broken = pick_thread(built, prb)
+        broken.separation = 0
+        verifier.verify_built(broken, prb)
+        assert verifier.verified == 2
+        assert not verifier.ok
+        assert len(verifier.error_reports) == 1
+        assert verifier.error_count >= 1
+
+
+class TestDiagnostics:
+    def test_unknown_rule_rejected(self):
+        report = VerifyReport(subject="x")
+        with pytest.raises(ValueError):
+            report.emit("MT999", Severity.ERROR, "nope")
+
+    def test_format_carries_rule_and_hint(self):
+        report = VerifyReport(subject="routine r")
+        report.emit("MT002", Severity.ERROR, "dead", node_index=3,
+                    hint="rebuild listing")
+        text = report.format()
+        assert "routine r" in text
+        assert "MT002" in text and "@op[3]" in text and "rebuild" in text
+
+    def test_rule_registry_covers_all_ids(self):
+        assert {f"MT00{i}" for i in range(1, 9)} <= set(RULES)
+        assert {f"SAN00{i}" for i in range(1, 7)} <= set(RULES)

@@ -1,7 +1,6 @@
 """Statistical tests of the per-behaviour site emitters: each SiteKind
 must actually produce the predictability regime it claims."""
 
-import pytest
 
 from repro.branch.unit import BranchPredictorComplex
 from repro.sim.functional import run_program
