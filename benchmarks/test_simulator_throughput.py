@@ -4,23 +4,59 @@ Not a paper experiment — this measures the reproduction's own speed
 (instructions per second of the functional simulator, the baseline
 timing model and the full SSMT machine) so regressions in the hot loops
 are caught.  These run multiple rounds since they are cheap.
+
+The module also checks the telemetry layer's overhead contract: an
+attached :class:`~repro.telemetry.session.TelemetrySession` (sampler +
+tracer) may cost at most 10% over a detached run.  Measured means are
+written to ``BENCH_throughput.json`` (schema ``repro.bench/1``) so CI
+can archive the performance trajectory.
 """
+
+import os
+import time
 
 import pytest
 
 from repro.branch.unit import BranchPredictorComplex
 from repro.core.ssmt import SSMTConfig, SSMTEngine
 from repro.sim.functional import FunctionalSimulator
+from repro.telemetry import TelemetrySession, write_bench_json
 from repro.uarch.timing import OoOTimingModel
 from repro.workloads import benchmark_trace, build_benchmark
 
 BENCH = "gcc"
 LENGTH = 50_000
 
+#: attached-telemetry slowdown budget (relative to detached)
+TELEMETRY_OVERHEAD_BUDGET = 0.10
+
+_RESULTS = {}
+
 
 @pytest.fixture(scope="module")
 def trace():
     return benchmark_trace(BENCH, LENGTH)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_artifact():
+    """Write BENCH_throughput.json after the module's benchmarks ran."""
+    yield
+    if not _RESULTS:
+        return
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_throughput.json")
+    write_bench_json(path, "throughput", dict(_RESULTS), context={
+        "benchmark": BENCH,
+        "instructions": LENGTH,
+    })
+
+
+def _record(name, benchmark):
+    mean = benchmark.stats.stats.mean
+    _RESULTS[name] = {
+        "mean_seconds": mean,
+        "instructions_per_second": LENGTH / mean if mean else 0.0,
+    }
 
 
 def test_functional_simulator_throughput(benchmark):
@@ -31,6 +67,7 @@ def test_functional_simulator_throughput(benchmark):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert len(result) == LENGTH
+    _record("functional", benchmark)
 
 
 def test_timing_model_throughput(benchmark, trace):
@@ -39,6 +76,7 @@ def test_timing_model_throughput(benchmark, trace):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.instructions == LENGTH
+    _record("timing", benchmark)
 
 
 def test_ssmt_machine_throughput(benchmark, trace):
@@ -50,3 +88,51 @@ def test_ssmt_machine_throughput(benchmark, trace):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.instructions == LENGTH
+    _record("ssmt", benchmark)
+
+
+def test_ssmt_telemetry_throughput(benchmark, trace):
+    """Full machine with the telemetry session attached."""
+
+    def run():
+        telemetry = TelemetrySession(sample_every=2000)
+        engine = SSMTEngine(SSMTConfig(),
+                            initial_memory=trace.initial_memory,
+                            telemetry=telemetry)
+        return OoOTimingModel().run(trace, BranchPredictorComplex(),
+                                    listener=engine)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.instructions == LENGTH
+    _record("ssmt_telemetry", benchmark)
+
+
+def test_telemetry_overhead_within_budget(trace):
+    """Attached sampler + tracer may slow the machine by at most 10%.
+
+    Measured directly (best of three, not via pytest-benchmark) so the
+    two configurations run interleaved under identical conditions.
+    """
+
+    def run_once(telemetry):
+        engine = SSMTEngine(SSMTConfig(),
+                            initial_memory=trace.initial_memory,
+                            telemetry=telemetry)
+        start = time.perf_counter()
+        OoOTimingModel().run(trace, BranchPredictorComplex(),
+                             listener=engine)
+        return time.perf_counter() - start
+
+    detached = min(run_once(None) for _ in range(3))
+    attached = min(run_once(TelemetrySession(sample_every=2000))
+                   for _ in range(3))
+    overhead = attached / detached - 1.0
+    _RESULTS["telemetry_overhead"] = {
+        "detached_seconds": detached,
+        "attached_seconds": attached,
+        "overhead_fraction": overhead,
+    }
+    assert overhead <= TELEMETRY_OVERHEAD_BUDGET, (
+        f"telemetry overhead {overhead:.1%} exceeds "
+        f"{TELEMETRY_OVERHEAD_BUDGET:.0%} budget "
+        f"({detached:.3f}s detached vs {attached:.3f}s attached)")

@@ -61,3 +61,12 @@ class ConfidenceEstimator:
     def low_confidence_fraction(self) -> float:
         total = self.high_confidence_queries + self.low_confidence_queries
         return self.low_confidence_queries / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """Query counters (telemetry collector surface)."""
+        return {
+            "high_confidence_queries": self.high_confidence_queries,
+            "low_confidence_queries": self.low_confidence_queries,
+            "low_confidence_fraction": round(
+                self.low_confidence_fraction, 6),
+        }

@@ -161,6 +161,21 @@ class BranchPredictorComplex:
             return 1.0
         return 1.0 - self.conditional_mispredicts / self.conditional_count
 
+    def as_dict(self) -> dict:
+        """Predictor counters (telemetry collector surface)."""
+        return {
+            "conditional_count": self.conditional_count,
+            "conditional_mispredicts": self.conditional_mispredicts,
+            "indirect_count": self.indirect_count,
+            "indirect_mispredicts": self.indirect_mispredicts,
+            "return_count": self.return_count,
+            "return_mispredicts": self.return_mispredicts,
+            "unconditional_count": self.unconditional_count,
+            "total_predicted": self.total_predicted,
+            "total_mispredicts": self.total_mispredicts,
+            "accuracy": round(self.accuracy(), 6),
+        }
+
 
 def default_complex() -> BranchPredictorComplex:
     """The paper's Table 3 baseline predictor complex."""

@@ -3,9 +3,14 @@
 ``python -m repro <command>`` exposes the main workflows:
 
 * ``suite`` — list the synthetic benchmarks,
-* ``run`` — baseline vs SSMT comparison on one benchmark,
+* ``run`` — baseline vs SSMT comparison on one benchmark; with
+  ``--metrics-out`` it also writes a full machine-readable telemetry
+  report (see ``docs/telemetry.md``),
+* ``trace`` — microthread lifecycle spans (promote → build → spawn →
+  execute → outcome) on one benchmark,
 * ``profile`` — Table 1/2-style difficult-path profiling,
-* ``experiment`` — regenerate one of the paper's tables/figures,
+* ``experiment`` — regenerate one of the paper's tables/figures; with
+  ``--json-out DIR`` it also writes a ``BENCH_<which>.json`` artifact,
 * ``disasm`` — disassemble a generated benchmark,
 * ``verify`` — statically verify every built microthread (and, with
   ``--sanitize``, check runtime invariants); exits non-zero on errors
@@ -15,9 +20,10 @@
 from __future__ import annotations
 
 import argparse
+import os
 import statistics
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis import (
     characterize_paths,
@@ -35,6 +41,7 @@ from repro.analysis.experiments import (
 )
 from repro.core.ssmt import SSMTConfig, run_ssmt
 from repro.core.static import run_profile_guided
+from repro.telemetry import TelemetrySession, write_bench_json
 from repro.verify import RULES, SimSanitizer, verify_suite
 from repro.verify.runner import DEFAULT_VERIFY_LENGTH
 from repro.workloads import BENCHMARK_NAMES, benchmark_trace, build_benchmark
@@ -77,11 +84,19 @@ def cmd_run(args) -> int:
                 "--sanitize checks the dynamic engine's structures; it "
                 "cannot be combined with --profile-guided")
         sanitizer = SimSanitizer()
+    telemetry = None
+    if args.metrics_out:
+        if args.profile_guided:
+            raise SystemExit(
+                "--metrics-out instruments the dynamic engine; it cannot "
+                "be combined with --profile-guided")
+        telemetry = TelemetrySession(sample_every=args.sample_every)
     if args.profile_guided:
         result, engine = run_profile_guided(trace, config)
         label = "profile-guided SSMT"
     else:
-        result, engine = run_ssmt(trace, config, sanitizer=sanitizer)
+        result, engine = run_ssmt(trace, config, sanitizer=sanitizer,
+                                  telemetry=telemetry)
         label = "dynamic SSMT"
     print(format_table(
         ["configuration", "IPC", "mispredicts", "speed-up"],
@@ -95,6 +110,14 @@ def cmd_run(args) -> int:
     print(f"\nroutines: {len(engine.microram)}  spawned: {spawn.spawned}  "
           f"aborted: {spawn.aborted_active}  "
           f"arrivals: {dict(engine.prediction_kind_counts)}")
+    if telemetry is not None:
+        report = telemetry.build_report(name, result, engine)
+        report.write(args.metrics_out)
+        completed = sum(1 for s in report.spans
+                        if s["status"] == "completed")
+        print(f"wrote {args.metrics_out} ({len(report.metrics)} metrics, "
+              f"{len(report.samples)} samples, {len(report.spans)} spans, "
+              f"{completed} completed)")
     if sanitizer is not None:
         report = sanitizer.final_check(engine)
         return _print_sanitizer_summary(report)
@@ -159,6 +182,47 @@ def cmd_verify(args) -> int:
     return 1 if failing else 0
 
 
+def cmd_trace(args) -> int:
+    """Microthread lifecycle tracing: every promotion/build outcome and
+    every spawned instance's span, one line each."""
+    name = _check_benchmark(args.benchmark)
+    trace = benchmark_trace(name, args.instructions)
+    telemetry = TelemetrySession(sample_every=0, max_spans=args.max_spans,
+                                 term_pc=args.term_pc)
+    config = SSMTConfig(n=args.n, difficulty_threshold=args.threshold)
+    result, engine = run_ssmt(trace, config, telemetry=telemetry)
+    tracer = telemetry.tracer
+    assert tracer is not None
+    scope = (f" for branch@{args.term_pc}"
+             if args.term_pc is not None else "")
+    print(f"{name} ({args.instructions} instructions){scope}\n")
+    print(f"== routines ({len(tracer.routines)}) ==")
+    for record in tracer.routines:
+        if record.built:
+            detail = (f"built  size={record.routine_size} "
+                      f"chain={record.longest_chain} "
+                      f"sep={record.separation} "
+                      f"latency={record.build_latency}")
+        else:
+            detail = f"build failed: {record.fail_reason}"
+        print(f"promote@{record.promoted_idx:<8} "
+              f"branch@{record.term_pc:<6} {detail}")
+    spans = list(tracer.spans)
+    shown = spans[-args.limit:] if args.limit else spans
+    print(f"\n== spans ({len(spans)}"
+          + (f", last {len(shown)}" if len(shown) < len(spans) else "")
+          + ") ==")
+    for span in shown:
+        print(span.format())
+    print("\n== summary ==")
+    for key, value in tracer.as_dict().items():
+        print(f"{key:>28}: {value}")
+    if args.out:
+        telemetry.build_report(name, result, engine).write(args.out)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def cmd_profile(args) -> int:
     name = _check_benchmark(args.benchmark)
     events = collect_control_events(benchmark_trace(name, args.instructions))
@@ -186,16 +250,20 @@ def cmd_experiment(args) -> int:
     for name in benchmarks:
         _check_benchmark(name)
     length = args.instructions
+    json_results: Dict[str, Any] = {}
 
     if args.which == "intro":
         speedups = intro_perfect_prediction(benchmarks, length)
         rows = [[k, round(v, 3)] for k, v in speedups.items()]
+        json_results = {k: {"speedup": v} for k, v in speedups.items()}
         print(format_table(["bench", "speed-up"], rows,
                            title="Perfect-prediction headroom (§1)"))
     elif args.which == "fig6":
         results = figure6_potential(benchmarks, trace_length=length)
         rows = [[k] + [round(v[n], 3) for n in (4, 10, 16)]
                 for k, v in results.items()]
+        json_results = {k: {f"n{n}": v[n] for n in (4, 10, 16)}
+                        for k, v in results.items()}
         print(format_table(["bench", "n=4", "n=10", "n=16"], rows,
                            title="Figure 6: potential speed-up"))
     elif args.which == "fig7":
@@ -205,6 +273,13 @@ def cmd_experiment(args) -> int:
                  round(r.speedup_overhead_only, 3)] for r in results]
         mean_gain = 100 * (statistics.mean(
             r.speedup_pruning for r in results) - 1)
+        json_results = {r.benchmark: {
+            "baseline_ipc": r.baseline_ipc,
+            "speedup_no_pruning": r.speedup_no_pruning,
+            "speedup_pruning": r.speedup_pruning,
+            "speedup_overhead_only": r.speedup_overhead_only,
+        } for r in results}
+        json_results["_mean_gain_pct"] = round(mean_gain, 3)
         print(format_table(
             ["bench", "base IPC", "no-pruning", "pruning", "overhead"],
             rows, title="Figure 7: realistic speed-up"))
@@ -222,22 +297,28 @@ def cmd_experiment(args) -> int:
                 title="Figure 7 (bars)"))
     elif args.which == "fig8":
         realistic = figure7_realistic(benchmarks, trace_length=length)
+        routines = figure8_routines(realistic)
         rows = [[k, round(v["size_no_pruning"], 2),
                  round(v["size_pruning"], 2),
                  round(v["chain_no_pruning"], 2),
                  round(v["chain_pruning"], 2)]
-                for k, v in figure8_routines(realistic).items()]
+                for k, v in routines.items()]
+        json_results = {k: dict(v) for k, v in routines.items()}
         print(format_table(
             ["bench", "size np", "size p", "chain np", "chain p"],
             rows, title="Figure 8: routine size & dependence chain"))
     elif args.which == "fig9":
         realistic = figure7_realistic(benchmarks, trace_length=length)
+        timeliness = figure9_timeliness(realistic)
         rows = []
-        for k, v in figure9_timeliness(realistic).items():
+        for k, v in timeliness.items():
             p = v["pruning"]
             rows.append([k, round(100 * p["early"], 1),
                          round(100 * p["late"], 1),
                          round(100 * p["useless"], 1), p["total"]])
+        json_results = {k: {mode: dict(stats)
+                            for mode, stats in v.items()}
+                        for k, v in timeliness.items()}
         print(format_table(["bench", "early%", "late%", "useless%", "total"],
                            rows, title="Figure 9: timeliness (pruning)"))
     else:  # table1 / table2 via profile over all benchmarks
@@ -245,10 +326,17 @@ def cmd_experiment(args) -> int:
             events = collect_control_events(benchmark_trace(name, length))
             if args.which == "table1":
                 rows = []
+                per_n: Dict[str, Any] = {}
                 for n in (4, 10, 16):
                     c = characterize_paths(events, n)
                     rows.append([n, c.unique_paths, round(c.mean_scope, 1),
                                  c.difficult_paths[0.10]])
+                    per_n[f"n{n}"] = {
+                        "unique_paths": c.unique_paths,
+                        "mean_scope": round(c.mean_scope, 3),
+                        "difficult_at_10": c.difficult_paths[0.10],
+                    }
+                json_results[name] = per_n
                 print(format_table(["n", "paths", "scope", "difficult@.10"],
                                    rows, title=f"Table 1: {name}"))
             else:
@@ -256,9 +344,25 @@ def cmd_experiment(args) -> int:
                 rows = [[r.scheme, round(100 * r.mispredict_coverage, 1),
                          round(100 * r.execution_coverage, 1)]
                         for r in results]
+                json_results[name] = {
+                    r.scheme: {
+                        "mispredict_coverage": round(
+                            r.mispredict_coverage, 6),
+                        "execution_coverage": round(
+                            r.execution_coverage, 6),
+                    } for r in results}
                 print(format_table(["scheme", "mis%", "exe%"], rows,
                                    title=f"Table 2: {name}"))
             print()
+
+    if args.json_out:
+        os.makedirs(args.json_out, exist_ok=True)
+        path = os.path.join(args.json_out, f"BENCH_{args.which}.json")
+        write_bench_json(path, args.which, json_results, context={
+            "instructions": length,
+            "benchmarks": list(benchmarks),
+        })
+        print(f"wrote {path}")
     return 0
 
 
@@ -293,6 +397,29 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--sanitize", action="store_true",
                             help="check runtime invariants (simsan); "
                                  "exits non-zero on violations")
+    run_parser.add_argument("--metrics-out", metavar="PATH",
+                            help="write the machine-readable telemetry "
+                                 "report (JSON, or the interval-samples "
+                                 "CSV when PATH ends in .csv)")
+    run_parser.add_argument("--sample-every", type=int, default=2000,
+                            help="interval sampler period in retired "
+                                 "instructions (with --metrics-out; "
+                                 "0 disables sampling)")
+
+    trace_parser = sub.add_parser(
+        "trace", help="microthread lifecycle spans on a benchmark")
+    trace_parser.add_argument("benchmark")
+    _add_common(trace_parser)
+    trace_parser.add_argument("--n", type=int, default=10)
+    trace_parser.add_argument("--threshold", type=float, default=0.10)
+    trace_parser.add_argument("--term-pc", type=int, default=None,
+                              help="restrict tracing to this terminating "
+                                   "branch PC")
+    trace_parser.add_argument("--max-spans", type=int, default=10_000)
+    trace_parser.add_argument("--limit", type=int, default=50,
+                              help="most recent spans to print (0 = all)")
+    trace_parser.add_argument("--out", metavar="PATH",
+                              help="also write the full report JSON here")
 
     profile_parser = sub.add_parser("profile",
                                     help="difficult-path profiling")
@@ -312,6 +439,9 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="subset (default: all 20)")
     experiment_parser.add_argument("--chart", action="store_true",
                                    help="also draw text bar charts")
+    experiment_parser.add_argument("--json-out", metavar="DIR",
+                                   help="write a BENCH_<which>.json "
+                                        "artifact into DIR")
 
     disasm_parser = sub.add_parser("disasm", help="disassemble a benchmark")
     disasm_parser.add_argument("benchmark")
@@ -366,6 +496,7 @@ def cmd_report(args) -> int:
 _COMMANDS = {
     "suite": cmd_suite,
     "run": cmd_run,
+    "trace": cmd_trace,
     "profile": cmd_profile,
     "experiment": cmd_experiment,
     "disasm": cmd_disasm,

@@ -31,6 +31,7 @@ from repro.core.microthread import Microthread, MicroOp, topological_order
 from repro.core.path import PathEvent
 from repro.core.prb import PostRetirementBuffer, PRBEntry
 from repro.isa.instructions import Opcode
+from repro.telemetry.registry import StatsBase
 
 
 @dataclass
@@ -56,7 +57,9 @@ class BuilderConfig:
 
 
 @dataclass
-class BuildStats:
+class BuildStats(StatsBase):
+    """Builder counters; uniform export via :class:`StatsBase`."""
+
     requests: int = 0
     built: int = 0
     refused_busy: int = 0

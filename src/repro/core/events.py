@@ -8,6 +8,11 @@ interactions ("why did this path never get promoted?") and for the
 narrated walkthrough in ``examples/event_log.py``.
 
 The log is bounded (a ring) so attaching it to long runs is safe.
+Events that are counted but not stored — because a kind filter excludes
+them, or because the ring evicted them — are tallied per kind in
+:attr:`EventLog.dropped`, so ``counts`` and ``events`` can never
+disagree silently: for every kind,
+``counts[kind] == stored(kind) + dropped[kind]`` holds exactly.
 """
 
 from __future__ import annotations
@@ -19,7 +24,8 @@ from typing import Deque, Dict, Iterable, List, Optional
 #: event kinds, for filtering
 KINDS = (
     "promote", "demote", "build", "build_failed", "spawn",
-    "pre_alloc_abort", "active_abort", "violation", "prediction",
+    "pre_alloc_abort", "no_context", "active_abort", "violation",
+    "prediction",
 )
 
 
@@ -45,18 +51,31 @@ class EventLog:
                  kinds: Optional[Iterable[str]] = None):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if kinds is not None:
+            unknown = set(kinds) - set(KINDS)
+            if unknown:
+                raise ValueError(f"unknown event kinds in filter: "
+                                 f"{sorted(unknown)}")
         self.capacity = capacity
         self._filter = frozenset(kinds) if kinds is not None else None
         self.events: Deque[Event] = deque(maxlen=capacity)
         self.counts: Counter = Counter()
+        #: per-kind tally of events counted but not stored (kind-filtered
+        #: or evicted by the ring); see the module docstring invariant
+        self.dropped: Counter = Counter()
 
     def emit(self, kind: str, idx: int, cycle: int, term_pc: int,
              detail: str = "") -> None:
         if kind not in KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
         self.counts[kind] += 1
-        if self._filter is None or kind in self._filter:
-            self.events.append(Event(kind, idx, cycle, term_pc, detail))
+        if self._filter is not None and kind not in self._filter:
+            self.dropped[kind] += 1
+            return
+        if len(self.events) == self.capacity:
+            # The ring is about to evict its oldest event.
+            self.dropped[self.events[0].kind] += 1
+        self.events.append(Event(kind, idx, cycle, term_pc, detail))
 
     def of_kind(self, kind: str) -> List[Event]:
         return [e for e in self.events if e.kind == kind]
@@ -67,6 +86,12 @@ class EventLog:
 
     def summary(self) -> Dict[str, int]:
         return dict(self.counts)
+
+    def dropped_count(self, kind: Optional[str] = None) -> int:
+        """Events counted but not stored, for ``kind`` or in total."""
+        if kind is not None:
+            return self.dropped[kind]
+        return sum(self.dropped.values())
 
     def narrate(self, limit: int = 40) -> str:
         """The most recent events, one line each."""

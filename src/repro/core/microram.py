@@ -10,7 +10,7 @@ evicted, which demotes its path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.core.microthread import Microthread
 from repro.core.path import PathKey
@@ -66,6 +66,16 @@ class MicroRAM:
     def routines(self) -> List[Microthread]:
         """Every resident routine (used by the sanitizer)."""
         return list(self._by_key.values())
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """Occupancy and churn counters (telemetry collector surface)."""
+        return {
+            "routines": len(self._by_key),
+            "capacity": self.capacity,
+            "pressure": round(len(self._by_key) / self.capacity, 6),
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+        }
 
     def spawn_index_len(self) -> int:
         """Total routines reachable through the spawn-PC index."""

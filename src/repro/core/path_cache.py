@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.path import PathKey
+from repro.telemetry.registry import StatsBase
 
 
 @dataclass
@@ -72,7 +73,9 @@ class PromotionEvent:
 
 
 @dataclass
-class PathCacheStats:
+class PathCacheStats(StatsBase):
+    """Path Cache counters; uniform export via :class:`StatsBase`."""
+
     updates: int = 0
     hits: int = 0
     allocations: int = 0

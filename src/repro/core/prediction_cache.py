@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro.telemetry.registry import StatsBase
+
 
 @dataclass
 class PredictionCacheEntry:
@@ -26,13 +28,20 @@ class PredictionCacheEntry:
 
 
 @dataclass
-class PredictionCacheStats:
+class PredictionCacheStats(StatsBase):
+    """Prediction Cache counters; uniform export via :class:`StatsBase`."""
+
     writes: int = 0
     hits: int = 0
     misses: int = 0
     stale_deallocations: int = 0
     live_evictions: int = 0
     invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class PredictionCache:

@@ -8,14 +8,31 @@ executed — a mismatch aborts the spawn pre-allocation (the paper reports
 microthread carries the expected taken-branch suffix from spawn point to
 terminating branch; any deviation observed at retire aborts it and
 reclaims the microcontext (~66% of successful spawns).
+
+Observability: the manager itself emits ``pre_alloc_abort``,
+``no_context`` and ``active_abort`` events into an attached
+:class:`~repro.core.events.EventLog` (no spawn outcome bypasses the
+log), and notifies an attached
+:class:`~repro.telemetry.tracer.ThreadTracer` of every instance's
+lifecycle transitions (spawn, abort with cause, completion).  Both are
+optional and cost one ``is None`` test when detached.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Tuple
+from typing import TYPE_CHECKING, FrozenSet, List, Optional, Tuple
 
 from repro.core.microthread import Microthread, MicrothreadPrediction
+from repro.telemetry.registry import StatsBase
+from repro.telemetry.tracer import (
+    CAUSE_MEMDEP_VIOLATION,
+    CAUSE_PATH_DEVIATION,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.events import EventLog
+    from repro.telemetry.tracer import ThreadTracer
 
 
 @dataclass
@@ -37,7 +54,9 @@ class ActiveMicrothread:
 
 
 @dataclass
-class SpawnStats:
+class SpawnStats(StatsBase):
+    """Spawn/abort counters; uniform export via :class:`StatsBase`."""
+
     attempts: int = 0
     pre_allocation_aborts: int = 0
     no_free_context: int = 0
@@ -58,11 +77,15 @@ class SpawnStats:
 class SpawnManager:
     """Microcontext pool plus the Path_History abort mechanism."""
 
-    def __init__(self, n_contexts: int = 32, abort_enabled: bool = True):
+    def __init__(self, n_contexts: int = 32, abort_enabled: bool = True,
+                 event_log: Optional["EventLog"] = None,
+                 tracer: Optional["ThreadTracer"] = None):
         if n_contexts <= 0:
             raise ValueError("need at least one microcontext")
         self.n_contexts = n_contexts
         self.abort_enabled = abort_enabled
+        self.event_log = event_log
+        self.tracer = tracer
         self._context_free_cycle: List[int] = [0] * n_contexts
         self.active: List[ActiveMicrothread] = []
         self.stats = SpawnStats()
@@ -77,14 +100,19 @@ class SpawnManager:
         (most recent last), compared against the routine's path prefix.
         """
         self.stats.attempts += 1
+        log = self.event_log
         prefix = thread.prefix
         if self.abort_enabled and prefix:
             if tuple(recent_taken[-len(prefix):]) != prefix:
                 self.stats.pre_allocation_aborts += 1
+                if log is not None:
+                    log.emit("pre_alloc_abort", idx, cycle, thread.term_pc)
                 return None
         context_id = self._find_free_context(cycle)
         if context_id is None:
             self.stats.no_free_context += 1
+            if log is not None:
+                log.emit("no_context", idx, cycle, thread.term_pc)
             return None
         instance = ActiveMicrothread(
             thread=thread,
@@ -95,6 +123,8 @@ class SpawnManager:
         )
         self.active.append(instance)
         self.stats.spawned += 1
+        if self.tracer is not None:
+            self.tracer.on_spawn(instance)
         return instance
 
     def _find_free_context(self, cycle: int) -> Optional[int]:
@@ -126,7 +156,8 @@ class SpawnManager:
                     and suffix[instance.suffix_progress] == pc:
                 instance.suffix_progress += 1
             else:
-                self._abort(instance, cycle)
+                self._abort(instance, idx, cycle, CAUSE_PATH_DEVIATION,
+                            f"at pc={pc}")
                 aborted.append(instance)
         return aborted
 
@@ -140,27 +171,37 @@ class SpawnManager:
                     or idx > instance.target_seq:
                 continue
             if ea in instance.load_set:
-                self._abort(instance, cycle)
+                self._abort(instance, idx, cycle, CAUSE_MEMDEP_VIOLATION,
+                            f"ea={ea}")
                 self.stats.memdep_violations += 1
                 violated.append(instance)
         return violated
 
-    def _abort(self, instance: ActiveMicrothread, cycle: int) -> None:
+    def _abort(self, instance: ActiveMicrothread, idx: int, cycle: int,
+               cause: str, detail: str = "") -> None:
         instance.aborted = True
         instance.abort_cycle = cycle
         self.stats.aborted_active += 1
+        if self.event_log is not None:
+            self.event_log.emit("active_abort", idx, cycle,
+                                instance.thread.term_pc,
+                                f"{detail} cause={cause}".strip())
+        if self.tracer is not None:
+            self.tracer.on_abort(instance, cause, idx, cycle)
         # Reclaim the context now if the routine had not yet drained.
         slot = instance.context_id
         if self._context_free_cycle[slot] > cycle:
             self._context_free_cycle[slot] = cycle
 
-    def retire_past(self, idx: int) -> None:
+    def retire_past(self, idx: int, cycle: int = 0) -> None:
         """Drop bookkeeping for instances whose target has been passed."""
         kept: List[ActiveMicrothread] = []
         for instance in self.active:
             if idx >= instance.target_seq:
                 if not instance.aborted:
                     self.stats.completed += 1
+                    if self.tracer is not None:
+                        self.tracer.on_complete(instance, idx, cycle)
             else:
                 kept.append(instance)
         self.active = kept

@@ -50,6 +50,7 @@ from repro.uarch.timing import OoOTimingModel, PredictionEntry, TimingResult
 from repro.valuepred import AddressPredictor, PredictorTrainer, StridePredictor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.telemetry.session import TelemetrySession
     from repro.verify.sanitizer import SimSanitizer
     from repro.verify.static import BuildVerifier
 
@@ -150,7 +151,8 @@ class SSMTEngine:
                  initial_memory: Optional[Dict[int, int]] = None,
                  event_log: Optional[EventLog] = None,
                  verifier: Optional["BuildVerifier"] = None,
-                 sanitizer: Optional["SimSanitizer"] = None):
+                 sanitizer: Optional["SimSanitizer"] = None,
+                 telemetry: Optional["TelemetrySession"] = None):
         self.config = config or SSMTConfig()
         self.event_log = event_log
         #: optional static verifier, run over every successfully built
@@ -159,6 +161,9 @@ class SSMTEngine:
         #: optional runtime invariant sanitizer ("simsan"); ``None``
         #: keeps the hooks at a single identity test per site
         self.sanitizer = sanitizer
+        #: optional telemetry session (registry + interval sampler +
+        #: lifecycle tracer); same opt-in cost model as the sanitizer
+        self.telemetry = telemetry
         cfg = self.config
         self.tracker = PathTracker(cfg.n, cfg.path_id_bits)
         self.trainer = PredictorTrainer(
@@ -170,7 +175,10 @@ class SSMTEngine:
         self.builder = MicrothreadBuilder(cfg.builder_config())
         self.microram = MicroRAM(cfg.microram_entries)
         self.prediction_cache = PredictionCache(cfg.prediction_cache_entries)
-        self.spawner = SpawnManager(cfg.n_contexts, cfg.abort_enabled)
+        tracer = telemetry.tracer if telemetry is not None else None
+        self.spawner = SpawnManager(cfg.n_contexts, cfg.abort_enabled,
+                                    event_log=event_log, tracer=tracer)
+        self._timing_model: Optional[OoOTimingModel] = None
         self.reg_values = [0] * 32
         self.memory: Dict[int, int] = dict(initial_memory or {})
         self._pending_mispredict: Dict[int, bool] = {}
@@ -183,6 +191,8 @@ class SSMTEngine:
         self.throttled_paths = 0
         # repeated-violation rebuild policy state
         self._violation_counts: Dict[PathKey, int] = {}
+        if telemetry is not None:
+            telemetry.attach(self)
 
     # -- memory / predictor closures for microthread execution ----------------
 
@@ -207,7 +217,9 @@ class SSMTEngine:
         for thread in list(routines):
             if thread.available_cycle > fetch_cycle:
                 continue
-            before_pre_alloc = self.spawner.stats.pre_allocation_aborts
+            # Spawn rejections (pre-allocation aborts, context exhaustion)
+            # are emitted by the SpawnManager itself, so no outcome can
+            # bypass the event log.
             instance = self.spawner.attempt_spawn(thread, idx, fetch_cycle,
                                                   recent)
             if instance is not None:
@@ -216,11 +228,6 @@ class SSMTEngine:
                 if log is not None:
                     log.emit("spawn", idx, fetch_cycle, thread.term_pc,
                              f"sep={thread.separation}")
-            elif (log is not None and
-                  self.spawner.stats.pre_allocation_aborts
-                  > before_pre_alloc):
-                log.emit("pre_alloc_abort", idx, fetch_cycle,
-                         thread.term_pc)
 
     def lookup_prediction(self, idx: int, rec: DynamicInstruction,
                           fetch_cycle: int) -> Optional[PredictionEntry]:
@@ -233,6 +240,8 @@ class SSMTEngine:
         entry = self.prediction_cache.lookup(lookup_id, idx)
         if entry is None:
             return None
+        if self.telemetry is not None:
+            self.telemetry.note_lookup(idx, entry.writer, fetch_cycle)
         return PredictionEntry(entry.taken, entry.target, entry.arrival_cycle)
 
     def on_control(self, idx: int, rec: DynamicInstruction,
@@ -255,6 +264,8 @@ class SSMTEngine:
             self.event_log.emit(
                 "prediction", idx, 0, rec.pc,
                 f"{kind} correct={correct} hw_mis={hw_mispredict}")
+        if self.telemetry is not None:
+            self.telemetry.on_outcome(idx, rec, kind, correct)
         if self.config.throttle_enabled:
             self._throttle_feedback(rec, kind, correct, hw_mispredict)
 
@@ -306,17 +317,14 @@ class SSMTEngine:
                 else:
                     self._violation_counts[key] = count
 
-        # Path_History deviation aborts (paper §4.3.2).
+        # Path_History deviation aborts (paper §4.3.2).  The SpawnManager
+        # emits the ``active_abort`` event itself.
         if inst.is_control and rec.taken:
             for aborted in self.spawner.on_taken_control(rec.pc, idx,
                                                          retire_cycle):
                 if aborted.arrival_cycle > retire_cycle:
                     # Store_PCache had not completed: the write never lands.
                     self.prediction_cache.invalidate_writer(aborted)
-                if log is not None:
-                    log.emit("active_abort", idx, retire_cycle,
-                             aborted.thread.term_pc,
-                             f"at pc={rec.pc}")
 
         # Predictor training and PRB insertion (paper §4.2.2, §4.2.5).
         # This happens before promotion handling so that, when the builder
@@ -345,7 +353,7 @@ class SSMTEngine:
                 else:
                     self._demote(classify_key, classify_id)
 
-        self.spawner.retire_past(idx)
+        self.spawner.retire_past(idx, retire_cycle)
 
         # Architectural state for microthread live-ins / memory view.
         dest = inst.dest_reg()
@@ -356,6 +364,28 @@ class SSMTEngine:
 
         if self.sanitizer is not None:
             self.sanitizer.on_retire(self, idx, rec)
+        if self.telemetry is not None:
+            self.telemetry.on_retire(self, idx, rec, retire_cycle)
+
+    # -- run lifecycle (timing-model listener extensions) ------------------------
+
+    def on_run_start(self, model: OoOTimingModel, trace: Trace) -> None:
+        """Called by the timing model before its main loop."""
+        self._timing_model = model
+        if self.telemetry is not None:
+            self.telemetry.on_run_start(model, trace)
+
+    def on_run_end(self, result: TimingResult,
+                   model: OoOTimingModel) -> None:
+        """Called by the timing model after its main loop."""
+        if self.telemetry is not None:
+            self.telemetry.on_run_end(self, result)
+
+    def live_timing_result(self) -> Optional[TimingResult]:
+        """The in-progress :class:`TimingResult` of the current run, if a
+        run is active (used by the interval sampler)."""
+        model = self._timing_model
+        return model.result if model is not None else None
 
     # -- promotion machinery ---------------------------------------------------
 
@@ -379,12 +409,21 @@ class SSMTEngine:
             event.key, event.path_id)
         if classify_key in self._throttled:
             return  # usefulness feedback barred this path
+        if self.telemetry is not None:
+            self.telemetry.on_promote(event, now_cycle)
         thread = self.builder.request(event, self.prb, now_cycle)
         if thread is None:
             if self.event_log is not None:
                 self.event_log.emit("build_failed", event.branch_idx,
                                     now_cycle, event.key.term_pc)
+            if self.telemetry is not None:
+                self.telemetry.on_build_failed(event, now_cycle,
+                                               "builder busy or extraction "
+                                               "failed")
             return  # builder busy/failed; Promoted stays clear, will retry
+        if self.telemetry is not None:
+            self.telemetry.on_build(thread, event, now_cycle,
+                                    thread.available_cycle - now_cycle)
         if self.verifier is not None:
             # Audit while the extraction window is still PRB-resident
             # (and before the classify-by-branch key rewrite below).
@@ -415,6 +454,8 @@ class SSMTEngine:
             self.sanitizer.note_demote(key)
         if self.event_log is not None:
             self.event_log.emit("demote", 0, 0, key.term_pc)
+        if self.telemetry is not None:
+            self.telemetry.on_demote(key.term_pc)
 
     def _schedule_rebuild(self, thread: Microthread) -> None:
         """Demote a violated routine; re-promotion rebuilds it against a
@@ -471,6 +512,8 @@ class SSMTEngine:
             if node.kind == "branch":
                 arrival = done
         self.spawner.commit_timing(instance, completion, arrival)
+        if self.telemetry is not None:
+            self.telemetry.on_execute(instance, dispatch)
 
         entry = PredictionCacheEntry(prediction.taken, prediction.target,
                                      arrival, writer=instance)
@@ -501,10 +544,14 @@ def run_ssmt(
     predictor: Optional[BranchPredictorComplex] = None,
     verifier: Optional["BuildVerifier"] = None,
     sanitizer: Optional["SimSanitizer"] = None,
+    telemetry: Optional["TelemetrySession"] = None,
+    event_log: Optional[EventLog] = None,
 ) -> Tuple[TimingResult, SSMTEngine]:
     """Run the full SSMT machine over ``trace``; returns timing + engine."""
     engine = SSMTEngine(config, initial_memory=trace.initial_memory,
-                        verifier=verifier, sanitizer=sanitizer)
+                        event_log=event_log,
+                        verifier=verifier, sanitizer=sanitizer,
+                        telemetry=telemetry)
     model = OoOTimingModel(machine)
     predictor = predictor if predictor is not None else BranchPredictorComplex()
     result = model.run(trace, predictor, listener=engine)

@@ -1,0 +1,68 @@
+"""Unified telemetry: metrics registry, interval samples, lifecycle spans.
+
+This package is the observability layer over the whole reproduction
+(see ``docs/telemetry.md`` for the metric catalogue and report schema):
+
+* :mod:`repro.telemetry.registry` — typed :class:`MetricsRegistry`
+  (counters, gauges, log2-bucketed histograms) plus the
+  :class:`StatsBase` mixin giving every ``*Stats`` dataclass the uniform
+  ``as_dict()``/``snapshot()`` surface.
+* :mod:`repro.telemetry.sampler` — :class:`IntervalSampler`, a
+  time-series of mechanism state every N retired instructions.
+* :mod:`repro.telemetry.tracer` — :class:`ThreadTracer`, per-microthread
+  lifecycle spans (promote → build → spawn → execute → ``Store_PCache``
+  / abort / violation) with cause attribution and phase latencies.
+* :mod:`repro.telemetry.session` — :class:`TelemetrySession`, the
+  attachable bundle the SSMT engine hooks into (no-op when detached).
+* :mod:`repro.telemetry.report` — :class:`RunReport` JSON/CSV exporter
+  and ``BENCH_*.json`` trajectory artifacts.
+"""
+
+from repro.telemetry.registry import (
+    CallbackCollector,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StatsBase,
+)
+from repro.telemetry.sampler import IntervalSample, IntervalSampler
+from repro.telemetry.tracer import (
+    CAUSE_MEMDEP_VIOLATION,
+    CAUSE_PATH_DEVIATION,
+    SPAN_STATUSES,
+    RoutineRecord,
+    ThreadSpan,
+    ThreadTracer,
+)
+from repro.telemetry.session import TelemetrySession
+from repro.telemetry.report import (
+    BENCH_SCHEMA,
+    SCHEMA,
+    RunReport,
+    load_report,
+    write_bench_json,
+)
+
+__all__ = [
+    "CallbackCollector",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StatsBase",
+    "IntervalSample",
+    "IntervalSampler",
+    "CAUSE_MEMDEP_VIOLATION",
+    "CAUSE_PATH_DEVIATION",
+    "SPAN_STATUSES",
+    "RoutineRecord",
+    "ThreadSpan",
+    "ThreadTracer",
+    "TelemetrySession",
+    "RunReport",
+    "SCHEMA",
+    "BENCH_SCHEMA",
+    "load_report",
+    "write_bench_json",
+]

@@ -1,0 +1,263 @@
+"""Typed metrics registry: counters, gauges, log2-bucketed histograms.
+
+The registry is the aggregation point of the telemetry layer.  Core
+structures do **not** pay a per-increment cost to feed it: their hot
+paths keep mutating plain dataclass attributes (the ``*Stats`` objects),
+and the registry *pulls* those values at snapshot time through the
+collector protocol — any object exposing ``as_dict()``.  Registry-native
+:class:`Counter`/:class:`Gauge`/:class:`Histogram` instruments exist for
+telemetry-side measurements (lifecycle latencies, routine shapes) where
+an explicit ``observe``/``inc`` is the natural interface.
+
+Namespacing is by dotted prefix: a collector registered under
+``"path_cache"`` contributes ``path_cache.<field>`` keys to
+:meth:`MetricsRegistry.snapshot`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+MetricValue = Union[int, float, Dict[str, Any]]
+
+#: histograms bucket by ``value.bit_length()``: [0], [1], [2-3], [4-7], ...
+HISTOGRAM_MAX_BUCKETS = 64
+
+
+def _bucket_label(index: int) -> str:
+    """Human-readable label for log2 bucket ``index``."""
+    if index <= 0:
+        return "0"
+    if index == 1:
+        return "1"
+    lo = 1 << (index - 1)
+    hi = (1 << index) - 1
+    return f"{lo}-{hi}"
+
+
+class Counter:
+    """Monotonic integer metric."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self.value += amount
+
+    def get(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Point-in-time numeric metric; either set directly or backed by a
+    zero-argument callback evaluated at snapshot time (the pull model)."""
+
+    __slots__ = ("name", "help", "_value", "_fn")
+
+    def __init__(self, name: str, help: str = "",
+                 fn: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self.help = help
+        self._value: float = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name} is callback-backed")
+        self._value = value
+
+    def get(self) -> float:
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+
+class Histogram:
+    """Log2-bucketed distribution of non-negative integer observations.
+
+    Bucket ``i`` holds values with ``bit_length() == i``: ``0`` alone,
+    ``1`` alone, ``2-3``, ``4-7``, ``8-15``, ...  Exact powers of two
+    therefore open a new bucket (``2**k`` has bit length ``k+1``), which
+    is what the boundary tests pin down.  Negative observations are
+    rejected — latencies and sizes are never negative here, so one would
+    indicate a bug upstream.
+    """
+
+    __slots__ = ("name", "help", "buckets", "count", "total", "max_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.buckets: List[int] = [0] * HISTOGRAM_MAX_BUCKETS
+        self.count = 0
+        self.total = 0
+        self.max_value = 0
+
+    def observe(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name}: negative observation "
+                             f"{value}")
+        index = min(value.bit_length(), HISTOGRAM_MAX_BUCKETS - 1)
+        self.buckets[index] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Non-empty buckets keyed by their value-range label."""
+        return {_bucket_label(i): n
+                for i, n in enumerate(self.buckets) if n}
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": round(self.mean, 4),
+            "max": self.max_value,
+            "buckets": self.bucket_counts(),
+        }
+
+
+class StatsBase:
+    """Uniform ``as_dict()``/``snapshot()`` surface for ``*Stats``
+    dataclasses.
+
+    The per-structure statistics objects (``PathCacheStats``,
+    ``BuildStats``, ``SpawnStats``, ...) derive from this and keep their
+    plain-attribute increments — the uniformity lives entirely at the
+    export boundary.  Fields come straight from the dataclass;
+    ``@property`` members defined on the concrete class are exported as
+    derived metrics.
+    """
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        out: Dict[str, Union[int, float]] = {}
+        for field in dataclasses.fields(self):  # type: ignore[arg-type]
+            value = getattr(self, field.name)
+            if isinstance(value, (int, float)):
+                out[field.name] = value
+        for klass in type(self).__mro__:
+            for name, attr in vars(klass).items():
+                if isinstance(attr, property) and name not in out:
+                    value = getattr(self, name)
+                    if isinstance(value, (int, float)):
+                        out[name] = round(value, 6)
+        return out
+
+    def snapshot(self) -> Dict[str, Union[int, float]]:
+        """Alias of :meth:`as_dict` (point-in-time copy)."""
+        return self.as_dict()
+
+
+class CallbackCollector:
+    """Adapter turning a dict-returning callable into a collector."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[], Mapping[str, Any]]) -> None:
+        self._fn = fn
+
+    def as_dict(self) -> Mapping[str, Any]:
+        return self._fn()
+
+
+class MetricsRegistry:
+    """Namespace of instruments and pull-collectors; see module docstring."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._collectors: List[Tuple[str, Any]] = []
+
+    # -- instrument factories (idempotent by name) ---------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        existing = self._counters.get(name)
+        if existing is None:
+            self._check_free(name)
+            existing = self._counters[name] = Counter(name, help)
+        return existing
+
+    def gauge(self, name: str, help: str = "",
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        existing = self._gauges.get(name)
+        if existing is None:
+            self._check_free(name)
+            existing = self._gauges[name] = Gauge(name, help, fn)
+        return existing
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        existing = self._histograms.get(name)
+        if existing is None:
+            self._check_free(name)
+            existing = self._histograms[name] = Histogram(name, help)
+        return existing
+
+    def _check_free(self, name: str) -> None:
+        if name in self._counters or name in self._gauges \
+                or name in self._histograms:
+            raise ValueError(f"metric {name!r} already registered with a "
+                             "different type")
+
+    # -- collectors -----------------------------------------------------------
+
+    def register(self, prefix: str, collector: Any) -> None:
+        """Attach a collector (an object with ``as_dict()``) whose keys
+        are exported under ``<prefix>.<key>`` at snapshot time."""
+        if not hasattr(collector, "as_dict"):
+            raise TypeError(f"collector for {prefix!r} lacks as_dict()")
+        self._collectors.append((prefix, collector))
+
+    def register_callback(self, prefix: str,
+                          fn: Callable[[], Mapping[str, Any]]) -> None:
+        self.register(prefix, CallbackCollector(fn))
+
+    # -- export ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, MetricValue]:
+        """Flat ``{dotted.name: value}`` view of every metric right now.
+
+        Histograms export as nested dicts (count/sum/mean/max/buckets).
+        Collector pulls happen here, so the snapshot is as fresh as the
+        underlying structures.
+        """
+        out: Dict[str, MetricValue] = {}
+        for prefix, collector in self._collectors:
+            for key, value in collector.as_dict().items():
+                out[f"{prefix}.{key}"] = value
+        for name, counter in self._counters.items():
+            out[name] = counter.get()
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.get()
+        for name, histogram in self._histograms.items():
+            out[name] = histogram.as_dict()
+        return out
+
+    def as_dict(self) -> Dict[str, MetricValue]:
+        """Alias of :meth:`snapshot` (uniform collector surface)."""
+        return self.snapshot()
+
+    def describe(self) -> Dict[str, str]:
+        """``{name: help}`` for every registry-native instrument."""
+        out: Dict[str, str] = {}
+        for group in (self._counters, self._gauges, self._histograms):
+            for name, metric in group.items():
+                out[name] = metric.help
+        return out
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms) + len(self._collectors))

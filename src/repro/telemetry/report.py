@@ -1,0 +1,132 @@
+"""Machine-readable run reports (JSON / CSV) and ``BENCH_*.json``.
+
+:class:`RunReport` bundles everything one timing run produced — the
+machine/mechanism configuration, the final timing summary, a full
+metrics-registry snapshot, the interval time-series and the microthread
+lifecycle spans — under a versioned schema so external tooling (and the
+repo's own regression trajectory) can consume it without scraping
+stdout.
+
+Schema (``repro.telemetry/1``)::
+
+    {
+      "schema": "repro.telemetry/1",
+      "benchmark": str,
+      "instructions": int,
+      "config": {...},              # SSMTConfig fields
+      "timing": {...},              # TimingResult.as_dict()
+      "metrics": {...},             # MetricsRegistry.snapshot()
+      "samples": [{...}, ...],      # IntervalSample rows
+      "spans": [{...}, ...],        # ThreadSpan rows
+      "routines": [{...}, ...],     # RoutineRecord rows
+      "span_summary": {...}         # ThreadTracer.as_dict()
+    }
+
+``BENCH_*.json`` files (``repro.bench/1``) are flat benchmark artifacts
+for the performance trajectory::
+
+    {"schema": "repro.bench/1", "bench": str, "context": {...},
+     "results": {...}}
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass, field, is_dataclass
+from typing import Any, Dict, List, Optional
+
+SCHEMA = "repro.telemetry/1"
+BENCH_SCHEMA = "repro.bench/1"
+
+
+def _plain(value: Any) -> Any:
+    """Best-effort conversion to JSON-serializable data."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return asdict(value)
+    if hasattr(value, "as_dict"):
+        return value.as_dict()
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+@dataclass
+class RunReport:
+    """One run's full telemetry export; see module docstring."""
+
+    benchmark: str
+    instructions: int
+    config: Dict[str, Any] = field(default_factory=dict)
+    timing: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    samples: List[Dict[str, Any]] = field(default_factory=list)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    routines: List[Dict[str, Any]] = field(default_factory=list)
+    span_summary: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "benchmark": self.benchmark,
+            "instructions": self.instructions,
+            "config": _plain(self.config),
+            "timing": _plain(self.timing),
+            "metrics": _plain(self.metrics),
+            "samples": self.samples,
+            "spans": self.spans,
+            "routines": self.routines,
+            "span_summary": _plain(self.span_summary),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    def write_samples_csv(self, path: str) -> None:
+        """The interval time-series alone, one row per sample."""
+        from repro.telemetry.sampler import IntervalSample
+
+        fields = IntervalSample.csv_fields()
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fields)
+            writer.writeheader()
+            for row in self.samples:
+                writer.writerow(row)
+
+    def write(self, path: str) -> None:
+        """Write JSON, or the samples CSV when ``path`` ends in ``.csv``."""
+        if path.endswith(".csv"):
+            self.write_samples_csv(path)
+        else:
+            self.write_json(path)
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read a report back; raises on schema mismatch."""
+    with open(path) as handle:
+        data = json.load(handle)
+    schema = data.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(f"{path}: schema {schema!r}, expected {SCHEMA!r}")
+    return data
+
+
+def write_bench_json(path: str, bench: str, results: Dict[str, Any],
+                     context: Optional[Dict[str, Any]] = None) -> None:
+    """Write a ``BENCH_*.json`` trajectory artifact."""
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "bench": bench,
+        "context": _plain(context or {}),
+        "results": _plain(results),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

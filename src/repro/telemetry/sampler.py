@@ -1,0 +1,169 @@
+"""Interval time-series sampling of a live SSMT run.
+
+Every ``every`` retired instructions the sampler reads one row of
+mechanism state — windowed misprediction rate, Prediction Cache hit
+rate, Path Cache occupancy and difficult-entry count, spawn queue depth,
+MicroRAM pressure and an IPC proxy — so a run can be plotted and diffed
+over *time*, not just summarized at the end.  The paper's mechanism
+ramps (training intervals, one build at a time), which a single final
+number hides completely.
+
+The sampler is driven by the engine's retire hook and reads the timing
+model's live :class:`~repro.uarch.timing.TimingResult` for branch and
+misprediction counts; rates are computed over the window (deltas), not
+cumulatively, so late-run behavior is not averaged away.  A final
+partial window, if any, is flushed at end of run and marked
+``final=True`` so consumers can treat its shorter horizon specially.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.core.ssmt import SSMTEngine
+    from repro.uarch.timing import TimingResult
+
+
+@dataclass
+class IntervalSample:
+    """One time-series row; all rates are over the sample's window."""
+
+    index: int                    # sample ordinal, 0-based
+    instructions: int             # cumulative retired instructions
+    cycles: int                   # cumulative retire cycle
+    window_instructions: int
+    window_cycles: int
+    ipc: float                    # window instructions / window cycles
+    branches: int                 # window conditional+indirect branches
+    mispredict_rate: float        # window effective mispredicts / branches
+    hw_mispredict_rate: float     # window hardware mispredicts / branches
+    pcache_hit_rate: float        # window Prediction Cache hits/(hits+misses)
+    path_cache_occupancy: int     # resident Path Cache entries (point)
+    path_cache_difficult: int     # entries with the Difficult bit (point)
+    spawn_active: int             # in-flight microthreads (point)
+    microram_routines: int        # resident routines (point)
+    microram_pressure: float      # routines / capacity (point)
+    prediction_cache_entries: int  # resident predictions (point)
+    final: bool = False           # True for a flushed partial last window
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def csv_fields(cls) -> List[str]:
+        return [field.name for field in dataclasses.fields(cls)]
+
+
+@dataclass
+class _Cumulative:
+    """Counter values at the previous sample boundary."""
+
+    instructions: int = 0
+    cycles: int = 0
+    branches: int = 0
+    effective_mispredicts: int = 0
+    hw_mispredicts: int = 0
+    pcache_hits: int = 0
+    pcache_misses: int = 0
+
+
+class IntervalSampler:
+    """Records an :class:`IntervalSample` every N retired instructions."""
+
+    def __init__(self, every: int = 2000, max_samples: int = 100_000):
+        if every <= 0:
+            raise ValueError("sampling interval must be positive")
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self.every = every
+        self.max_samples = max_samples
+        self.samples: List[IntervalSample] = []
+        self.dropped = 0          # rows not stored once max_samples was hit
+        self._retired = 0
+        self._prev = _Cumulative()
+
+    # -- engine-driven hooks ---------------------------------------------------
+
+    def on_retire(self, engine: "SSMTEngine", idx: int,
+                  retire_cycle: int) -> None:
+        self._retired += 1
+        if self._retired % self.every == 0:
+            self._record(engine, retire_cycle, final=False)
+
+    def flush(self, engine: "SSMTEngine",
+              result: Optional["TimingResult"] = None) -> None:
+        """Record the trailing partial window, if any instructions retired
+        since the last aligned sample (called at end of run)."""
+        if self._retired % self.every != 0:
+            cycles = result.cycles if result is not None \
+                else self._prev.cycles
+            self._record(engine, cycles, final=True)
+
+    # -- measurement -----------------------------------------------------------
+
+    def _record(self, engine: "SSMTEngine", retire_cycle: int,
+                final: bool) -> None:
+        timing = engine.live_timing_result()
+        prev = self._prev
+        now = _Cumulative(
+            instructions=self._retired,
+            cycles=retire_cycle,
+        )
+        if timing is not None:
+            now.branches = (timing.conditional_branches
+                            + timing.indirect_branches)
+            now.effective_mispredicts = timing.effective_mispredicts
+            now.hw_mispredicts = timing.hw_mispredicts
+        pstats = engine.prediction_cache.stats
+        now.pcache_hits = pstats.hits
+        now.pcache_misses = pstats.misses
+
+        window_instructions = now.instructions - prev.instructions
+        window_cycles = max(0, now.cycles - prev.cycles)
+        window_branches = now.branches - prev.branches
+        window_lookups = ((now.pcache_hits - prev.pcache_hits)
+                          + (now.pcache_misses - prev.pcache_misses))
+        microram = engine.microram
+
+        sample = IntervalSample(
+            index=len(self.samples) + self.dropped,
+            instructions=now.instructions,
+            cycles=now.cycles,
+            window_instructions=window_instructions,
+            window_cycles=window_cycles,
+            ipc=round(window_instructions / window_cycles, 4)
+            if window_cycles else 0.0,
+            branches=window_branches,
+            mispredict_rate=round(
+                (now.effective_mispredicts - prev.effective_mispredicts)
+                / window_branches, 4) if window_branches else 0.0,
+            hw_mispredict_rate=round(
+                (now.hw_mispredicts - prev.hw_mispredicts)
+                / window_branches, 4) if window_branches else 0.0,
+            pcache_hit_rate=round(
+                (now.pcache_hits - prev.pcache_hits) / window_lookups, 4)
+            if window_lookups else 0.0,
+            path_cache_occupancy=len(engine.path_cache),
+            path_cache_difficult=engine.path_cache.difficult_count(),
+            spawn_active=len(engine.spawner.active),
+            microram_routines=len(microram),
+            microram_pressure=round(len(microram) / microram.capacity, 4),
+            prediction_cache_entries=len(engine.prediction_cache),
+            final=final,
+        )
+        self._prev = now
+        if len(self.samples) >= self.max_samples:
+            self.dropped += 1
+            return
+        self.samples.append(sample)
+
+    # -- export ---------------------------------------------------------------
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return [sample.as_dict() for sample in self.samples]
+
+    def __len__(self) -> int:
+        return len(self.samples)

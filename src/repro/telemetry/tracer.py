@@ -1,0 +1,353 @@
+"""Microthread lifecycle tracing: spans from promotion to outcome.
+
+The paper's timeliness story (Figure 9) is fundamentally a *latency*
+story — a prediction helps fully only if its ``Store_PCache`` lands
+before the target branch is fetched.  The tracer makes that inspectable
+per microthread instance:
+
+* a :class:`RoutineRecord` per Path Cache promotion — whether the build
+  succeeded, its latency, and the routine's shape;
+* a :class:`ThreadSpan` per successful spawn — phase boundaries
+  (spawn → dispatch → execute/completion → ``Store_PCache`` arrival),
+  the terminal status (``completed`` / ``aborted`` / ``violated`` /
+  ``in_flight``), cause attribution for aborts, and the consumed
+  prediction's timeliness kind with its slack against the target fetch.
+
+"Why was this prediction late?" then reads directly off the span: a long
+queue phase means contexts were contended, a long execute phase means
+the dependence chain or cache misses dominated, a small separation means
+the spawn point was simply too close to the branch.
+
+Spans are bounded (``max_spans``) with per-status aggregate counters
+that see everything, so attaching the tracer to long runs is safe.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.core.microthread import Microthread
+    from repro.core.path import PathEvent
+    from repro.core.spawn import ActiveMicrothread
+
+#: terminal span statuses
+SPAN_STATUSES = ("completed", "aborted", "violated", "in_flight")
+
+#: abort cause attribution
+CAUSE_PATH_DEVIATION = "path_deviation"
+CAUSE_MEMDEP_VIOLATION = "memdep_violation"
+
+
+@dataclass
+class RoutineRecord:
+    """One Path Cache promotion and its build outcome."""
+
+    term_pc: int
+    path_id: int
+    promoted_idx: int             # trace index of the triggering retire
+    promoted_cycle: int
+    built: bool
+    build_latency: int = 0        # cycles until the routine is available
+    routine_size: int = 0
+    longest_chain: int = 0
+    separation: int = 0           # spawn point → terminating branch
+    spawn_pc: int = -1
+    fail_reason: str = ""         # builder busy / extraction failure
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "term_pc": self.term_pc,
+            "path_id": self.path_id,
+            "promoted_idx": self.promoted_idx,
+            "promoted_cycle": self.promoted_cycle,
+            "built": self.built,
+            "build_latency": self.build_latency,
+            "routine_size": self.routine_size,
+            "longest_chain": self.longest_chain,
+            "separation": self.separation,
+            "spawn_pc": self.spawn_pc,
+            "fail_reason": self.fail_reason,
+        }
+
+
+@dataclass
+class ThreadSpan:
+    """Lifecycle of one spawned microthread instance."""
+
+    span_id: int
+    term_pc: int
+    path_id: int
+    spawn_idx: int                # trace index of the spawn-point fetch
+    target_seq: int               # trace index of the predicted branch
+    spawn_cycle: int
+    dispatch_cycle: int = -1      # spawn + dispatch latency
+    completion_cycle: int = -1    # routine drained
+    arrival_cycle: int = -1       # Store_PCache landed
+    status: str = "in_flight"
+    abort_cause: str = ""
+    end_idx: int = -1             # trace index where the span closed
+    end_cycle: int = -1
+    outcome: str = ""             # early/late_*/useless once consumed
+    outcome_correct: bool = False
+    target_fetch_cycle: int = -1  # fetch cycle of the target branch
+    suffix_progress: int = 0      # taken branches matched before an abort
+
+    # -- phase latencies (the "why was it late?" decomposition) --------------
+
+    @property
+    def queue_cycles(self) -> int:
+        """Spawn-point fetch to microthread dispatch."""
+        if self.dispatch_cycle < 0:
+            return 0
+        return self.dispatch_cycle - self.spawn_cycle
+
+    @property
+    def execute_cycles(self) -> int:
+        """Dispatch to ``Store_PCache`` completion (the dependence-chain
+        walk through shared issue slots)."""
+        if self.arrival_cycle < 0 or self.dispatch_cycle < 0:
+            return 0
+        return self.arrival_cycle - self.dispatch_cycle
+
+    @property
+    def lifetime_cycles(self) -> int:
+        """Spawn to routine drain (context occupancy)."""
+        if self.completion_cycle < 0:
+            return 0
+        return self.completion_cycle - self.spawn_cycle
+
+    @property
+    def slack_cycles(self) -> Optional[int]:
+        """Arrival margin vs the target branch's fetch: positive = the
+        prediction was early by that many cycles, negative = late."""
+        if self.target_fetch_cycle < 0 or self.arrival_cycle < 0:
+            return None
+        return self.target_fetch_cycle - self.arrival_cycle
+
+    @property
+    def complete(self) -> bool:
+        """A full promote→spawn→execute→Store_PCache span that ran to its
+        target without being killed."""
+        return self.status == "completed" and self.arrival_cycle >= 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "term_pc": self.term_pc,
+            "path_id": self.path_id,
+            "spawn_idx": self.spawn_idx,
+            "target_seq": self.target_seq,
+            "spawn_cycle": self.spawn_cycle,
+            "dispatch_cycle": self.dispatch_cycle,
+            "completion_cycle": self.completion_cycle,
+            "arrival_cycle": self.arrival_cycle,
+            "status": self.status,
+            "abort_cause": self.abort_cause,
+            "end_idx": self.end_idx,
+            "end_cycle": self.end_cycle,
+            "outcome": self.outcome,
+            "outcome_correct": self.outcome_correct,
+            "queue_cycles": self.queue_cycles,
+            "execute_cycles": self.execute_cycles,
+            "lifetime_cycles": self.lifetime_cycles,
+            "slack_cycles": self.slack_cycles,
+            "suffix_progress": self.suffix_progress,
+        }
+
+    def format(self) -> str:
+        """One-line rendering for ``repro trace``."""
+        phases = (f"queue={self.queue_cycles} exec={self.execute_cycles}"
+                  if self.dispatch_cycle >= 0 else "never dispatched")
+        slack = self.slack_cycles
+        timing = f" slack={slack:+d}" if slack is not None else ""
+        cause = f" cause={self.abort_cause}" if self.abort_cause else ""
+        outcome = f" outcome={self.outcome}" if self.outcome else ""
+        return (f"span#{self.span_id:<5} branch@{self.term_pc:<6} "
+                f"spawn@{self.spawn_idx:<8} target@{self.target_seq:<8} "
+                f"{self.status:<10} {phases}{timing}{outcome}{cause}")
+
+
+@dataclass
+class _TracerTallies:
+    """Aggregate counts that see every event, stored or not."""
+
+    promotions: int = 0
+    builds: int = 0
+    build_failures: int = 0
+    demotions: int = 0
+    spawns: int = 0
+    statuses: TallyCounter = field(default_factory=TallyCounter)
+    outcomes: TallyCounter = field(default_factory=TallyCounter)
+    abort_causes: TallyCounter = field(default_factory=TallyCounter)
+
+
+class ThreadTracer:
+    """Lifecycle span recorder; attach via a ``TelemetrySession``."""
+
+    def __init__(self, max_spans: int = 10_000,
+                 max_routines: int = 10_000,
+                 term_pc: Optional[int] = None):
+        if max_spans <= 0 or max_routines <= 0:
+            raise ValueError("span/routine capacity must be positive")
+        #: restrict tracing to one terminating branch PC when set
+        self.term_pc = term_pc
+        self.spans: Deque[ThreadSpan] = deque(maxlen=max_spans)
+        self.routines: Deque[RoutineRecord] = deque(maxlen=max_routines)
+        self.tallies = _TracerTallies()
+        self._live: Dict[int, ThreadSpan] = {}   # id(instance) -> span
+        self._next_span_id = 0
+
+    def _traced(self, term_pc: int) -> bool:
+        return self.term_pc is None or term_pc == self.term_pc
+
+    # -- routine lifecycle (promote -> build) --------------------------------
+
+    def on_promote(self, event: "PathEvent", cycle: int) -> None:
+        self.tallies.promotions += 1
+
+    def on_build(self, thread: "Microthread", event: "PathEvent",
+                 cycle: int, build_latency: int) -> None:
+        self.tallies.builds += 1
+        if not self._traced(thread.term_pc):
+            return
+        self.routines.append(RoutineRecord(
+            term_pc=thread.term_pc,
+            path_id=thread.path_id,
+            promoted_idx=event.branch_idx,
+            promoted_cycle=cycle,
+            built=True,
+            build_latency=build_latency,
+            routine_size=thread.routine_size,
+            longest_chain=thread.longest_chain,
+            separation=thread.separation,
+            spawn_pc=thread.spawn_pc,
+        ))
+
+    def on_build_failed(self, event: "PathEvent", cycle: int,
+                        reason: str) -> None:
+        self.tallies.build_failures += 1
+        if not self._traced(event.key.term_pc):
+            return
+        self.routines.append(RoutineRecord(
+            term_pc=event.key.term_pc,
+            path_id=event.path_id,
+            promoted_idx=event.branch_idx,
+            promoted_cycle=cycle,
+            built=False,
+            fail_reason=reason,
+        ))
+
+    def on_demote(self, term_pc: int) -> None:
+        self.tallies.demotions += 1
+
+    # -- instance lifecycle (spawn -> outcome) -------------------------------
+
+    def on_spawn(self, instance: "ActiveMicrothread") -> None:
+        self.tallies.spawns += 1
+        if not self._traced(instance.thread.term_pc):
+            return
+        span = ThreadSpan(
+            span_id=self._next_span_id,
+            term_pc=instance.thread.term_pc,
+            path_id=instance.thread.path_id,
+            spawn_idx=instance.spawn_idx,
+            target_seq=instance.target_seq,
+            spawn_cycle=instance.spawn_cycle,
+        )
+        self._next_span_id += 1
+        self._live[id(instance)] = span
+        self.spans.append(span)
+
+    def on_execute(self, instance: "ActiveMicrothread",
+                   dispatch_cycle: int) -> None:
+        span = self._live.get(id(instance))
+        if span is None:
+            return
+        span.dispatch_cycle = dispatch_cycle
+        span.completion_cycle = instance.completion_cycle
+        span.arrival_cycle = instance.arrival_cycle
+
+    def on_abort(self, instance: "ActiveMicrothread", cause: str,
+                 idx: int, cycle: int) -> None:
+        span = self._live.pop(id(instance), None)
+        status = ("violated" if cause == CAUSE_MEMDEP_VIOLATION
+                  else "aborted")
+        self.tallies.statuses[status] += 1
+        self.tallies.abort_causes[cause] += 1
+        if span is None:
+            return
+        span.status = status
+        span.abort_cause = cause
+        span.end_idx = idx
+        span.end_cycle = cycle
+        span.suffix_progress = instance.suffix_progress
+
+    def on_complete(self, instance: "ActiveMicrothread", idx: int,
+                    cycle: int) -> None:
+        """The instance's target retired without the span being killed."""
+        span = self._live.pop(id(instance), None)
+        self.tallies.statuses["completed"] += 1
+        if span is None:
+            return
+        span.status = "completed"
+        span.end_idx = idx
+        span.end_cycle = cycle
+        span.suffix_progress = instance.suffix_progress
+
+    def on_outcome(self, instance: "ActiveMicrothread", kind: str,
+                   correct: bool, target_fetch_cycle: int) -> None:
+        """The front-end consumed this instance's prediction."""
+        self.tallies.outcomes[kind] += 1
+        span = self._live.get(id(instance))
+        if span is None:
+            return
+        span.outcome = kind
+        span.outcome_correct = correct
+        span.target_fetch_cycle = target_fetch_cycle
+
+    def finish(self) -> None:
+        """Close out spans still live at end of run."""
+        for span in self._live.values():
+            span.status = "in_flight"
+            self.tallies.statuses["in_flight"] += 1
+        self._live.clear()
+
+    # -- queries / export ------------------------------------------------------
+
+    def complete_spans(self) -> List[ThreadSpan]:
+        return [span for span in self.spans if span.complete]
+
+    def spans_for_branch(self, term_pc: int) -> List[ThreadSpan]:
+        return [span for span in self.spans if span.term_pc == term_pc]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Aggregate tallies (the tracer's collector surface)."""
+        tallies = self.tallies
+        out: Dict[str, Any] = {
+            "promotions": tallies.promotions,
+            "builds": tallies.builds,
+            "build_failures": tallies.build_failures,
+            "demotions": tallies.demotions,
+            "spawns": tallies.spawns,
+            "spans_recorded": len(self.spans),
+        }
+        for status in SPAN_STATUSES:
+            out[f"status_{status}"] = tallies.statuses.get(status, 0)
+        for kind, count in sorted(tallies.outcomes.items()):
+            out[f"outcome_{kind}"] = count
+        for cause, count in sorted(tallies.abort_causes.items()):
+            out[f"abort_{cause}"] = count
+        return out
+
+    def span_rows(self) -> List[Dict[str, Any]]:
+        return [span.as_dict() for span in self.spans]
+
+    def routine_rows(self) -> List[Dict[str, Any]]:
+        return [record.as_dict() for record in self.routines]
+
+    def __len__(self) -> int:
+        return len(self.spans)

@@ -11,11 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.telemetry.registry import StatsBase
 from repro.uarch.config import MachineConfig
 
 
 @dataclass
-class CacheStats:
+class CacheStats(StatsBase):
+    """Cache hierarchy counters; uniform export via :class:`StatsBase`."""
+
     l1_hits: int = 0
     l1_misses: int = 0
     l2_hits: int = 0

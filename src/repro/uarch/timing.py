@@ -10,6 +10,9 @@ SSMT hooks
 A *listener* (see :class:`~repro.core.ssmt.SSMTEngine`) may be attached.
 The engine calls, when present:
 
+``on_run_start(model, trace)``
+    once before the first fetch — lets the listener bind run-scoped
+    state (the live result, caches, predictor) for telemetry.
 ``on_fetch(idx, rec, fetch_cycle, engine)``
     at the fetch of every instruction — the spawn hook.
 ``lookup_prediction(idx, rec, fetch_cycle)``
@@ -21,6 +24,13 @@ The engine calls, when present:
     ``late_harmful``, ``late_agree`` or ``useless``.
 ``on_retire(idx, rec, retire_cycle)``
     at in-order retirement (drives the Path Cache, PRB, promotion, ...).
+``on_run_end(result, model)``
+    once after the last retirement — flush points for interval samplers
+    and lifecycle tracers.
+
+During a run the in-progress totals are readable at
+:attr:`OoOTimingModel.result` (the same object that is returned), so
+attached telemetry can compute windowed rates mid-run.
 
 Microthread instructions consume the same issue slots as the primary
 thread via :meth:`OoOTimingModel.alloc_issue_slot` — that is how
@@ -74,6 +84,25 @@ class TimingResult:
         total = self.conditional_branches + self.indirect_branches
         return self.effective_mispredicts / total if total else 0.0
 
+    def as_dict(self, include_cache: bool = True) -> Dict[str, object]:
+        """Uniform export (telemetry collector surface)."""
+        out: Dict[str, object] = {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": round(self.ipc, 6),
+            "hw_mispredicts": self.hw_mispredicts,
+            "effective_mispredicts": self.effective_mispredicts,
+            "mispredict_rate": round(self.mispredict_rate(), 6),
+            "early_recoveries": self.early_recoveries,
+            "btb_bubbles": self.btb_bubbles,
+            "conditional_branches": self.conditional_branches,
+            "indirect_branches": self.indirect_branches,
+            "prediction_kinds": dict(self.prediction_kinds),
+        }
+        if include_cache and self.cache is not None:
+            out["cache"] = self.cache.as_dict()
+        return out
+
 
 _MEM_OPS = (Opcode.LD, Opcode.ST)
 
@@ -87,6 +116,11 @@ class OoOTimingModel:
         self._slot_used: Dict[int, int] = {}
         self.reg_ready: List[int] = [0] * 32
         self._frontend_debt = 0
+        #: the in-progress result of the current run (live view for
+        #: attached telemetry); the same object :meth:`run` returns
+        self.result: Optional[TimingResult] = None
+        #: the predictor of the current run (telemetry collector)
+        self.predictor: Optional[BranchPredictorComplex] = None
 
     def add_frontend_debt(self, instructions: int) -> None:
         """Charge microthread instructions against the shared decode/rename
@@ -120,6 +154,8 @@ class OoOTimingModel:
             listener=None) -> TimingResult:
         cfg = self.config
         result = TimingResult(name=trace.name, cache=self.caches.stats)
+        self.result = result
+        self.predictor = predictor
         reg_ready = self.reg_ready
         caches = self.caches
         frontend = cfg.frontend_depth
@@ -129,6 +165,8 @@ class OoOTimingModel:
         taken_limit = cfg.fetch_taken_limit
         retire_width = cfg.retire_width
 
+        on_run_start = getattr(listener, "on_run_start", None)
+        on_run_end = getattr(listener, "on_run_end", None)
         on_fetch = getattr(listener, "on_fetch", None)
         lookup_prediction = getattr(listener, "lookup_prediction", None)
         on_outcome = getattr(listener, "on_prediction_outcome", None)
@@ -150,6 +188,9 @@ class OoOTimingModel:
 
         last_store_complete: Dict[int, int] = {}
         prev_was_taken = False
+
+        if on_run_start is not None:
+            on_run_start(self, trace)
 
         for idx, rec in enumerate(trace.records):
             # ---- fetch ------------------------------------------------------
@@ -264,6 +305,8 @@ class OoOTimingModel:
 
         result.instructions = len(trace.records)
         result.cycles = last_retire + 1
+        if on_run_end is not None:
+            on_run_end(result, self)
         return result
 
     # -- control handling -------------------------------------------------------

@@ -67,6 +67,38 @@ class TestEventLogUnit:
         with pytest.raises(ValueError):
             EventLog(capacity=0)
 
+    def test_unknown_filter_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(kinds=("promote", "bogus"))
+
+    def test_filter_drops_are_counted(self):
+        log = EventLog(kinds=("promote",))
+        log.emit("promote", 1, 0, 5)
+        log.emit("spawn", 2, 0, 5)
+        log.emit("spawn", 3, 0, 5)
+        assert log.dropped_count("spawn") == 2
+        assert log.dropped_count("promote") == 0
+        assert log.dropped_count() == 2
+
+    def test_ring_evictions_are_counted(self):
+        log = EventLog(capacity=3)
+        for i in range(10):
+            log.emit("spawn", i, 0, 9)
+        assert len(log) == 3
+        assert log.dropped_count("spawn") == 7
+
+    def test_counts_equal_stored_plus_dropped(self):
+        """The invariant: counts[kind] == stored(kind) + dropped[kind]."""
+        log = EventLog(capacity=4, kinds=("spawn", "promote"))
+        for i in range(6):
+            log.emit("spawn", i, 0, 9)
+        for i in range(3):
+            log.emit("promote", i, 0, 9)
+        log.emit("demote", 0, 0, 9)  # filtered out
+        for kind in ("spawn", "promote", "demote"):
+            assert log.counts[kind] \
+                == len(log.of_kind(kind)) + log.dropped_count(kind)
+
     def test_event_str(self):
         text = str(Event("spawn", 10, 5, 99, "sep=7"))
         assert "spawn" in text and "branch@99" in text and "sep=7" in text
@@ -102,6 +134,13 @@ class TestEngineIntegration:
         text = log.narrate(limit=10)
         assert len(text.splitlines()) <= 10
         assert "branch@" in text
+
+    def test_invariant_holds_after_engine_run(self):
+        """Even under a tight ring, counts == stored + dropped per kind."""
+        log, _ = run_with_log(log=EventLog(capacity=64))
+        for kind in log.counts:
+            assert log.counts[kind] \
+                == len(log.of_kind(kind)) + log.dropped_count(kind), kind
 
     def test_no_log_attached_is_silent(self):
         trace = run_program(assemble(DATA_LOOP), max_instructions=20_000)

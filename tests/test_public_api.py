@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.uarch",
     "repro.core",
     "repro.analysis",
+    "repro.telemetry",
 ]
 
 
@@ -74,6 +75,9 @@ INTERNAL_MODULES = [
     "repro.analysis.report", "repro.analysis.confidence",
     "repro.analysis.sweeps", "repro.analysis.summary",
     "repro.analysis.paper_data",
+    "repro.telemetry.registry", "repro.telemetry.sampler",
+    "repro.telemetry.tracer", "repro.telemetry.report",
+    "repro.telemetry.session",
     "repro.cli",
 ]
 

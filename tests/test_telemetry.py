@@ -1,0 +1,454 @@
+"""Tests for the unified telemetry layer.
+
+Covers the metrics registry (instruments, collectors, snapshot
+round-trip), log2 histogram bucket boundaries, interval sampling
+alignment with trace end, microthread lifecycle span completeness
+(including abort and violation paths), and the machine-readable report
+plumbing up through the CLI.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cli import main
+from repro.core.spawn import SpawnManager, SpawnStats
+from repro.core.ssmt import SSMTConfig, run_ssmt
+from repro.telemetry import (
+    CAUSE_MEMDEP_VIOLATION,
+    CAUSE_PATH_DEVIATION,
+    SPAN_STATUSES,
+    Histogram,
+    IntervalSampler,
+    MetricsRegistry,
+    RunReport,
+    StatsBase,
+    TelemetrySession,
+    ThreadTracer,
+    load_report,
+)
+from repro.telemetry.sampler import IntervalSample
+from repro.workloads import benchmark_trace
+
+#: a benchmark/length pair known to promote paths and spawn microthreads
+SPAN_BENCH = "li"
+SPAN_LENGTH = 50_000
+
+
+@pytest.fixture(scope="module")
+def span_run():
+    """One instrumented run shared by the integration tests."""
+    trace = benchmark_trace(SPAN_BENCH, SPAN_LENGTH)
+    session = TelemetrySession(sample_every=2000)
+    result, engine = run_ssmt(trace, SSMTConfig(), telemetry=session)
+    return session, result, engine
+
+
+# -- registry -----------------------------------------------------------------
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x.count", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.get() == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_direct_and_callback(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("x.level")
+        g.set(3.5)
+        assert g.get() == 3.5
+        backed = reg.gauge("x.depth", fn=lambda: 7)
+        assert backed.get() == 7
+        with pytest.raises(ValueError):
+            backed.set(1.0)
+
+    def test_factories_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("b") is reg.histogram("b")
+
+    def test_cross_type_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("metric")
+        with pytest.raises(ValueError):
+            reg.gauge("metric")
+        with pytest.raises(ValueError):
+            reg.histogram("metric")
+
+    def test_describe(self):
+        reg = MetricsRegistry()
+        reg.counter("a", "alpha")
+        reg.histogram("b", "beta")
+        assert reg.describe() == {"a": "alpha", "b": "beta"}
+
+
+class TestHistogramBuckets:
+    """Log2 bucketing by bit_length: [0], [1], [2-3], [4-7], ..."""
+
+    @pytest.mark.parametrize("value,label", [
+        (0, "0"),
+        (1, "1"),
+        (2, "2-3"),
+        (3, "2-3"),
+        (4, "4-7"),
+        (7, "4-7"),
+        (8, "8-15"),
+        (1024, "1024-2047"),
+    ])
+    def test_boundary_lands_in_expected_bucket(self, value, label):
+        h = Histogram("h")
+        h.observe(value)
+        assert h.bucket_counts() == {label: 1}
+
+    def test_power_of_two_opens_new_bucket(self):
+        h = Histogram("h")
+        for k in range(1, 8):
+            h.observe(2 ** k - 1)   # top of bucket k
+            h.observe(2 ** k)       # bottom of bucket k+1
+        counts = h.bucket_counts()
+        for k in range(1, 8):
+            hi = (1 << (k + 1)) - 1
+            assert counts[f"{1 << k}-{hi}"] >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h").observe(-1)
+
+    def test_summary_stats(self):
+        h = Histogram("h")
+        for v in (0, 1, 2, 5):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["count"] == 4
+        assert d["sum"] == 8
+        assert d["mean"] == 2.0
+        assert d["max"] == 5
+
+
+class TestStatsBaseAndSnapshot:
+    def test_stats_base_exports_fields_and_properties(self):
+        stats = SpawnStats(attempts=10, pre_allocation_aborts=4, spawned=5,
+                           aborted_active=1)
+        d = stats.as_dict()
+        assert d["attempts"] == 10
+        assert d["pre_allocation_abort_rate"] == 0.4
+        assert d["active_abort_rate"] == 0.2
+        assert stats.snapshot() == d
+
+    def test_snapshot_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.register("spawn", SpawnStats(attempts=3, spawned=2))
+        reg.counter("c").inc(7)
+        reg.gauge("g", fn=lambda: 1.5)
+        h = reg.histogram("h")
+        h.observe(4)
+        snap = reg.snapshot()
+        restored = json.loads(json.dumps(snap))
+        assert restored == snap
+        assert restored["spawn.attempts"] == 3
+        assert restored["c"] == 7
+        assert restored["g"] == 1.5
+        assert restored["h"]["buckets"] == {"4-7": 1}
+
+    def test_collector_without_as_dict_rejected(self):
+        with pytest.raises(TypeError):
+            MetricsRegistry().register("x", object())
+
+
+# -- tracer -------------------------------------------------------------------
+
+
+def _fake_instance(term_pc=99, spawn_idx=100, target_seq=110,
+                   spawn_cycle=50):
+    thread = SimpleNamespace(term_pc=term_pc, path_id=7)
+    return SimpleNamespace(thread=thread, spawn_idx=spawn_idx,
+                           target_seq=target_seq, spawn_cycle=spawn_cycle,
+                           completion_cycle=80, arrival_cycle=75,
+                           suffix_progress=2)
+
+
+class TestThreadTracerUnit:
+    def test_completed_span_lifecycle(self):
+        tracer = ThreadTracer()
+        inst = _fake_instance()
+        tracer.on_spawn(inst)
+        tracer.on_execute(inst, dispatch_cycle=53)
+        tracer.on_outcome(inst, "early", True, target_fetch_cycle=90)
+        tracer.on_complete(inst, idx=110, cycle=95)
+        (span,) = tracer.spans
+        assert span.complete
+        assert span.status == "completed"
+        assert span.queue_cycles == 3
+        assert span.execute_cycles == 75 - 53
+        assert span.slack_cycles == 90 - 75
+        assert span.outcome == "early" and span.outcome_correct
+        assert "completed" in span.format()
+
+    def test_abort_closes_span_with_cause(self):
+        tracer = ThreadTracer()
+        inst = _fake_instance()
+        tracer.on_spawn(inst)
+        tracer.on_execute(inst, dispatch_cycle=53)
+        tracer.on_abort(inst, CAUSE_PATH_DEVIATION, idx=105, cycle=60)
+        (span,) = tracer.spans
+        assert span.status == "aborted"
+        assert span.abort_cause == CAUSE_PATH_DEVIATION
+        assert span.end_idx == 105 and span.end_cycle == 60
+        assert not span.complete
+        assert tracer.tallies.statuses["aborted"] == 1
+
+    def test_violation_closes_span_as_violated(self):
+        tracer = ThreadTracer()
+        inst = _fake_instance()
+        tracer.on_spawn(inst)
+        tracer.on_abort(inst, CAUSE_MEMDEP_VIOLATION, idx=104, cycle=58)
+        (span,) = tracer.spans
+        assert span.status == "violated"
+        assert span.abort_cause == CAUSE_MEMDEP_VIOLATION
+        assert tracer.tallies.abort_causes[CAUSE_MEMDEP_VIOLATION] == 1
+
+    def test_finish_marks_live_spans_in_flight(self):
+        tracer = ThreadTracer()
+        inst = _fake_instance()
+        tracer.on_spawn(inst)
+        tracer.finish()
+        (span,) = tracer.spans
+        assert span.status == "in_flight"
+        tracer.on_outcome(inst, "early", True, 1)  # no live span: no crash
+
+    def test_term_pc_filter(self):
+        tracer = ThreadTracer(term_pc=42)
+        tracer.on_spawn(_fake_instance(term_pc=99))
+        tracer.on_spawn(_fake_instance(term_pc=42))
+        assert len(tracer.spans) == 1
+        assert tracer.tallies.spawns == 2  # tallies see everything
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ThreadTracer(max_spans=0)
+
+
+class TestSpawnManagerTracerWiring:
+    def test_manager_drives_tracer_spans(self):
+        tracer = ThreadTracer()
+        manager = SpawnManager(n_contexts=2, tracer=tracer)
+        thread = SimpleNamespace(term_pc=9, path_id=1, prefix=(),
+                                 separation=10, expected_suffix=(5,),
+                                 available_cycle=0)
+        inst = manager.attempt_spawn(thread, 100, 0, ())
+        assert inst is not None
+        assert tracer.tallies.spawns == 1
+        # deviation at a non-matching taken branch aborts the span
+        manager.on_taken_control(pc=999, idx=105, cycle=4)
+        (span,) = tracer.spans
+        assert span.status == "aborted"
+        assert span.abort_cause == CAUSE_PATH_DEVIATION
+
+    def test_retire_past_completes_span(self):
+        tracer = ThreadTracer()
+        manager = SpawnManager(n_contexts=2, abort_enabled=False,
+                               tracer=tracer)
+        thread = SimpleNamespace(term_pc=9, path_id=1, prefix=(),
+                                 separation=10, expected_suffix=(),
+                                 available_cycle=0)
+        manager.attempt_spawn(thread, 100, 0, ())
+        manager.retire_past(110, cycle=40)
+        (span,) = tracer.spans
+        assert span.status == "completed"
+        assert span.end_idx == 110 and span.end_cycle == 40
+
+
+# -- interval sampler ---------------------------------------------------------
+
+
+class _Empty:
+    """A sized stub: len() == 0, with the attributes the sampler reads."""
+
+    capacity = 8
+
+    def __init__(self, **attrs):
+        self.__dict__.update(attrs)
+
+    def __len__(self):
+        return 0
+
+    def difficult_count(self):
+        return 0
+
+
+class _StubEngine:
+    """Just enough engine surface for the sampler's row read."""
+
+    def __init__(self):
+        self.prediction_cache = _Empty(
+            stats=SimpleNamespace(hits=0, misses=0))
+        self.path_cache = _Empty()
+        self.spawner = SimpleNamespace(active=[])
+        self.microram = _Empty()
+
+    def live_timing_result(self):
+        return None
+
+
+class TestIntervalSamplerUnit:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalSampler(every=0)
+        with pytest.raises(ValueError):
+            IntervalSampler(max_samples=0)
+
+    def test_alignment_and_flush(self):
+        sampler = IntervalSampler(every=10)
+        engine = _StubEngine()
+        for i in range(25):
+            sampler.on_retire(engine, i, retire_cycle=i * 2)
+        assert len(sampler) == 2                  # at 10 and 20
+        sampler.flush(engine)                     # trailing 5 instructions
+        assert len(sampler) == 3
+        last = sampler.samples[-1]
+        assert last.final
+        assert last.instructions == 25
+        assert last.window_instructions == 5
+
+    def test_no_flush_when_aligned(self):
+        sampler = IntervalSampler(every=10)
+        engine = _StubEngine()
+        for i in range(20):
+            sampler.on_retire(engine, i, retire_cycle=i)
+        sampler.flush(engine)
+        assert len(sampler) == 2
+        assert not sampler.samples[-1].final
+
+    def test_windows_are_deltas(self):
+        sampler = IntervalSampler(every=10)
+        engine = _StubEngine()
+        for i in range(20):
+            sampler.on_retire(engine, i, retire_cycle=(i + 1) * 3)
+        first, second = sampler.samples
+        assert first.window_instructions == second.window_instructions == 10
+        assert first.cycles == 30 and second.cycles == 60
+        assert second.window_cycles == 30
+
+    def test_max_samples_drops_and_counts(self):
+        sampler = IntervalSampler(every=1, max_samples=3)
+        engine = _StubEngine()
+        for i in range(10):
+            sampler.on_retire(engine, i, retire_cycle=i)
+        assert len(sampler) == 3
+        assert sampler.dropped == 7
+
+
+# -- integration: session, report, CLI ----------------------------------------
+
+
+class TestSessionIntegration:
+    def test_sampler_covers_whole_trace(self, span_run):
+        session, result, engine = span_run
+        samples = session.sampler.samples
+        assert len(samples) == SPAN_LENGTH // 2000
+        assert samples[-1].instructions == SPAN_LENGTH
+        assert all(s.window_instructions == 2000 for s in samples)
+
+    def test_spans_recorded_and_accounted(self, span_run):
+        session, _, engine = span_run
+        tracer = session.tracer
+        assert tracer.tallies.spawns == engine.spawner.stats.spawned > 0
+        assert len(tracer.complete_spans()) > 0
+        terminal = sum(tracer.tallies.statuses[s] for s in SPAN_STATUSES)
+        assert terminal == tracer.tallies.spawns
+        for span in tracer.spans:
+            assert span.status in SPAN_STATUSES
+
+    def test_registry_mirrors_engine_stats(self, span_run):
+        session, result, engine = span_run
+        snap = session.snapshot()
+        assert snap["spawn.spawned"] == engine.spawner.stats.spawned
+        assert snap["path_cache.occupancy"] == len(engine.path_cache)
+        assert snap["timing.instructions"] == result.instructions
+        assert snap["tracer.spans_recorded"] == len(session.tracer.spans)
+
+    def test_session_rejects_second_engine(self, span_run):
+        session, _, engine = span_run
+        with pytest.raises(ValueError):
+            session.attach(object())
+
+    def test_report_schema_and_json_round_trip(self, span_run, tmp_path):
+        session, result, engine = span_run
+        report = session.build_report(SPAN_BENCH, result, engine)
+        path = tmp_path / "report.json"
+        report.write(str(path))
+        data = load_report(str(path))
+        for key in ("schema", "benchmark", "instructions", "config",
+                    "timing", "metrics", "samples", "spans", "routines",
+                    "span_summary"):
+            assert key in data
+        assert data["benchmark"] == SPAN_BENCH
+        assert data["config"]["n"] == 10
+        assert len(data["samples"]) >= 5
+        assert any(s["status"] == "completed" for s in data["spans"])
+
+    def test_samples_csv_export(self, span_run, tmp_path):
+        session, result, engine = span_run
+        report = session.build_report(SPAN_BENCH, result, engine)
+        path = tmp_path / "samples.csv"
+        report.write(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].split(",") == IntervalSample.csv_fields()
+        assert len(lines) == 1 + len(report.samples)
+
+    def test_load_report_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"schema": "other/9"}')
+        with pytest.raises(ValueError):
+            load_report(str(path))
+
+
+class TestCLI:
+    def test_run_metrics_out_writes_valid_report(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        rc = main(["run", SPAN_BENCH, "--instructions", "30000",
+                   "--metrics-out", str(out)])
+        assert rc == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        data = load_report(str(out))
+        assert data["instructions"] == 30000
+        assert len(data["samples"]) >= 5
+
+    def test_metrics_out_incompatible_with_profile_guided(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", SPAN_BENCH, "--profile-guided",
+                  "--metrics-out", str(tmp_path / "x.json")])
+
+    def test_trace_prints_completed_spans(self, capsys):
+        rc = main(["trace", SPAN_BENCH, "--instructions",
+                   str(SPAN_LENGTH), "--limit", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== routines" in out and "== summary ==" in out
+        assert "completed" in out
+
+    def test_experiment_json_out(self, tmp_path, capsys):
+        rc = main(["experiment", "table2", "--benchmarks", SPAN_BENCH,
+                   "--instructions", "10000",
+                   "--json-out", str(tmp_path)])
+        assert rc == 0
+        data = json.loads((tmp_path / "BENCH_table2.json").read_text())
+        assert data["schema"] == "repro.bench/1"
+        assert SPAN_BENCH in data["results"]
+
+
+class TestDetachedMode:
+    def test_run_without_session_records_nothing(self):
+        trace = benchmark_trace(SPAN_BENCH, 5000)
+        result, engine = run_ssmt(trace, SSMTConfig())
+        assert engine.telemetry is None
+        # a fresh report can still be built from a standalone registry
+        report = RunReport(benchmark=SPAN_BENCH,
+                           instructions=result.instructions)
+        assert report.to_dict()["samples"] == []
