@@ -8,8 +8,10 @@ Environment knobs:
 ``REPRO_BENCH_SUITE``
     comma-separated benchmark names, or ``all`` (default).
 
-Figure 7's engines feed Figures 8 and 9, so the realistic sweep runs
-once per session and is shared through :func:`realistic_results`.
+Figure 7's metrics snapshots feed Figures 8 and 9, so the realistic
+sweep runs once per session and is shared through
+:func:`realistic_results`.  Set ``$REPRO_JOBS`` to run these grids on a
+process pool (results are identical; see ``docs/telemetry.md``).
 """
 
 from __future__ import annotations
@@ -42,7 +44,7 @@ _REALISTIC_CACHE: Dict[tuple, list] = {}
 
 
 def realistic_results(benchmarks, trace_length):
-    """Session-cached Figure 7 sweep (engines reused by Figures 8-9)."""
+    """Session-cached Figure 7 sweep (metrics reused by Figures 8-9)."""
     key = (tuple(benchmarks), trace_length)
     if key not in _REALISTIC_CACHE:
         from repro.analysis.experiments import figure7_realistic

@@ -10,28 +10,44 @@ Not figures from the paper, but direct tests of its design arguments:
 * memory-dependence rebuild on vs off (stop-at-memdep always).
 
 Ablations run on a representative subset so the bench stays tractable.
+All configs fan through :class:`repro.parallel.SweepRunner`, so setting
+``$REPRO_JOBS`` parallelises the ablation grid.
 """
 
 import statistics
 
 
 from repro.analysis import format_table
-from repro.analysis.experiments import baseline_run
-from repro.core.ssmt import SSMTConfig, run_ssmt
-from repro.workloads import benchmark_trace
+from repro.core.ssmt import SSMTConfig
+from repro.parallel import SweepRunner, SweepTask, point_ipc
 
 ABLATION_BENCHMARKS = ("gcc", "go", "mcf_2k", "eon_2k", "comp", "parser_2k")
 
 
 def _sweep(benchmarks, trace_length, configs):
-    """Run each named config; return {config: {bench: (speedup, engine)}}."""
+    """Run each named config; return {config: {bench: (speedup, metrics)}}."""
+    tasks = [SweepTask(kind="baseline", benchmark=name,
+                       instructions=trace_length)
+             for name in benchmarks]
+    for label, config in configs.items():
+        for name in benchmarks:
+            tasks.append(SweepTask(kind="ssmt", benchmark=name,
+                                   instructions=trace_length,
+                                   label=label, config=config))
+    outcome = SweepRunner().run(tasks)
+    if outcome.failures:
+        raise RuntimeError(f"ablation sweep failed: {outcome.errors}")
+    results = outcome.results
+    baselines = {name: point_ipc(results[i])
+                 for i, name in enumerate(benchmarks)}
     out = {label: {} for label in configs}
-    for name in benchmarks:
-        trace = benchmark_trace(name, trace_length)
-        base = baseline_run(trace)
-        for label, config in configs.items():
-            result, engine = run_ssmt(trace, config)
-            out[label][name] = (result.ipc / base.ipc, engine)
+    i = len(benchmarks)
+    for label in configs:
+        for name in benchmarks:
+            point = results[i]
+            out[label][name] = (point_ipc(point) / baselines[name],
+                                point["metrics"])
+            i += 1
     return out
 
 
@@ -65,8 +81,8 @@ class TestPathCachePolicies:
         # Both must work; allocate-on-mispredict must not lose materially
         # while filtering most allocations (checked via engine stats).
         assert means["on-mispredict"] > means["always"] - 0.02
-        engine = sweep["on-mispredict"][ABLATION_BENCHMARKS[0]][1]
-        assert engine.path_cache.stats.allocation_avoid_rate > 0.4
+        metrics = sweep["on-mispredict"][ABLATION_BENCHMARKS[0]][1]
+        assert metrics["path_cache"]["allocation_avoid_rate"] > 0.4
 
     def test_replacement_policy(self, benchmark, trace_length):
         configs = {
@@ -107,10 +123,10 @@ class TestAbortMechanism:
             rounds=1, iterations=1)
         means = _print_speedups("Ablation: abort mechanism", sweep)
         # Aborts reclaim contexts: with aborts on, more spawns complete.
-        on_engine = sweep["abort-on"]["gcc"][1]
-        off_engine = sweep["abort-off"]["gcc"][1]
-        assert on_engine.spawner.stats.aborted_active > 0
-        assert off_engine.spawner.stats.aborted_active == 0
+        on_metrics = sweep["abort-on"]["gcc"][1]
+        off_metrics = sweep["abort-off"]["gcc"][1]
+        assert on_metrics["spawn"]["aborted_active"] > 0
+        assert off_metrics["spawn"]["aborted_active"] == 0
         assert means["abort-on"] >= means["abort-off"] - 0.02
 
 

@@ -42,13 +42,13 @@ def test_figure7(benchmark, suite, trace_length):
     # paper-claim side-statistics
     stat_rows = []
     for r in results:
-        spawn = r.pruning_engine.spawner.stats
-        path_cache = r.pruning_engine.path_cache.stats
+        spawn = r.pruning_metrics["spawn"]
+        path_cache = r.pruning_metrics["path_cache"]
         stat_rows.append([
             r.benchmark,
-            round(100 * spawn.pre_allocation_abort_rate, 1),
-            round(100 * spawn.active_abort_rate, 1),
-            round(100 * path_cache.allocation_avoid_rate, 1),
+            round(100 * spawn["pre_allocation_abort_rate"], 1),
+            round(100 * spawn["active_abort_rate"], 1),
+            round(100 * path_cache["allocation_avoid_rate"], 1),
         ])
     print()
     print(format_table(

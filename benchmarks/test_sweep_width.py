@@ -4,6 +4,10 @@ The paper argues the mechanism matters most on wide, deep machines:
 misprediction penalties grow relative to useful work, and wide machines
 have spare execution bandwidth for microthreads.  This bench sweeps the
 machine width (fetch/issue/retire) with per-width baselines.
+
+The sweep executes through :class:`repro.parallel.SweepRunner`; set
+``$REPRO_JOBS`` to fan the (width x benchmark) grid across a process
+pool — the resulting speed-ups are bit-identical either way.
 """
 
 

@@ -6,6 +6,8 @@ overhead-only configuration for a few suite benchmarks, printing the bar
 values the paper plots.
 
 Run:  python examples/suite_speedup.py [instructions] [bench1 bench2 ...]
+
+Set ``$REPRO_JOBS`` to fan the grid across a process pool.
 """
 
 import sys
@@ -31,15 +33,15 @@ def main():
 
     rows = []
     for r in results:
-        engine = r.pruning_engine
+        metrics = r.pruning_metrics
         rows.append([
             r.benchmark,
             round(r.baseline_ipc, 2),
             round(r.speedup_no_pruning, 3),
             round(r.speedup_pruning, 3),
             round(r.speedup_overhead_only, 3),
-            engine.builder.stats.built,
-            engine.spawner.stats.spawned,
+            metrics["builder"]["built"],
+            metrics["spawn"]["spawned"],
         ])
     print()
     print(format_table(

@@ -5,6 +5,12 @@ report due to space limitations" (§5.2).  These helpers sweep one knob
 of the mechanism (or of the machine) at a time over a benchmark set and
 report mean speed-up per setting, so a user can reproduce that design
 space exploration.
+
+All sweeps execute through :class:`repro.parallel.SweepRunner`: pass
+``jobs`` (or set ``$REPRO_JOBS``) to fan points across a process pool,
+and ``cache_dir`` to skip points a previous sweep already simulated.
+Results are identical regardless of jobs/caching (the runner's task-key
+contract; see ``docs/telemetry.md``).
 """
 
 from __future__ import annotations
@@ -13,12 +19,9 @@ import statistics
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.experiments import baseline_run
-from repro.branch.unit import BranchPredictorComplex
-from repro.core.ssmt import SSMTConfig, run_ssmt
+from repro.core.ssmt import SSMTConfig
+from repro.parallel import SweepRunner, SweepTask, point_ipc
 from repro.uarch.config import TABLE3_BASELINE, MachineConfig
-from repro.uarch.timing import OoOTimingModel
-from repro.workloads import benchmark_trace
 
 
 @dataclass
@@ -44,6 +47,8 @@ def sweep_ssmt_knob(
     trace_length: int,
     base_config: Optional[SSMTConfig] = None,
     machine: MachineConfig = TABLE3_BASELINE,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> List[SweepPoint]:
     """Sweep one :class:`SSMTConfig` field across ``settings``.
 
@@ -54,18 +59,32 @@ def sweep_ssmt_knob(
     base_config = base_config or SSMTConfig()
     if not hasattr(base_config, knob):
         raise ValueError(f"SSMTConfig has no knob {knob!r}")
-    baselines = {
-        name: baseline_run(benchmark_trace(name, trace_length)).ipc
+    tasks: List[SweepTask] = [
+        SweepTask(kind="baseline", benchmark=name,
+                  instructions=trace_length, machine=machine)
         for name in benchmarks
-    }
-    points: List[SweepPoint] = []
+    ]
     for setting in settings:
-        per_benchmark: Dict[str, float] = {}
+        config = replace(base_config, **{knob: setting})
         for name in benchmarks:
-            trace = benchmark_trace(name, trace_length)
-            config = replace(base_config, **{knob: setting})
-            result, _ = run_ssmt(trace, config, machine=machine)
-            per_benchmark[name] = result.ipc / baselines[name]
+            tasks.append(SweepTask(kind="ssmt", benchmark=name,
+                                   instructions=trace_length,
+                                   label=f"{knob}={setting}",
+                                   config=config, machine=machine))
+    outcome = SweepRunner(jobs=jobs, cache_dir=cache_dir).run(tasks)
+    if outcome.failures:
+        raise RuntimeError(f"knob sweep failed: {outcome.errors}")
+    results = outcome.results
+    n_bench = len(benchmarks)
+    baselines = {name: point_ipc(results[i])
+                 for i, name in enumerate(benchmarks)}
+    points: List[SweepPoint] = []
+    for s, setting in enumerate(settings):
+        offset = n_bench * (s + 1)
+        per_benchmark = {
+            name: point_ipc(results[offset + i]) / baselines[name]
+            for i, name in enumerate(benchmarks)
+        }
         points.append(SweepPoint(setting, per_benchmark))
     return points
 
@@ -75,6 +94,8 @@ def sweep_machine_width(
     benchmarks: Sequence[str],
     trace_length: int,
     config: Optional[SSMTConfig] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> List[SweepPoint]:
     """How does the mechanism's gain scale with machine width?
 
@@ -83,17 +104,31 @@ def sweep_machine_width(
     capacity).  Each width uses its own baseline.
     """
     config = config or SSMTConfig()
-    points: List[SweepPoint] = []
+    tasks: List[SweepTask] = []
     for width in widths:
         machine = TABLE3_BASELINE.scaled(
             fetch_width=width, issue_width=width, retire_width=width)
+        for name in benchmarks:
+            tasks.append(SweepTask(kind="baseline", benchmark=name,
+                                   instructions=trace_length,
+                                   label=f"baseline|w={width}",
+                                   machine=machine))
+            tasks.append(SweepTask(kind="ssmt", benchmark=name,
+                                   instructions=trace_length,
+                                   label=f"ssmt|w={width}",
+                                   config=config, machine=machine))
+    outcome = SweepRunner(jobs=jobs, cache_dir=cache_dir).run(tasks)
+    if outcome.failures:
+        raise RuntimeError(f"width sweep failed: {outcome.errors}")
+    results = outcome.results
+    points: List[SweepPoint] = []
+    i = 0
+    for width in widths:
         per_benchmark: Dict[str, float] = {}
         for name in benchmarks:
-            trace = benchmark_trace(name, trace_length)
-            base = OoOTimingModel(machine).run(trace,
-                                               BranchPredictorComplex())
-            result, _ = run_ssmt(trace, config, machine=machine)
-            per_benchmark[name] = result.ipc / base.ipc
+            base, ssmt = results[i], results[i + 1]
+            per_benchmark[name] = point_ipc(ssmt) / point_ipc(base)
+            i += 2
         points.append(SweepPoint(width, per_benchmark))
     return points
 

@@ -10,7 +10,11 @@
   execute → outcome) on one benchmark,
 * ``profile`` — Table 1/2-style difficult-path profiling,
 * ``experiment`` — regenerate one of the paper's tables/figures; with
-  ``--json-out DIR`` it also writes a ``BENCH_<which>.json`` artifact,
+  ``--json-out DIR`` it also writes a ``BENCH_<which>.json`` artifact;
+  ``--jobs N`` fans simulations across a process pool,
+* ``sweep`` — run a (benchmark x width x config-knob) grid through the
+  parallel sweep runner with on-disk result caching (``--jobs``,
+  ``--cache-dir``, ``--no-resume``; see ``docs/telemetry.md``),
 * ``disasm`` — disassemble a generated benchmark,
 * ``verify`` — statically verify every built microthread (and, with
   ``--sanitize``, check runtime invariants); exits non-zero on errors
@@ -20,6 +24,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import statistics
 import sys
@@ -41,6 +46,12 @@ from repro.analysis.experiments import (
 )
 from repro.core.ssmt import SSMTConfig, run_ssmt
 from repro.core.static import run_profile_guided
+from repro.parallel import (
+    SweepRunner,
+    build_grid,
+    merge_sweep,
+    parse_knob_value,
+)
 from repro.telemetry import TelemetrySession, write_bench_json
 from repro.verify import RULES, SimSanitizer, verify_suite
 from repro.verify.runner import DEFAULT_VERIFY_LENGTH
@@ -250,16 +261,19 @@ def cmd_experiment(args) -> int:
     for name in benchmarks:
         _check_benchmark(name)
     length = args.instructions
+    runner_kwargs = {"jobs": args.jobs, "cache_dir": args.cache_dir}
     json_results: Dict[str, Any] = {}
 
     if args.which == "intro":
-        speedups = intro_perfect_prediction(benchmarks, length)
+        speedups = intro_perfect_prediction(benchmarks, length,
+                                            **runner_kwargs)
         rows = [[k, round(v, 3)] for k, v in speedups.items()]
         json_results = {k: {"speedup": v} for k, v in speedups.items()}
         print(format_table(["bench", "speed-up"], rows,
                            title="Perfect-prediction headroom (§1)"))
     elif args.which == "fig6":
-        results = figure6_potential(benchmarks, trace_length=length)
+        results = figure6_potential(benchmarks, trace_length=length,
+                                    **runner_kwargs)
         rows = [[k] + [round(v[n], 3) for n in (4, 10, 16)]
                 for k, v in results.items()]
         json_results = {k: {f"n{n}": v[n] for n in (4, 10, 16)}
@@ -267,7 +281,8 @@ def cmd_experiment(args) -> int:
         print(format_table(["bench", "n=4", "n=10", "n=16"], rows,
                            title="Figure 6: potential speed-up"))
     elif args.which == "fig7":
-        results = figure7_realistic(benchmarks, trace_length=length)
+        results = figure7_realistic(benchmarks, trace_length=length,
+                                    **runner_kwargs)
         rows = [[r.benchmark, round(r.baseline_ipc, 2),
                  round(r.speedup_no_pruning, 3), round(r.speedup_pruning, 3),
                  round(r.speedup_overhead_only, 3)] for r in results]
@@ -296,7 +311,8 @@ def cmd_experiment(args) -> int:
                  for r in results},
                 title="Figure 7 (bars)"))
     elif args.which == "fig8":
-        realistic = figure7_realistic(benchmarks, trace_length=length)
+        realistic = figure7_realistic(benchmarks, trace_length=length,
+                                      **runner_kwargs)
         routines = figure8_routines(realistic)
         rows = [[k, round(v["size_no_pruning"], 2),
                  round(v["size_pruning"], 2),
@@ -308,7 +324,8 @@ def cmd_experiment(args) -> int:
             ["bench", "size np", "size p", "chain np", "chain p"],
             rows, title="Figure 8: routine size & dependence chain"))
     elif args.which == "fig9":
-        realistic = figure7_realistic(benchmarks, trace_length=length)
+        realistic = figure7_realistic(benchmarks, trace_length=length,
+                                      **runner_kwargs)
         timeliness = figure9_timeliness(realistic)
         rows = []
         for k, v in timeliness.items():
@@ -364,6 +381,62 @@ def cmd_experiment(args) -> int:
         })
         print(f"wrote {path}")
     return 0
+
+
+def cmd_sweep(args) -> int:
+    """Run a configuration grid through the parallel sweep runner."""
+    benchmarks = tuple(args.benchmarks) if args.benchmarks else BENCHMARK_NAMES
+    for name in benchmarks:
+        _check_benchmark(name)
+    if args.values and not args.knob:
+        raise SystemExit("--values requires --knob")
+    values = tuple(parse_knob_value(args.knob, raw) for raw in args.values) \
+        if args.knob else ()
+    tasks = build_grid(benchmarks, args.instructions,
+                       knob=args.knob, values=values,
+                       widths=tuple(args.widths or ()))
+    runner = SweepRunner(jobs=args.jobs, cache_dir=args.cache_dir,
+                         resume=args.resume, task_timeout=args.timeout,
+                         max_retries=args.retries)
+    outcome = runner.run(tasks)
+    merged = merge_sweep(outcome.results, context={
+        "benchmarks": list(benchmarks),
+        "instructions": args.instructions,
+        "knob": args.knob,
+        "values": list(values),
+        "widths": list(args.widths or ()),
+        "jobs": outcome.jobs,
+        "simulated": outcome.simulated,
+        "cache_hits": outcome.cache_hits,
+        "deduped": outcome.deduped,
+        "retries": outcome.retries,
+        "elapsed": round(outcome.elapsed, 3),
+    }, errors=outcome.errors)
+
+    rows = [[label, agg["mean_speedup"], agg["geomean_speedup"]]
+            for label, agg in merged["aggregates"].items()]
+    if rows:
+        print(format_table(["config", "mean speed-up", "geomean"], rows,
+                           title=f"Sweep over {len(benchmarks)} benchmarks "
+                                 f"({args.instructions} instructions)"))
+        print()
+    print(outcome.summary_line())
+    for key, reason in outcome.errors.items():
+        print(f"  failed {key[:16]}: {reason}", file=sys.stderr)
+
+    if args.json_out:
+        os.makedirs(os.path.dirname(args.json_out) or ".", exist_ok=True)
+        with open(args.json_out, "w") as handle:
+            json.dump(merged, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    if args.bench_out:
+        os.makedirs(args.bench_out, exist_ok=True)
+        path = os.path.join(args.bench_out, "BENCH_sweep.json")
+        write_bench_json(path, "sweep", merged["aggregates"],
+                         context=merged["context"])
+        print(f"wrote {path}")
+    return 1 if outcome.failures else 0
 
 
 def cmd_disasm(args) -> int:
@@ -442,6 +515,53 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--json-out", metavar="DIR",
                                    help="write a BENCH_<which>.json "
                                         "artifact into DIR")
+    experiment_parser.add_argument("--jobs", type=int, default=None,
+                                   help="process-pool workers for the "
+                                        "simulation grid (default: "
+                                        "$REPRO_JOBS or serial)")
+    experiment_parser.add_argument("--cache-dir", metavar="DIR",
+                                   help="on-disk result cache; repeated "
+                                        "runs skip completed points")
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="parallel configuration sweep with result caching")
+    _add_common(sweep_parser)
+    sweep_parser.add_argument("--benchmarks", nargs="*",
+                              help="subset (default: all 20)")
+    sweep_parser.add_argument("--knob", metavar="FIELD",
+                              help="SSMTConfig field to sweep (e.g. n, "
+                                   "training_interval, pruning)")
+    sweep_parser.add_argument("--values", nargs="*", default=[],
+                              metavar="V",
+                              help="settings for --knob (parsed by the "
+                                   "field's type)")
+    sweep_parser.add_argument("--widths", nargs="*", type=int, default=[],
+                              metavar="W",
+                              help="machine widths (fetch/issue/retire); "
+                                   "each gets its own baseline")
+    sweep_parser.add_argument("--jobs", type=int, default=None,
+                              help="process-pool workers (default: "
+                                   "$REPRO_JOBS or serial)")
+    sweep_parser.add_argument("--cache-dir", metavar="DIR",
+                              help="on-disk result cache keyed by task "
+                                   "key; re-runs skip completed points")
+    sweep_parser.add_argument("--resume", default=True,
+                              action=argparse.BooleanOptionalAction,
+                              help="read cached results (--no-resume "
+                                   "recomputes but still writes the cache)")
+    sweep_parser.add_argument("--timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="stall timeout: cancel outstanding "
+                                   "points when none completes in time")
+    sweep_parser.add_argument("--retries", type=int, default=1,
+                              help="pool rebuilds after worker crashes "
+                                   "before degrading to serial")
+    sweep_parser.add_argument("--json-out", metavar="PATH",
+                              help="write the merged repro.sweep/1 "
+                                   "artifact here")
+    sweep_parser.add_argument("--bench-out", metavar="DIR",
+                              help="write a BENCH_sweep.json trajectory "
+                                   "artifact into DIR")
 
     disasm_parser = sub.add_parser("disasm", help="disassemble a benchmark")
     disasm_parser.add_argument("benchmark")
@@ -499,6 +619,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "profile": cmd_profile,
     "experiment": cmd_experiment,
+    "sweep": cmd_sweep,
     "disasm": cmd_disasm,
     "report": cmd_report,
     "verify": cmd_verify,

@@ -55,13 +55,16 @@ class _Entry:
     __slots__ = ("key", "occurrences", "mispredicts", "difficult",
                  "promoted", "lru_stamp")
 
-    def __init__(self, key: PathKey, stamp: int):
+    def __init__(self, key: PathKey):
         self.key = key
         self.occurrences = 0
         self.mispredicts = 0
         self.difficult = False
         self.promoted = False
-        self.lru_stamp = stamp
+        # Stamped by ``update`` (the sole caller of ``_allocate``): a
+        # just-allocated entry and a just-hit entry take the stamp from
+        # the same assignment, so the two paths cannot diverge.
+        self.lru_stamp = 0
 
 
 @dataclass
@@ -143,15 +146,21 @@ class PathCache:
 
     def mark_promoted(self, key: PathKey, path_id: int, promoted: bool) -> None:
         """Set/clear the Promoted bit (called by the SSMT engine once the
-        Microthread Builder accepts the request or the routine is evicted)."""
+        Microthread Builder accepts the request or the routine is evicted).
+
+        Only *transitions* are counted: re-marking an already-promoted
+        entry, or clearing one that was never promoted (both reachable
+        from the MicroRAM-eviction path), must not move the counters, so
+        ``stats.promotions``/``demotions`` always reconcile with the
+        number of observed ``Promoted``-bit flips."""
         ways = self._sets[path_id & self._set_mask]
         entry = ways.get(key)
         if entry is not None:
-            entry.promoted = promoted
-            if promoted:
+            if promoted and not entry.promoted:
                 self.stats.promotions += 1
-            else:
+            elif entry.promoted and not promoted:
                 self.stats.demotions += 1
+            entry.promoted = promoted
 
     # -- allocation / replacement ----------------------------------------------
 
@@ -163,7 +172,7 @@ class PathCache:
                 self.stats.difficult_evictions += 1
             del ways[victim]
             self.stats.evictions += 1
-        entry = _Entry(key, self._stamp)
+        entry = _Entry(key)
         ways[key] = entry
         self.stats.allocations += 1
         return entry

@@ -1,0 +1,65 @@
+"""Parallel sweep engine: process-pool fan-out with on-disk result caching.
+
+The paper's evaluation sweeps many (workload x machine x mechanism)
+points; this package is the infrastructure that makes such sweeps cheap:
+
+* :mod:`repro.parallel.taskkey` — deterministic per-point task keys
+  (stable hash of workload spec + configs + code-schema version),
+* :mod:`repro.parallel.cache` — an on-disk result cache keyed by task
+  key, so re-runs and resumed sweeps skip completed points,
+* :mod:`repro.parallel.worker` — the picklable per-point simulation,
+* :mod:`repro.parallel.runner` — the process-pool runner (dedup, cache,
+  bounded crash retry, per-stall timeout, serial fallback),
+* :mod:`repro.parallel.sweep` — grid expansion and the merged
+  ``repro.sweep/1`` artifact.
+
+Every experiment driver (``repro sweep``, ``repro experiment``, the
+``repro.analysis.sweeps`` helpers, and the benchmark ablation suites)
+routes its simulations through :class:`SweepRunner`, so ``--jobs N`` /
+``$REPRO_JOBS`` and ``--cache-dir`` apply uniformly.  See
+``docs/telemetry.md`` ("Parallel sweeps") for the task-key/caching
+contract.
+"""
+
+from repro.parallel.taskkey import (
+    CODE_SCHEMA_VERSION,
+    TASK_KINDS,
+    SweepTask,
+    canonical_json,
+    task_key,
+)
+from repro.parallel.cache import POINT_SCHEMA, ResultCache
+from repro.parallel.worker import engine_metrics, point_ipc, run_task
+from repro.parallel.runner import (
+    JOBS_ENV,
+    SweepOutcome,
+    SweepRunner,
+    default_jobs,
+)
+from repro.parallel.sweep import (
+    SWEEP_SCHEMA,
+    build_grid,
+    merge_sweep,
+    parse_knob_value,
+)
+
+__all__ = [
+    "CODE_SCHEMA_VERSION",
+    "TASK_KINDS",
+    "SweepTask",
+    "canonical_json",
+    "task_key",
+    "POINT_SCHEMA",
+    "ResultCache",
+    "engine_metrics",
+    "point_ipc",
+    "run_task",
+    "JOBS_ENV",
+    "SweepOutcome",
+    "SweepRunner",
+    "default_jobs",
+    "SWEEP_SCHEMA",
+    "build_grid",
+    "merge_sweep",
+    "parse_knob_value",
+]

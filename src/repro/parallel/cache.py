@@ -1,0 +1,86 @@
+"""On-disk result cache for sweep points, keyed by task key.
+
+One JSON file per completed point, named ``<task_key>.json`` under the
+cache root.  Writes are atomic (temp file + ``os.replace``) so a killed
+sweep never leaves a torn entry; reads validate the payload's schema and
+embedded ``task_key`` and treat anything unreadable, foreign, or
+mismatched as a miss (the point simply re-runs).
+
+Because the task key already encodes the workload spec, both configs and
+:data:`~repro.parallel.taskkey.CODE_SCHEMA_VERSION`, a cache directory
+can be shared freely across sweeps, branches, and machines: a stale or
+incompatible entry is unreachable by construction, not filtered at read
+time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+#: Schema of one cached/returned sweep-point payload.
+POINT_SCHEMA = "repro.sweep.point/1"
+
+
+class ResultCache:
+    """Directory of ``<task_key>.json`` point payloads."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.invalid = 0  # unreadable or mismatched entries seen
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, or ``None`` on miss.
+
+        Corrupt or mismatched files count as misses (and are left in
+        place for post-mortems; a re-run overwrites them atomically).
+        """
+        path = self.path(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            if os.path.exists(path):
+                self.invalid += 1
+            self.misses += 1
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("schema") != POINT_SCHEMA
+                or payload.get("task_key") != key):
+            self.invalid += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        if payload.get("task_key") != key:
+            raise ValueError(f"payload task_key {payload.get('task_key')!r} "
+                             f"does not match cache key {key!r}")
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.root)
+                   if name.endswith(".json"))

@@ -1,0 +1,93 @@
+"""The per-point worker: one simulation in, one plain-JSON payload out.
+
+:func:`run_task` is the function the process pool executes.  It must
+stay module-level (picklable by reference) and must return only
+JSON-native data, because the same payload is (a) shipped back over the
+pool's pipe, (b) persisted by the result cache, and (c) compared
+bit-for-bit across serial, parallel, and cached executions.  To
+guarantee (c), every freshly computed payload is normalised through a
+JSON round-trip before it leaves the worker — a result that was never
+cached is byte-identical to one that was.
+
+The payload is ``RunReport``-compatible: its ``config``/``timing``/
+``metrics`` sections carry the same shapes (and, for ``metrics``, the
+same top-level prefixes) as ``repro.telemetry``'s per-run report, so
+sweep-level aggregation and single-run tooling read the same fields.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Any, Dict, Optional
+
+from repro.branch.unit import BranchPredictorComplex, oracle_complex
+from repro.core.oracle import run_potential
+from repro.core.ssmt import SSMTEngine, run_ssmt
+from repro.parallel.cache import POINT_SCHEMA
+from repro.parallel.taskkey import SweepTask
+from repro.uarch.timing import OoOTimingModel, TimingResult
+from repro.workloads import benchmark_trace
+
+
+def engine_metrics(engine: SSMTEngine) -> Dict[str, Any]:
+    """A serializable snapshot of every engine structure's statistics,
+    under the telemetry layer's prefixes (``path_cache``, ``builder``,
+    ``spawn``, ``prediction_cache``, ``microram``)."""
+    return {
+        "path_cache": dict(
+            engine.path_cache.stats.as_dict(),
+            occupancy=len(engine.path_cache),
+            difficult_entries=engine.path_cache.difficult_count(),
+        ),
+        "builder": engine.builder.stats.as_dict(),
+        "spawn": engine.spawner.stats.as_dict(),
+        "prediction_cache": engine.prediction_cache.stats.as_dict(),
+        "microram": engine.microram.as_dict(),
+        "prediction_kinds": dict(engine.prediction_kind_counts),
+        "microthread_correct": engine.correct_microthread_predictions,
+        "microthread_incorrect": engine.incorrect_microthread_predictions,
+        "throttled_paths": engine.throttled_paths,
+    }
+
+
+def point_ipc(payload: Dict[str, Any]) -> float:
+    """Full-precision IPC recomputed from the payload's integer counts
+    (the rounded ``timing.ipc`` field is for humans)."""
+    timing = payload["timing"]
+    cycles = timing["cycles"]
+    return timing["instructions"] / cycles if cycles else 0.0
+
+
+def run_task(task: SweepTask) -> Dict[str, Any]:
+    """Simulate one sweep point and return its result payload."""
+    trace = benchmark_trace(task.benchmark, task.instructions)
+    metrics: Optional[Dict[str, Any]] = None
+    result: TimingResult
+    if task.kind == "baseline":
+        result = OoOTimingModel(task.machine).run(
+            trace, BranchPredictorComplex())
+    elif task.kind == "oracle":
+        result = OoOTimingModel(task.machine).run(trace, oracle_complex())
+    elif task.kind == "potential":
+        result, _ = run_potential(trace, task.potential,
+                                  machine=task.machine)
+    else:  # ssmt (validated by SweepTask.__post_init__)
+        result, engine = run_ssmt(trace, task.config, machine=task.machine)
+        metrics = engine_metrics(engine)
+    payload: Dict[str, Any] = {
+        "schema": POINT_SCHEMA,
+        "task_key": task.key,
+        "kind": task.kind,
+        "label": task.label,
+        "benchmark": task.benchmark,
+        "instructions": task.instructions,
+        "config": asdict(task.config) if task.config is not None else None,
+        "machine": asdict(task.machine),
+        "timing": result.as_dict(),
+        "metrics": metrics,
+    }
+    # Normalise to JSON-native types (tuples -> lists, etc.) so fresh,
+    # pooled, and cached payloads compare bit-identically.
+    normalised: Dict[str, Any] = json.loads(json.dumps(payload))
+    return normalised

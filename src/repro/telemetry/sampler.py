@@ -29,14 +29,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 
 @dataclass
 class IntervalSample:
-    """One time-series row; all rates are over the sample's window."""
+    """One time-series row; all rates are over the sample's window.
+
+    ``cycles``, ``window_cycles`` and ``ipc`` are ``None`` when no
+    retire-cycle information was available for the row (a flushed final
+    window with neither a :class:`TimingResult` nor a live timing model
+    to read) — unknown, rather than a fake ``0`` that would read as a
+    stall."""
 
     index: int                    # sample ordinal, 0-based
     instructions: int             # cumulative retired instructions
-    cycles: int                   # cumulative retire cycle
+    cycles: Optional[int]         # cumulative retire cycle (None = unknown)
     window_instructions: int
-    window_cycles: int
-    ipc: float                    # window instructions / window cycles
+    window_cycles: Optional[int]
+    ipc: Optional[float]          # window instructions / window cycles
     branches: int                 # window conditional+indirect branches
     mispredict_rate: float        # window effective mispredicts / branches
     hw_mispredict_rate: float     # window hardware mispredicts / branches
@@ -96,21 +102,34 @@ class IntervalSampler:
     def flush(self, engine: "SSMTEngine",
               result: Optional["TimingResult"] = None) -> None:
         """Record the trailing partial window, if any instructions retired
-        since the last aligned sample (called at end of run)."""
-        if self._retired % self.every != 0:
-            cycles = result.cycles if result is not None \
-                else self._prev.cycles
-            self._record(engine, cycles, final=True)
+        since the last aligned sample (called at end of run).
+
+        The final row's retire cycle comes from ``result`` when given,
+        falling back to the engine's live timing result.  When neither
+        carries a usable cycle count the row's cycle fields are recorded
+        as unknown (``None``) instead of fabricating a zero-cycle window
+        (which used to surface as ``ipc=0.0`` — a phantom stall)."""
+        if self._retired % self.every == 0:
+            return
+        if result is None:
+            result = engine.live_timing_result()
+        cycles: Optional[int] = None
+        if result is not None and result.cycles > self._prev.cycles:
+            cycles = result.cycles
+        self._record(engine, cycles, final=True)
 
     # -- measurement -----------------------------------------------------------
 
-    def _record(self, engine: "SSMTEngine", retire_cycle: int,
+    def _record(self, engine: "SSMTEngine", retire_cycle: Optional[int],
                 final: bool) -> None:
         timing = engine.live_timing_result()
         prev = self._prev
+        cycles_known = retire_cycle is not None
         now = _Cumulative(
             instructions=self._retired,
-            cycles=retire_cycle,
+            # An unknown retire cycle carries the previous boundary
+            # forward so later windows stay consistent.
+            cycles=retire_cycle if retire_cycle is not None else prev.cycles,
         )
         if timing is not None:
             now.branches = (timing.conditional_branches
@@ -122,7 +141,8 @@ class IntervalSampler:
         now.pcache_misses = pstats.misses
 
         window_instructions = now.instructions - prev.instructions
-        window_cycles = max(0, now.cycles - prev.cycles)
+        window_cycles: Optional[int] = (max(0, now.cycles - prev.cycles)
+                                        if cycles_known else None)
         window_branches = now.branches - prev.branches
         window_lookups = ((now.pcache_hits - prev.pcache_hits)
                           + (now.pcache_misses - prev.pcache_misses))
@@ -131,11 +151,11 @@ class IntervalSampler:
         sample = IntervalSample(
             index=len(self.samples) + self.dropped,
             instructions=now.instructions,
-            cycles=now.cycles,
+            cycles=now.cycles if cycles_known else None,
             window_instructions=window_instructions,
             window_cycles=window_cycles,
-            ipc=round(window_instructions / window_cycles, 4)
-            if window_cycles else 0.0,
+            ipc=(round(window_instructions / window_cycles, 4)
+                 if window_cycles else 0.0) if cycles_known else None,
             branches=window_branches,
             mispredict_rate=round(
                 (now.effective_mispredicts - prev.effective_mispredicts)

@@ -114,6 +114,41 @@ class TestPromotionLogic:
         assert cache.stats.promotions == 1
         assert cache.stats.demotions == 1
 
+    def test_remark_promoted_counts_once(self):
+        """Re-marking an already-promoted entry is not a new promotion
+        (regression: the counter used to increment on every call)."""
+        cache = small_cache(training_interval=4)
+        train(cache, key(1), 1, [True] * 4)
+        cache.mark_promoted(key(1), 1, True)
+        cache.mark_promoted(key(1), 1, True)
+        assert cache.stats.promotions == 1
+        assert cache.stats.demotions == 0
+
+    def test_clear_never_promoted_is_not_a_demotion(self):
+        """Clearing an entry that was never promoted (the MicroRAM
+        eviction path calls mark_promoted(False) unconditionally) must
+        not count a spurious demotion."""
+        cache = small_cache(training_interval=4)
+        train(cache, key(1), 1, [True] * 4)
+        cache.mark_promoted(key(1), 1, False)
+        assert cache.stats.promotions == 0
+        assert cache.stats.demotions == 0
+
+    def test_counters_track_transitions_over_sequence(self):
+        cache = small_cache(training_interval=4)
+        train(cache, key(1), 1, [True] * 4)
+        for promoted in (True, True, False, False, True):
+            cache.mark_promoted(key(1), 1, promoted)
+        assert cache.stats.promotions == 2
+        assert cache.stats.demotions == 1
+
+    def test_mark_promoted_missing_entry_is_noop(self):
+        cache = small_cache()
+        cache.mark_promoted(key(9), 9, True)
+        cache.mark_promoted(key(9), 9, False)
+        assert cache.stats.promotions == 0
+        assert cache.stats.demotions == 0
+
 
 class TestReplacement:
     def test_difficulty_aware_lru_prefers_easy_victims(self):
@@ -147,6 +182,21 @@ class TestReplacement:
         for i in range(5):
             cache.update(key(i), 0, mispredicted=True)
         assert cache.stats.evictions == 3
+
+    def test_allocated_and_hit_entries_share_stamp_sequence(self):
+        """An allocation and a hit in the same update position receive
+        the same stamp value: both take the per-update stamp from the
+        single assignment in ``update`` (regression: ``_allocate`` used
+        to stamp at construction and then be overwritten)."""
+        cache = small_cache()
+        cache.update(key(1), 0, mispredicted=True)    # update 1: allocate
+        cache.update(key(2), 0, mispredicted=True)    # update 2: allocate
+        cache.update(key(1), 0, mispredicted=False)   # update 3: hit
+        assert cache.lookup(key(2), 0).lru_stamp == 2
+        assert cache.lookup(key(1), 0).lru_stamp == 3
+        # a fresh allocation continues the same sequence
+        cache.update(key(3), 0, mispredicted=True)    # update 4: allocate
+        assert cache.lookup(key(3), 0).lru_stamp == 4
 
 
 class TestConfigValidation:

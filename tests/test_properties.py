@@ -2,18 +2,47 @@
 invariants."""
 
 import random
+from types import SimpleNamespace
 
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.branch.base import SaturatingCounterTable
 from repro.core.microthread import MicroOp, topological_order
-from repro.core.path import path_id_hash
+from repro.core.path import PathKey, path_id_hash
+from repro.core.path_cache import PathCache, PathCacheConfig
 from repro.core.prb import PostRetirementBuffer
 from repro.core.prediction_cache import PredictionCache, PredictionCacheEntry
 from repro.isa.instructions import Instruction, Opcode
 from repro.sim.functional import alu_op, to_signed, to_unsigned
+from repro.telemetry import IntervalSampler
 from repro.valuepred import StridePredictor
+
+
+class _SamplerStubEngine:
+    """Just enough engine surface for the sampler's row read."""
+
+    class _Empty:
+        capacity = 8
+
+        def __init__(self, **attrs):
+            self.__dict__.update(attrs)
+
+        def __len__(self):
+            return 0
+
+        def difficult_count(self):
+            return 0
+
+    def __init__(self):
+        self.prediction_cache = self._Empty(
+            stats=SimpleNamespace(hits=0, misses=0))
+        self.path_cache = self._Empty()
+        self.spawner = SimpleNamespace(active=[])
+        self.microram = self._Empty()
+
+    def live_timing_result(self):
+        return None
 
 _MASK = (1 << 64) - 1
 
@@ -167,6 +196,68 @@ class TestPredictionCacheInvariants:
             cache.write(path_id, seq,
                         PredictionCacheEntry(True, 0, 0), current_seq=50)
             assert len(cache) <= 8
+
+
+class TestPathCachePromotionAccounting:
+    """stats.promotions/demotions must equal the number of observed
+    Promoted-bit flips across ``entries()`` snapshots, for any call
+    sequence (transition-only counting)."""
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.sampled_from(["mispredict", "correct", "promote", "demote"]),
+    ), max_size=150))
+    def test_counters_equal_observed_bit_flips(self, ops):
+        cache = PathCache(PathCacheConfig(
+            entries=8, assoc=2, training_interval=2,
+            difficulty_threshold=0.10))
+
+        def snapshot():
+            return {k: e.promoted for k, e in cache.entries()}
+
+        flips_up = flips_down = 0
+        prev = snapshot()
+        for idx, op in ops:
+            k = PathKey(term_pc=idx, branches=(idx,))
+            if op == "mispredict":
+                cache.update(k, idx, mispredicted=True)
+            elif op == "correct":
+                cache.update(k, idx, mispredicted=False)
+            else:
+                cache.mark_promoted(k, idx, op == "promote")
+            now = snapshot()
+            for key, promoted in now.items():
+                was = prev.get(key, False)
+                if promoted and not was:
+                    flips_up += 1
+                elif was and not promoted:
+                    flips_down += 1
+            prev = now
+        assert cache.stats.promotions == flips_up
+        assert cache.stats.demotions == flips_down
+
+
+class TestSamplerWindowTiling:
+    """Interval windows must tile the run exactly: the sum of
+    ``window_instructions`` over all samples (including the flushed
+    final row) equals the retired-instruction count."""
+
+    @given(st.integers(min_value=1, max_value=13),
+           st.integers(min_value=0, max_value=100),
+           st.booleans())
+    def test_windows_tile_exactly(self, every, retired, with_result):
+        sampler = IntervalSampler(every=every)
+        engine = _SamplerStubEngine()
+        for i in range(retired):
+            sampler.on_retire(engine, i, retire_cycle=i + 1)
+        result = (SimpleNamespace(cycles=retired + 5)
+                  if with_result else None)
+        sampler.flush(engine, result=result)
+        assert sum(s.window_instructions for s in sampler.samples) == retired
+        finals = [s for s in sampler.samples if s.final]
+        assert len(finals) == (1 if retired % every else 0)
+        if sampler.samples:
+            assert sampler.samples[-1].instructions == retired
 
 
 class TestTopologicalOrderInvariants:

@@ -343,6 +343,60 @@ class TestIntervalSamplerUnit:
         assert len(sampler) == 3
         assert sampler.dropped == 7
 
+    def test_flush_with_timing_result_uses_its_cycles(self):
+        sampler = IntervalSampler(every=10)
+        engine = _StubEngine()
+        for i in range(15):
+            sampler.on_retire(engine, i, retire_cycle=(i + 1) * 2)
+        sampler.flush(engine, result=SimpleNamespace(cycles=40))
+        last = sampler.samples[-1]
+        assert last.final
+        assert last.cycles == 40
+        assert last.window_cycles == 20       # boundary was at cycle 20
+        assert last.ipc == pytest.approx(5 / 20)
+
+    def test_flush_without_timing_marks_cycles_unknown(self):
+        """Regression: with no TimingResult the final row used to reuse
+        the previous boundary's cycle count, producing window_cycles=0
+        and ipc=0.0 — a phantom stall.  Unknown must be None."""
+        sampler = IntervalSampler(every=10)
+        engine = _StubEngine()                # live_timing_result() -> None
+        for i in range(15):
+            sampler.on_retire(engine, i, retire_cycle=i + 1)
+        sampler.flush(engine)
+        last = sampler.samples[-1]
+        assert last.final
+        assert last.window_instructions == 5
+        assert last.cycles is None
+        assert last.window_cycles is None
+        assert last.ipc is None
+
+    def test_flush_falls_back_to_live_timing_result(self):
+        sampler = IntervalSampler(every=10)
+        engine = _StubEngine()
+        engine.live_timing_result = lambda: SimpleNamespace(
+            cycles=33, conditional_branches=0, indirect_branches=0,
+            effective_mispredicts=0, hw_mispredicts=0)
+        for i in range(12):
+            sampler.on_retire(engine, i, retire_cycle=i + 1)
+        sampler.flush(engine)
+        last = sampler.samples[-1]
+        assert last.final
+        assert last.cycles == 33
+        assert last.window_cycles == 33 - 10
+
+    def test_flush_with_stale_cycles_is_unknown(self):
+        """A live result whose cycle count has not advanced past the
+        previous boundary cannot describe the final window."""
+        sampler = IntervalSampler(every=10)
+        engine = _StubEngine()
+        for i in range(12):
+            sampler.on_retire(engine, i, retire_cycle=i + 1)
+        sampler.flush(engine, result=SimpleNamespace(cycles=10))
+        last = sampler.samples[-1]
+        assert last.final
+        assert last.cycles is None and last.ipc is None
+
 
 # -- integration: session, report, CLI ----------------------------------------
 
