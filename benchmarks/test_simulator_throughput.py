@@ -10,8 +10,21 @@ attached :class:`~repro.telemetry.session.TelemetrySession` (sampler +
 tracer) may cost at most 10% over a detached run.  Measured means are
 written to ``BENCH_throughput.json`` (schema ``repro.bench/1``) so CI
 can archive the performance trajectory.
+
+Two entries guard the hot-path optimization pass (see
+``docs/performance.md``):
+
+* the committed **baseline** (``throughput_baseline.json``) — the seed
+  tree's SSMT throughput plus the post-optimization reference, both
+  normalized by a pure-Python calibration loop so they transfer across
+  machines — is replayed into ``BENCH_throughput.json`` alongside the
+  freshly **measured** point, and
+* a **regression gate** fails the run if measured normalized throughput
+  drops more than ``gate.max_regression_fraction`` below the committed
+  reference.
 """
 
+import json
 import os
 import time
 
@@ -26,6 +39,11 @@ from repro.workloads import benchmark_trace, build_benchmark
 
 BENCH = "gcc"
 LENGTH = 50_000
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "throughput_baseline.json")
+#: iterations of the calibration loop (matches the committed baseline)
+CALIBRATION_OPS = 2_000_000
 
 #: attached-telemetry slowdown budget (relative to detached)
 TELEMETRY_OVERHEAD_BUDGET = 0.10
@@ -105,6 +123,102 @@ def test_ssmt_telemetry_throughput(benchmark, trace):
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.instructions == LENGTH
     _record("ssmt_telemetry", benchmark)
+
+
+def _calibrate() -> float:
+    """Machine-speed yardstick: pure-Python integer ops per second.
+
+    The SSMT engine's throughput divided by this rate is stable across
+    machine speeds (it cancels CPU frequency and ambient load), which is
+    what makes a committed baseline meaningful on CI runners.  Best of
+    three so a scheduling hiccup cannot depress the yardstick.
+    """
+    best = None
+    for _ in range(3):
+        start = time.perf_counter()
+        acc = 0
+        for i in range(CALIBRATION_OPS):
+            acc = (acc + i) ^ (i >> 3)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return CALIBRATION_OPS / best
+
+
+def test_throughput_regression_gate(trace):
+    """Fail if SSMT throughput regresses against the committed baseline.
+
+    Replays the committed seed + optimized points into the artifact so
+    ``BENCH_throughput.json`` always shows the optimization trajectory
+    (baseline vs optimized vs measured-now), then gates the fresh
+    measurement against ``gate.reference_normalized_throughput``.
+    """
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)
+    assert baseline["schema"] == "repro.perf.baseline/1"
+
+    def run_once():
+        engine = SSMTEngine(SSMTConfig(),
+                            initial_memory=trace.initial_memory)
+        start = time.perf_counter()
+        OoOTimingModel().run(trace, BranchPredictorComplex(),
+                             listener=engine)
+        return time.perf_counter() - start
+
+    best = min(run_once() for _ in range(3))
+    calibration = _calibrate()
+    ips = LENGTH / best
+    normalized = ips / calibration
+
+    _RESULTS["ssmt_baseline_seed"] = {
+        "instructions_per_second":
+            baseline["seed"]["ssmt_instructions_per_second"],
+        "normalized_throughput": baseline["seed"]["normalized_throughput"],
+        "source": "committed baseline (pre-optimization tree)",
+    }
+    _RESULTS["ssmt_optimized_reference"] = {
+        "instructions_per_second":
+            baseline["optimized"]["ssmt_instructions_per_second"],
+        "normalized_throughput":
+            baseline["optimized"]["normalized_throughput"],
+        "source": "committed baseline (post-optimization tree)",
+    }
+    _RESULTS["ssmt_measured"] = {
+        "instructions_per_second": ips,
+        "normalized_throughput": normalized,
+        "calibration_ops_per_second": calibration,
+        "speedup_vs_seed":
+            normalized / baseline["seed"]["normalized_throughput"],
+    }
+
+    gate = baseline["gate"]
+    floor = (gate["reference_normalized_throughput"]
+             * (1.0 - gate["max_regression_fraction"]))
+    assert normalized >= floor, (
+        f"SSMT throughput regressed: normalized {normalized:.6f} is below "
+        f"the gate floor {floor:.6f} "
+        f"(reference {gate['reference_normalized_throughput']:.6f}, "
+        f"allowed regression {gate['max_regression_fraction']:.0%}; "
+        f"measured {ips:,.0f} insts/s at "
+        f"{calibration:,.0f} calibration ops/s)")
+
+
+def test_optimized_speedup_over_seed_baseline(trace):
+    """The optimization pass must hold its >=1.5x win over the seed tree.
+
+    Compares freshly measured normalized throughput against the
+    committed *seed* point — the cross-machine form of "simulation is
+    now at least 1.5x faster than before the ``repro.perf`` pass".
+    """
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)
+    measured = _RESULTS.get("ssmt_measured")
+    if measured is None:  # gate test did not run (e.g. -k selection)
+        pytest.skip("requires test_throughput_regression_gate results")
+    speedup = (measured["normalized_throughput"]
+               / baseline["seed"]["normalized_throughput"])
+    assert speedup >= 1.5, (
+        f"optimized-over-seed speedup {speedup:.2f}x fell below 1.5x")
 
 
 def test_telemetry_overhead_within_budget(trace):

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List
+from array import array
 
 
 def _check_power_of_two(value: int, what: str) -> None:
@@ -15,6 +15,15 @@ class SaturatingCounterTable:
 
     Counters start at the weak boundary between taken and not-taken
     (``2**(bits-1)``), i.e. weakly taken.
+
+    The counters live in a flat :class:`array.array` of machine integers
+    — one contiguous buffer instead of a Python list of boxed ints.  A
+    128K-entry gshare table drops from ~1 MB of pointers (plus shared
+    int objects) to 128 KB of bytes, and indexing avoids the per-element
+    object dereference on the predict/update hot path.  Counter values
+    up to 7 bits fit the signed-byte typecode; wider counters (never
+    used by the paper's configurations, but supported) fall back to
+    8-byte elements.
     """
 
     def __init__(self, entries: int, bits: int = 2):
@@ -26,7 +35,8 @@ class SaturatingCounterTable:
         self.max_value = (1 << bits) - 1
         self.threshold = 1 << (bits - 1)
         self.mask = entries - 1
-        self.table: List[int] = [self.threshold] * entries
+        typecode = "b" if bits <= 7 else "q"
+        self.table = array(typecode, [self.threshold]) * entries
 
     def predict(self, index: int) -> bool:
         return self.table[index & self.mask] >= self.threshold
@@ -36,12 +46,13 @@ class SaturatingCounterTable:
 
     def update(self, index: int, taken: bool) -> None:
         index &= self.mask
-        value = self.table[index]
+        table = self.table
+        value = table[index]
         if taken:
             if value < self.max_value:
-                self.table[index] = value + 1
+                table[index] = value + 1
         elif value > 0:
-            self.table[index] = value - 1
+            table[index] = value - 1
 
 
 class DirectionPredictor:
@@ -52,6 +63,18 @@ class DirectionPredictor:
 
     def update(self, pc: int, taken: bool) -> None:
         raise NotImplementedError
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Fused predict-then-train for the one-query-per-retire hot path.
+
+        Must be bit-identical (prediction *and* internal state) to
+        ``predict(pc)`` followed by ``update(pc, taken)``; subclasses
+        override it only to avoid recomputing shared table indices.
+        ``tests/test_perf.py`` property-checks the equivalence.
+        """
+        prediction = self.predict(pc)
+        self.update(pc, taken)
+        return prediction
 
 
 class AlwaysTakenPredictor(DirectionPredictor):

@@ -29,3 +29,13 @@ class GsharePredictor(DirectionPredictor):
     def update(self, pc: int, taken: bool) -> None:
         self.table.update(self._index(pc), taken)
         self.history = ((self.history << 1) | (1 if taken else 0)) & self.history_mask
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Fused path: computes the PC^history index once instead of
+        twice (prediction and state bit-identical to predict+update)."""
+        table = self.table
+        index = (pc ^ self.history) & table.mask
+        prediction = table.predict(index)
+        table.update(index, taken)
+        self.history = ((self.history << 1) | (1 if taken else 0)) & self.history_mask
+        return prediction

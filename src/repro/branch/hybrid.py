@@ -50,3 +50,39 @@ class HybridPredictor(DirectionPredictor):
             self.selector.update(self._selector_index(pc), gshare_pred == taken)
         self.gshare.update(pc, taken)
         self.pas.update(pc, taken)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Fused predict+train for the once-per-branch hot path.
+
+        The split ``predict``/``update`` pair computes each component's
+        table index and prediction twice (``update`` re-predicts both
+        components to train the selector).  Both components' state only
+        changes after all reads, so computing everything once is
+        bit-identical — prediction, component/selector state and the
+        ``used_*`` counters all match the split sequence.
+        """
+        gshare = self.gshare
+        pas = self.pas
+        g_table = gshare.table
+        g_index = (pc ^ gshare.history) & g_table.mask
+        gshare_pred = g_table.predict(g_index)
+        p_pht = pas.pht
+        p_index = pas._pht_index(pc)
+        pas_pred = p_pht.predict(p_index)
+        selector_index = pc & self.selector.mask
+        if self.selector.predict(selector_index):
+            self.used_gshare_count += 1
+            prediction = gshare_pred
+        else:
+            self.used_pas_count += 1
+            prediction = pas_pred
+        if gshare_pred != pas_pred:
+            self.selector.update(selector_index, gshare_pred == taken)
+        g_table.update(g_index, taken)
+        gshare.history = ((gshare.history << 1) | (1 if taken else 0)) \
+            & gshare.history_mask
+        p_pht.update(p_index, taken)
+        slot = pc & (pas.history_entries - 1)
+        pas.bht[slot] = ((pas.bht[slot] << 1) | (1 if taken else 0)) \
+            & pas.history_mask
+        return prediction

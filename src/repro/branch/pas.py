@@ -52,6 +52,17 @@ class PAsPredictor(DirectionPredictor):
         slot = pc & (self.history_entries - 1)
         self.bht[slot] = ((self.bht[slot] << 1) | (1 if taken else 0)) & self.history_mask
 
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Fused path: one PHT index computation (BHT read + hash) for
+        both the prediction and the training update."""
+        pht = self.pht
+        index = self._pht_index(pc)
+        prediction = pht.predict(index)
+        pht.update(index, taken)
+        slot = pc & (self.history_entries - 1)
+        self.bht[slot] = ((self.bht[slot] << 1) | (1 if taken else 0)) & self.history_mask
+        return prediction
+
     @property
     def total_entries(self) -> int:
         """Total PHT counters (for reporting against the paper's 128K)."""

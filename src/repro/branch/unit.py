@@ -87,7 +87,11 @@ class BranchPredictorComplex:
         pc = rec.pc
         if self._oracle:
             self.direction.prime(rec.taken)
-        predicted_taken = self.direction.predict(pc)
+        # Fused predict+train: the direction predictor trains on the
+        # retiring outcome either way, and it shares no state with the
+        # BTB, so folding the update into the predict call (one index
+        # computation instead of two) is observationally identical.
+        predicted_taken = self.direction.predict_and_update(pc, rec.taken)
         btb_miss = False
         if predicted_taken:
             predicted_target = self.btb.lookup(pc)
@@ -100,7 +104,6 @@ class BranchPredictorComplex:
         mispredicted = predicted_taken != rec.taken
         if mispredicted:
             self.conditional_mispredicts += 1
-        self.direction.update(pc, rec.taken)
         if rec.taken:
             self.btb.update(pc, rec.next_pc)
         return BranchOutcome(

@@ -8,7 +8,10 @@
   report (see ``docs/telemetry.md``),
 * ``trace`` — microthread lifecycle spans (promote → build → spawn →
   execute → outcome) on one benchmark,
-* ``profile`` — Table 1/2-style difficult-path profiling,
+* ``profile`` — Table 1/2-style difficult-path profiling; with
+  ``--perf`` it instead profiles the *simulator* under cProfile and
+  reports (or writes, with ``--out``) a per-subsystem time breakdown
+  (``repro.perf/1``; see ``docs/performance.md``),
 * ``experiment`` — regenerate one of the paper's tables/figures; with
   ``--json-out DIR`` it also writes a ``BENCH_<which>.json`` artifact;
   ``--jobs N`` fans simulations across a process pool,
@@ -236,6 +239,19 @@ def cmd_trace(args) -> int:
 
 def cmd_profile(args) -> int:
     name = _check_benchmark(args.benchmark)
+    if args.perf:
+        from repro.perf import ProfileHarness
+        report = ProfileHarness(name, args.instructions,
+                                telemetry=args.telemetry,
+                                top=args.top).run()
+        print(report.format_table())
+        payload = report.payload
+        print(f"\n{payload['instructions_per_second']:,.0f} simulated "
+              f"instructions/sec ({payload['wall_seconds']:.3f}s wall)")
+        if args.out:
+            report.write(args.out)
+            print(f"wrote {args.out}")
+        return 0
     events = collect_control_events(benchmark_trace(name, args.instructions))
     rows = []
     for n in args.n:
@@ -501,6 +517,20 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--n", type=int, nargs="+",
                                 default=[4, 10, 16])
     profile_parser.add_argument("--threshold", type=float, default=0.10)
+    profile_parser.add_argument("--perf", action="store_true",
+                                help="profile the simulator itself under "
+                                     "cProfile instead of the workload's "
+                                     "difficult paths")
+    profile_parser.add_argument("--out", metavar="PATH",
+                                help="with --perf: write the repro.perf/1 "
+                                     "JSON artifact here")
+    profile_parser.add_argument("--top", type=int, default=20,
+                                help="with --perf: top functions to keep "
+                                     "in the artifact")
+    profile_parser.add_argument("--telemetry", action="store_true",
+                                help="with --perf: attach a telemetry "
+                                     "session to measure instrumented-run "
+                                     "overhead")
 
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate a paper table/figure")

@@ -85,6 +85,16 @@ class PathTracker:
     terminating branch it returns the :class:`PathEvent` *before* folding
     the branch itself into the history (the path consists of branches
     *prior* to the terminator).
+
+    The ``Path_Id`` hash is maintained *incrementally*: appending a
+    branch applies one rotate-XOR step, and evicting the oldest branch
+    first XORs out its (fully rotated) contribution.  Each history
+    element's contribution to :func:`path_id_hash` is a pure rotation of
+    its masked PC — rotations compose by adding amounts mod the hash
+    width — so the sliding-window maintenance is exact, not
+    approximate.  This turns the per-terminating-branch O(n) hash
+    recomputation into O(1); ``tests/test_perf.py`` property-checks the
+    equivalence against the reference recompute.
     """
 
     def __init__(self, n: int, id_bits: int = DEFAULT_PATH_ID_BITS):
@@ -92,15 +102,37 @@ class PathTracker:
             raise ValueError("path length n must be positive")
         self.n = n
         self.id_bits = id_bits
-        self._history: Deque[Tuple[int, int]] = deque(maxlen=n)  # (pc, idx)
+        self._history: Deque[Tuple[int, int]] = deque()  # (pc, idx)
+        self._hash = 0
+        self._mask = (1 << id_bits) - 1
+        self._rot = _ROTATE % id_bits
+        # rotation accumulated by the oldest element of a full window
+        self._evict_rot = (self._rot * (n - 1)) % id_bits
 
     def observe(self, rec: DynamicInstruction, idx: int) -> Optional[PathEvent]:
         event = None
-        if rec.is_path_terminating:
+        inst = rec.inst
+        if inst.is_path_terminating:
             event = self._make_event(rec, idx)
-        if rec.is_taken_control:
-            self._history.append((rec.pc, idx))
+        if inst.is_control and rec.taken:
+            self._append(rec.pc, idx)
         return event
+
+    def _append(self, pc: int, idx: int) -> None:
+        history = self._history
+        bits = self.id_bits
+        mask = self._mask
+        h = self._hash
+        if len(history) == self.n:
+            old_pc = history.popleft()[0] & mask
+            rot = self._evict_rot
+            if rot:
+                old_pc = ((old_pc << rot) & mask) | (old_pc >> (bits - rot))
+            h ^= old_pc
+        rot = self._rot
+        h = ((h << rot) & mask) | (h >> (bits - rot))
+        self._hash = h ^ (pc & mask)
+        history.append((pc, idx))
 
     def _make_event(self, rec: DynamicInstruction, idx: int) -> PathEvent:
         branches = tuple(pc for pc, _ in self._history)
@@ -110,7 +142,7 @@ class PathTracker:
         key = PathKey(term_pc=rec.pc, branches=branches)
         return PathEvent(
             key=key,
-            path_id=path_id_hash(branches, self.id_bits),
+            path_id=self._hash,
             branch_idx=idx,
             scope_start_idx=scope_start,
             partial=partial,
@@ -122,7 +154,8 @@ class PathTracker:
         return tuple(pc for pc, _ in self._history)
 
     def current_path_id(self) -> int:
-        return path_id_hash(self.current_branches(), self.id_bits)
+        return self._hash
 
     def reset(self) -> None:
         self._history.clear()
+        self._hash = 0

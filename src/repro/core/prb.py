@@ -52,23 +52,31 @@ class PostRetirementBuffer:
     def insert(self, rec: DynamicInstruction, idx: int,
                value_confident: bool = False,
                address_confident: bool = False) -> PRBEntry:
-        """Insert a retiring instruction; returns its entry."""
+        """Insert a retiring instruction; returns its entry.
+
+        Runs once per retired instruction: producer positions are
+        resolved with the liveness floor hoisted out of the loop instead
+        of going through :meth:`_live_pos` per source.
+        """
         pos = self._next_pos
-        self._next_pos += 1
+        self._next_pos = pos + 1
         inst = rec.inst
+        reg_writer = self._reg_writer
+        floor = pos + 1 - self.capacity
         src_producers = tuple(
-            self._live_pos(self._reg_writer.get(src))
-            for src in inst.src_regs()
+            p if p is not None and p >= floor else None
+            for p in map(reg_writer.get, inst.srcs)
         )
         mem_producer = None
         if inst.is_load:
-            mem_producer = self._live_pos(self._mem_writer.get(rec.ea))
+            p = self._mem_writer.get(rec.ea)
+            mem_producer = p if p is not None and p >= floor else None
         entry = PRBEntry(rec, idx, pos, src_producers, mem_producer,
                          value_confident, address_confident)
         self._ring[pos % self.capacity] = entry
-        dest = inst.dest_reg()
+        dest = inst.dest
         if dest is not None:
-            self._reg_writer[dest] = pos
+            reg_writer[dest] = pos
         if inst.is_store:
             self._mem_writer[rec.ea] = pos
         return entry

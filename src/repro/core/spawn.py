@@ -195,6 +195,8 @@ class SpawnManager:
 
     def retire_past(self, idx: int, cycle: int = 0) -> None:
         """Drop bookkeeping for instances whose target has been passed."""
+        if not self.active:
+            return  # common case: nothing in flight, nothing to scan
         kept: List[ActiveMicrothread] = []
         for instance in self.active:
             if idx >= instance.target_seq:

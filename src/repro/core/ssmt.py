@@ -191,6 +191,24 @@ class SSMTEngine:
         self.throttled_paths = 0
         # repeated-violation rebuild policy state
         self._violation_counts: Dict[PathKey, int] = {}
+        # -- hot-path bindings -------------------------------------------
+        # ``on_retire``/``on_fetch`` run once per instruction; these
+        # bound methods avoid re-resolving two attribute hops per call.
+        # The subsystems are never reassigned after construction.
+        self._trainer_observe = self.trainer.observe
+        self._prb_insert = self.prb.insert
+        self._tracker_observe = self.tracker.observe
+        self._spawner_retire_past = self.spawner.retire_past
+        self._routines_at = self.microram.routines_at
+        #: all observability hooks detached — the telemetry-off fast
+        #: path through the retire loop skips their dispatch entirely
+        self._quiet = (event_log is None and sanitizer is None
+                       and telemetry is None)
+        #: per-retire telemetry callable, bound once (see
+        #: ``TelemetrySession.retire_hook`` for why the session's
+        #: pass-through ``on_retire`` is not on the hot path)
+        self._telemetry_retire = (telemetry.retire_hook
+                                  if telemetry is not None else None)
         if telemetry is not None:
             telemetry.attach(self)
 
@@ -209,7 +227,7 @@ class SSMTEngine:
 
     def on_fetch(self, idx: int, rec: DynamicInstruction, fetch_cycle: int,
                  engine: OoOTimingModel) -> None:
-        routines = self.microram.routines_at(rec.pc)
+        routines = self._routines_at(rec.pc)
         if not routines:
             return
         recent = self.tracker.current_branches()
@@ -296,11 +314,13 @@ class SSMTEngine:
     def on_retire(self, idx: int, rec: DynamicInstruction,
                   retire_cycle: int) -> None:
         inst = rec.inst
+        quiet = self._quiet  # all observability hooks detached
 
         # Memory-dependence violation: a store hits an address a live
         # microthread already read -> abort and rebuild (paper §4.2.4).
-        log = self.event_log
-        if inst.is_store and rec.ea is not None:
+        is_store = inst.is_store
+        if is_store and rec.ea is not None:
+            log = self.event_log
             for violated in self.spawner.on_store_retired(rec.ea, idx,
                                                           retire_cycle):
                 self.prediction_cache.invalidate_writer(violated)
@@ -319,7 +339,7 @@ class SSMTEngine:
 
         # Path_History deviation aborts (paper §4.3.2).  The SpawnManager
         # emits the ``active_abort`` event itself.
-        if inst.is_control and rec.taken:
+        if inst.is_control and rec.taken and self.spawner.active:
             for aborted in self.spawner.on_taken_control(rec.pc, idx,
                                                          retire_cycle):
                 if aborted.arrival_cycle > retire_cycle:
@@ -330,42 +350,45 @@ class SSMTEngine:
         # This happens before promotion handling so that, when the builder
         # is invoked for this branch, the branch is the PRB's youngest
         # entry ("as it just retired").
-        value_conf, addr_conf = self.trainer.observe(rec)
-        self.prb.insert(rec, idx, value_conf, addr_conf)
+        value_conf, addr_conf = self._trainer_observe(rec)
+        self._prb_insert(rec, idx, value_conf, addr_conf)
 
         # Path Cache training and promotion/demotion (paper §4.1, §4.2.1).
-        event = self.tracker.observe(rec, idx)
+        event = self._tracker_observe(rec, idx)
         if event is not None:
             # Always consume the stashed outcome, including for partial
             # (warm-up) events, so the stash cannot accumulate entries.
             mispredicted = self._pending_mispredict.pop(idx, False)
-        if event is not None and not event.partial:
-            classify_key, classify_id = self._classification_identity(
-                event.key, event.path_id)
-            promotion = self.path_cache.update(classify_key, classify_id,
-                                               mispredicted)
-            if self.sanitizer is not None:
-                self.sanitizer.note_path_update(self, classify_key,
-                                                classify_id)
-            if promotion is not None:
-                if promotion.promote:
-                    self._promote(event, retire_cycle)
-                else:
-                    self._demote(classify_key, classify_id)
+            if not event.partial:
+                classify_key, classify_id = self._classification_identity(
+                    event.key, event.path_id)
+                promotion = self.path_cache.update(classify_key, classify_id,
+                                                   mispredicted)
+                if self.sanitizer is not None:
+                    self.sanitizer.note_path_update(self, classify_key,
+                                                    classify_id)
+                if promotion is not None:
+                    if promotion.promote:
+                        self._promote(event, retire_cycle)
+                    else:
+                        self._demote(classify_key, classify_id)
 
-        self.spawner.retire_past(idx, retire_cycle)
+        self._spawner_retire_past(idx, retire_cycle)
 
         # Architectural state for microthread live-ins / memory view.
-        dest = inst.dest_reg()
+        dest = inst.dest
         if dest is not None:
             self.reg_values[dest] = rec.result
-        if inst.is_store and rec.ea is not None:
+        if is_store and rec.ea is not None:
             self.memory[rec.ea] = rec.result
 
+        if quiet:
+            return  # fast path: no sanitizer / telemetry dispatch
         if self.sanitizer is not None:
             self.sanitizer.on_retire(self, idx, rec)
-        if self.telemetry is not None:
-            self.telemetry.on_retire(self, idx, rec, retire_cycle)
+        telemetry_retire = self._telemetry_retire
+        if telemetry_retire is not None:
+            telemetry_retire(self, idx, retire_cycle)
 
     # -- run lifecycle (timing-model listener extensions) ------------------------
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from enum import IntEnum
 from typing import Optional, Tuple
 
-from repro.isa.registers import REG_ZERO, register_name
+from repro.isa.registers import REG_RA, REG_ZERO, register_name
 
 
 class Opcode(IntEnum):
@@ -111,6 +111,63 @@ MICRO_OPS = frozenset({Opcode.STORE_PCACHE, Opcode.VP_INST, Opcode.AP_INST})
 PATH_TERMINATING_OPS = CONDITIONAL_BRANCHES | INDIRECT_JUMPS
 
 
+def _classify_dest(op: Opcode, rd: int) -> Optional[int]:
+    """Static destination register of ``(op, rd)``; ``r0`` writes are None."""
+    if op in ALU_OPS or op in ALU_IMM_OPS or op == Opcode.LD:
+        return rd if rd != REG_ZERO else None
+    if op == Opcode.CALL:
+        return REG_RA
+    if op in (Opcode.VP_INST, Opcode.AP_INST):
+        return rd if rd != REG_ZERO else None
+    return None
+
+
+def _classify_srcs(op: Opcode, rs1: int, rs2: int) -> Tuple[int, ...]:
+    """Static source registers of ``(op, rs1, rs2)``, ``r0`` excluded."""
+    if op in ALU_OPS:
+        srcs = (rs1, rs2)
+    elif op in (Opcode.LI, Opcode.NOP, Opcode.HALT, Opcode.JMP, Opcode.CALL,
+                Opcode.VP_INST, Opcode.AP_INST):
+        srcs = ()
+    elif op in ALU_IMM_OPS:  # ADDI..SLTI, MOV
+        srcs = (rs1,)
+    elif op == Opcode.LD:
+        srcs = (rs1,)
+    elif op == Opcode.ST:
+        srcs = (rs1, rs2)
+    elif op in CONDITIONAL_BRANCHES:
+        srcs = (rs1, rs2)
+    elif op == Opcode.JR:
+        srcs = (rs1,)
+    elif op == Opcode.RET:
+        srcs = (REG_RA,)
+    elif op == Opcode.STORE_PCACHE:
+        srcs = (rs1,)
+    else:
+        srcs = ()
+    return tuple(r for r in srcs if r != REG_ZERO)
+
+
+#: per-opcode classification flags, computed once at import:
+#: (is_control, is_conditional_branch, is_indirect, is_path_terminating,
+#:  is_call, is_return, is_load, is_store, is_memory, is_micro_op)
+_OP_FLAGS = {
+    op: (
+        op in CONTROL_OPS,
+        op in CONDITIONAL_BRANCHES,
+        op in INDIRECT_JUMPS,
+        op in PATH_TERMINATING_OPS,
+        op == Opcode.CALL,
+        op == Opcode.RET,
+        op == Opcode.LD,
+        op == Opcode.ST,
+        op in MEMORY_OPS,
+        op in MICRO_OPS,
+    )
+    for op in Opcode
+}
+
+
 @dataclass
 class Instruction:
     """One static instruction.
@@ -119,9 +176,24 @@ class Instruction:
     During assembly it may temporarily be a label string; after linking it
     is always an ``int`` word address.  ``pc`` is assigned when the
     instruction is placed into a :class:`~repro.isa.program.Program`.
+
+    Classification flags (``is_control``, ``is_load``, ...) and the
+    dataflow sets (``dest``, ``srcs``) are fixed by ``(opcode, rd, rs1,
+    rs2)`` and precomputed at construction, because the timing model and
+    the SSMT retire loop read them once per *dynamic* instance — the
+    hottest accesses in the whole simulator.  Opcode and register fields
+    must therefore not be mutated after construction.
     """
 
-    __slots__ = ("opcode", "rd", "rs1", "rs2", "imm", "target", "pc", "tag")
+    __slots__ = (
+        "opcode", "rd", "rs1", "rs2", "imm", "target", "pc", "tag",
+        # precomputed classification (plain attributes, hot-path reads)
+        "is_control", "is_conditional_branch", "is_indirect",
+        "is_path_terminating", "is_call", "is_return", "is_load",
+        "is_store", "is_memory", "is_micro_op",
+        # precomputed dataflow
+        "dest", "srcs",
+    )
 
     opcode: Opcode
     rd: int
@@ -151,49 +223,12 @@ class Instruction:
         self.target = target
         self.pc = pc
         self.tag = tag
-
-    # -- classification -------------------------------------------------
-
-    @property
-    def is_control(self) -> bool:
-        return self.opcode in CONTROL_OPS
-
-    @property
-    def is_conditional_branch(self) -> bool:
-        return self.opcode in CONDITIONAL_BRANCHES
-
-    @property
-    def is_indirect(self) -> bool:
-        return self.opcode in INDIRECT_JUMPS
-
-    @property
-    def is_path_terminating(self) -> bool:
-        """True for branches that can terminate a difficult path."""
-        return self.opcode in PATH_TERMINATING_OPS
-
-    @property
-    def is_call(self) -> bool:
-        return self.opcode == Opcode.CALL
-
-    @property
-    def is_return(self) -> bool:
-        return self.opcode == Opcode.RET
-
-    @property
-    def is_load(self) -> bool:
-        return self.opcode == Opcode.LD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opcode == Opcode.ST
-
-    @property
-    def is_memory(self) -> bool:
-        return self.opcode in MEMORY_OPS
-
-    @property
-    def is_micro_op(self) -> bool:
-        return self.opcode in MICRO_OPS
+        (self.is_control, self.is_conditional_branch, self.is_indirect,
+         self.is_path_terminating, self.is_call, self.is_return,
+         self.is_load, self.is_store, self.is_memory,
+         self.is_micro_op) = _OP_FLAGS[opcode]
+        self.dest: Optional[int] = _classify_dest(opcode, rd)
+        self.srcs: Tuple[int, ...] = _classify_srcs(opcode, rs1, rs2)
 
     # -- dataflow --------------------------------------------------------
 
@@ -202,44 +237,11 @@ class Instruction:
 
         Writes to ``r0`` are discarded and reported as ``None``.
         """
-        op = self.opcode
-        if op in ALU_OPS or op in ALU_IMM_OPS or op == Opcode.LD:
-            return self.rd if self.rd != REG_ZERO else None
-        if op == Opcode.CALL:
-            from repro.isa.registers import REG_RA
-
-            return REG_RA
-        if op in (Opcode.VP_INST, Opcode.AP_INST):
-            return self.rd if self.rd != REG_ZERO else None
-        return None
+        return self.dest
 
     def src_regs(self) -> Tuple[int, ...]:
         """Architectural registers read, ``r0`` excluded."""
-        op = self.opcode
-        if op in ALU_OPS:
-            srcs = (self.rs1, self.rs2)
-        elif op in (Opcode.LI, Opcode.NOP, Opcode.HALT, Opcode.JMP, Opcode.CALL,
-                    Opcode.VP_INST, Opcode.AP_INST):
-            srcs = ()
-        elif op in ALU_IMM_OPS:  # ADDI..SLTI, MOV
-            srcs = (self.rs1,)
-        elif op == Opcode.LD:
-            srcs = (self.rs1,)
-        elif op == Opcode.ST:
-            srcs = (self.rs1, self.rs2)
-        elif op in CONDITIONAL_BRANCHES:
-            srcs = (self.rs1, self.rs2)
-        elif op == Opcode.JR:
-            srcs = (self.rs1,)
-        elif op == Opcode.RET:
-            from repro.isa.registers import REG_RA
-
-            srcs = (REG_RA,)
-        elif op == Opcode.STORE_PCACHE:
-            srcs = (self.rs1,)
-        else:
-            srcs = ()
-        return tuple(r for r in srcs if r != REG_ZERO)
+        return self.srcs
 
     # -- display ---------------------------------------------------------
 

@@ -1,0 +1,25 @@
+"""Profiling and performance tooling for the simulator itself.
+
+This package is about *simulator* performance (wall-clock instructions
+per second), not simulated performance (IPC).  It provides:
+
+* :class:`~repro.perf.harness.ProfileHarness` — run a workload under
+  ``cProfile``, aggregate time per simulator subsystem and emit a
+  ``repro.perf/1`` JSON artifact (``repro profile <bench> --perf``).
+* :class:`~repro.perf.reference.ReferenceSaturatingCounterTable` — the
+  original list-backed counter table, kept as the semantics oracle for
+  the ``array``-backed fast path (``tests/test_perf.py``).
+
+See ``docs/performance.md`` for the profiling workflow and the hot-path
+inventory that the current optimizations came from.
+"""
+
+from repro.perf.harness import ProfileHarness, ProfileReport, SUBSYSTEMS
+from repro.perf.reference import ReferenceSaturatingCounterTable
+
+__all__ = [
+    "ProfileHarness",
+    "ProfileReport",
+    "SUBSYSTEMS",
+    "ReferenceSaturatingCounterTable",
+]

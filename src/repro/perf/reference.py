@@ -1,0 +1,50 @@
+"""Reference (pre-optimization) implementations kept as semantics oracles.
+
+The hot-path rewrites in ``repro.branch.base`` and ``repro.core.path``
+must be *bit-identical* to what they replaced — a branch predictor that
+drifts by one counter tick changes every downstream number in the paper
+reproduction.  The original lives here so property tests can drive both
+implementations with the same random streams and compare predictions and
+counter state exactly (``tests/test_perf.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class ReferenceSaturatingCounterTable:
+    """The seed list-backed table of n-bit saturating counters.
+
+    Byte-for-byte the ``SaturatingCounterTable`` implementation shipped
+    with before it moved to a flat ``array`` backing store: counters
+    start at the weak taken boundary (``2**(bits-1)``) and saturate at
+    ``0`` and ``2**bits - 1``.
+    """
+
+    def __init__(self, entries: int, bits: int = 2):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if bits < 1:
+            raise ValueError("counter width must be >= 1")
+        self.entries = entries
+        self.bits = bits
+        self.max_value = (1 << bits) - 1
+        self.threshold = 1 << (bits - 1)
+        self.mask = entries - 1
+        self.table: List[int] = [self.threshold] * entries
+
+    def predict(self, index: int) -> bool:
+        return self.table[index & self.mask] >= self.threshold
+
+    def counter(self, index: int) -> int:
+        return self.table[index & self.mask]
+
+    def update(self, index: int, taken: bool) -> None:
+        index &= self.mask
+        value = self.table[index]
+        if taken:
+            if value < self.max_value:
+                self.table[index] = value + 1
+        elif value > 0:
+            self.table[index] = value - 1

@@ -23,7 +23,7 @@ registry-native histograms with routine shapes and lifecycle latencies.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.report import RunReport
@@ -153,6 +153,21 @@ class TelemetrySession:
                   rec: "DynamicInstruction", retire_cycle: int) -> None:
         if self.sampler is not None:
             self.sampler.on_retire(engine, idx, retire_cycle)
+
+    @property
+    def retire_hook(self) -> Optional[Callable[["SSMTEngine", int, int], None]]:
+        """Bound per-retire callable, or None when nothing samples retires.
+
+        The engine binds this once at attach and calls it directly —
+        ``(engine, idx, retire_cycle)`` per retired instruction — instead
+        of routing through :meth:`on_retire`.  One pass-through frame per
+        retire is ~10% of the whole detached engine's per-instruction
+        budget, which is exactly the overhead contract
+        ``benchmarks/test_simulator_throughput.py`` enforces.  Subclasses
+        adding per-retire work must override this, not just
+        :meth:`on_retire`.
+        """
+        return self.sampler.on_retire if self.sampler is not None else None
 
     def on_promote(self, event: "PathEvent", cycle: int) -> None:
         if self.tracer is not None:

@@ -53,6 +53,8 @@ from repro.uarch.config import MachineConfig, TABLE3_BASELINE
 class PredictionEntry:
     """A microthread prediction as seen by the front-end."""
 
+    __slots__ = ("taken", "target", "arrival_cycle")
+
     taken: bool
     target: int
     arrival_cycle: int
@@ -158,6 +160,8 @@ class OoOTimingModel:
         self.predictor = predictor
         reg_ready = self.reg_ready
         caches = self.caches
+        alloc_issue_slot = self.alloc_issue_slot
+        load_latency = caches.load_latency
         frontend = cfg.frontend_depth
         redirect = cfg.redirect_after_resolve
         window = cfg.window_size
@@ -233,7 +237,7 @@ class OoOTimingModel:
             # ---- issue ---------------------------------------------------------
             inst = rec.inst
             ready = dispatch
-            for src in inst.src_regs():
+            for src in inst.srcs:
                 t = reg_ready[src]
                 if t > ready:
                     ready = t
@@ -242,21 +246,21 @@ class OoOTimingModel:
                 t = last_store_complete.get(rec.ea, 0)
                 if t > ready:
                     ready = t
-                issue = self.alloc_issue_slot(ready)
-                complete = issue + caches.load_latency(rec.ea, issue)
+                issue = alloc_issue_slot(ready)
+                complete = issue + load_latency(rec.ea, issue)
             elif op == Opcode.ST:
-                issue = self.alloc_issue_slot(ready)
+                issue = alloc_issue_slot(ready)
                 caches.store(rec.ea)
                 complete = issue + cfg.store_latency
                 last_store_complete[rec.ea] = complete
             elif op == Opcode.MUL:
-                issue = self.alloc_issue_slot(ready)
+                issue = alloc_issue_slot(ready)
                 complete = issue + cfg.mul_latency
             else:
-                issue = self.alloc_issue_slot(ready)
+                issue = alloc_issue_slot(ready)
                 complete = issue + cfg.int_latency
 
-            dest = inst.dest_reg()
+            dest = inst.dest
             if dest is not None:
                 reg_ready[dest] = complete
 

@@ -33,11 +33,12 @@ class PredictorTrainer:
     def observe(self, rec: DynamicInstruction) -> tuple:
         """Train on one retired instruction; return prior confidence flags."""
         pc = rec.pc
-        value_confident = self.value_predictor.is_confident(pc)
+        value_predictor = self.value_predictor
+        value_confident = value_predictor.is_confident(pc)
         address_confident = False
         inst = rec.inst
-        if inst.dest_reg() is not None:
-            self.value_predictor.train(pc, rec.result)
+        if inst.dest is not None:
+            value_predictor.train(pc, rec.result)
         if inst.is_load:
             address_confident = self.address_predictor.is_confident(pc)
             # Base register value = effective address minus displacement.

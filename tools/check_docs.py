@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Docs consistency checks, run as a CI job (and runnable locally).
+
+Three checks keep the documentation honest as the code moves:
+
+1. every ``docs/*.md`` file is linked from the README (no orphan docs),
+   and every ``docs/...`` link in the README resolves to a real file;
+2. every ``repro <subcommand>`` named anywhere in the docs or README is
+   a real CLI subcommand (and every real subcommand is documented
+   somewhere);
+3. the bash quickstart fences in the README and ``docs/performance.md``
+   only invoke known subcommands with flags the parser actually accepts
+   (checked by dry-parsing each ``python -m repro ...`` line).
+
+Exits non-zero with a list of violations.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+README = REPO / "README.md"
+DOCS = REPO / "docs"
+
+
+def _cli_subcommands() -> set:
+    from repro import cli
+    return set(cli._COMMANDS)
+
+
+def check_docs_linked(errors: list) -> None:
+    readme = README.read_text()
+    linked = set(re.findall(r"\(docs/([\w.-]+\.md)\)", readme))
+    on_disk = {p.name for p in DOCS.glob("*.md")}
+    for name in sorted(on_disk - linked):
+        errors.append(f"docs/{name} exists but is not linked from README.md")
+    for name in sorted(linked - on_disk):
+        errors.append(f"README.md links docs/{name}, which does not exist")
+
+
+def _mentioned_subcommands(text: str) -> set:
+    # Matches "repro <word>" in prose and "python -m repro <word>" in
+    # fences; "--flag" arguments and placeholders like <command> don't
+    # capture, and the lookbehind keeps Python "from repro import ..."
+    # lines from reading as a subcommand.
+    return set(re.findall(r"(?<!from )\brepro ([a-z][a-z0-9_-]*)\b", text))
+
+
+def check_subcommands_exist(errors: list) -> None:
+    real = _cli_subcommands()
+    mentioned: dict = {}
+    for path in [README, *sorted(DOCS.glob("*.md"))]:
+        for sub in _mentioned_subcommands(path.read_text()):
+            mentioned.setdefault(sub, []).append(path.name)
+    for sub, sources in sorted(mentioned.items()):
+        if sub not in real:
+            errors.append(
+                f"'repro {sub}' is documented in {', '.join(sources)} but "
+                f"is not a CLI subcommand (have: {', '.join(sorted(real))})")
+    for sub in sorted(real - set(mentioned)):
+        errors.append(f"CLI subcommand 'repro {sub}' is documented nowhere "
+                      f"in README.md or docs/")
+
+
+def _bash_fences(text: str) -> list:
+    return re.findall(r"```bash\n(.*?)```", text, flags=re.DOTALL)
+
+
+def _repro_invocations(fence: str) -> list:
+    """Complete ``python -m repro ...`` command lines (joining \\ splits)."""
+    lines: list = []
+    for raw in fence.splitlines():
+        line = raw.split("#")[0].rstrip()
+        if lines and lines[-1].endswith("\\"):
+            lines[-1] = lines[-1][:-1].rstrip() + " " + line.strip()
+        elif line.strip():
+            lines.append(line.strip())
+    return [ln for ln in lines if ln.startswith("python -m repro ")]
+
+
+def check_quickstart_fences(errors: list) -> None:
+    from repro import cli
+
+    parser = cli.build_parser() if hasattr(cli, "build_parser") else None
+    for path in (README, DOCS / "performance.md"):
+        for fence in _bash_fences(path.read_text()):
+            for command in _repro_invocations(fence):
+                argv = command.split()[3:]     # strip "python -m repro"
+                argv = [a for a in argv if not a.startswith("<")]
+                if parser is None:
+                    continue
+                try:
+                    parser.parse_args(argv)
+                except SystemExit:
+                    errors.append(
+                        f"{path.name}: quickstart line does not parse "
+                        f"against the CLI: {command!r}")
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    errors: list = []
+    check_docs_linked(errors)
+    check_subcommands_exist(errors)
+    check_quickstart_fences(errors)
+    if errors:
+        print("docs check failed:")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print("docs check passed: links, subcommands and quickstart fences "
+          "are consistent with the CLI")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
