@@ -35,3 +35,15 @@ class TargetCache:
         # Fold target bits into the path history so successive indirect
         # branches see distinct contexts.
         self.history = ((self.history << 2) ^ target) & self.history_mask
+
+    def predict_and_update(self, pc: int, target: int) -> int:
+        """Fused lookup + train: one index computation per retired
+        branch.  Bit-identical to predict() followed by update() — the
+        lookup reads pre-update state, and the history fold happens
+        after both sides of the shared index are consumed."""
+        index = (pc ^ self.history) & self.mask
+        targets = self._targets
+        predicted = targets[index]
+        targets[index] = target
+        self.history = ((self.history << 2) ^ target) & self.history_mask
+        return predicted

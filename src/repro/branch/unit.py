@@ -126,24 +126,24 @@ class BranchPredictorComplex:
     def _process_return(self, rec: DynamicInstruction) -> BranchOutcome:
         self.return_count += 1
         predicted_target = self.ras.pop()
+        # The cache trains on every return; its prediction only matters
+        # on a RAS underflow (the lookup reads pre-update state, so
+        # always fusing is state-identical to the predict-on-miss form).
+        cached = self.target_cache.predict_and_update(rec.pc, rec.next_pc)
         if predicted_target is None:
-            predicted_target = self.target_cache.predict(rec.pc)
+            predicted_target = cached
         mispredicted = predicted_target != rec.next_pc
         if mispredicted:
             self.return_mispredicts += 1
-        self.target_cache.update(rec.pc, rec.next_pc)
         return BranchOutcome(True, predicted_target, True, rec.next_pc, mispredicted)
 
     def _process_indirect(self, rec: DynamicInstruction) -> BranchOutcome:
         self.indirect_count += 1
-        if self._oracle:
-            predicted_target = rec.next_pc
-        else:
-            predicted_target = self.target_cache.predict(rec.pc)
+        cached = self.target_cache.predict_and_update(rec.pc, rec.next_pc)
+        predicted_target = rec.next_pc if self._oracle else cached
         mispredicted = predicted_target != rec.next_pc
         if mispredicted:
             self.indirect_mispredicts += 1
-        self.target_cache.update(rec.pc, rec.next_pc)
         return BranchOutcome(True, predicted_target, True, rec.next_pc, mispredicted)
 
     # -- reporting ----------------------------------------------------------

@@ -21,7 +21,11 @@
 * ``disasm`` — disassemble a generated benchmark,
 * ``verify`` — statically verify every built microthread (and, with
   ``--sanitize``, check runtime invariants); exits non-zero on errors
-  so CI can gate on it.
+  so CI can gate on it,
+* ``lint`` — AST-based determinism / hot-path / schema-governance
+  analysis of the codebase itself, including the fingerprint drift gate
+  (``--update-manifest`` refreshes it; see ``docs/lint.md``); exits
+  non-zero on errors so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -194,6 +198,31 @@ def cmd_verify(args) -> int:
         if r.sanitizer_report is not None and r.sanitizer_report.errors:
             print(r.sanitizer_report.format())
     return 1 if failing else 0
+
+
+def cmd_lint(args) -> int:
+    """Static analysis of the repo itself (see docs/lint.md)."""
+    from repro.lint import LINT_RULES, LintEngine
+
+    if args.rules:
+        rows = [[rule, text.split(":")[0], text.split(": ", 1)[1]]
+                for rule, text in sorted(LINT_RULES.items())]
+        print(format_table(["rule", "name", "description"], rows,
+                           title="Lint rules"))
+        return 0
+    engine = LintEngine(args.root, baseline_path=args.baseline,
+                        manifest_path=args.manifest,
+                        rules=args.select or None)
+    if args.update_manifest:
+        count = engine.update_manifest()
+        print(f"wrote {engine.manifest_path} ({count} modules)")
+        return 0
+    report = engine.run()
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return 0 if report.ok() else 1
 
 
 def cmd_trace(args) -> int:
@@ -616,6 +645,35 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--rules", action="store_true",
                                help="list every rule id and exit")
 
+    lint_parser = sub.add_parser(
+        "lint",
+        help="AST-based determinism / hot-path / schema-governance "
+             "analysis of the codebase (see docs/lint.md)")
+    default_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    lint_parser.add_argument("--root", default=default_root,
+                             metavar="DIR",
+                             help="repo root to lint (default: the "
+                                  "checkout this package lives in)")
+    lint_parser.add_argument("--format", choices=["text", "json"],
+                             default="text",
+                             help="report format (json carries the "
+                                  "repro.lint/1 schema)")
+    lint_parser.add_argument("--select", nargs="*", metavar="RULE",
+                             help="restrict to these rule ids")
+    lint_parser.add_argument("--baseline", metavar="PATH",
+                             help="suppression baseline (default: "
+                                  "<root>/lint-baseline.json)")
+    lint_parser.add_argument("--manifest", metavar="PATH",
+                             help="fingerprint manifest (default: "
+                                  "<root>/lint-fingerprints.json)")
+    lint_parser.add_argument("--update-manifest", action="store_true",
+                             help="refresh the fingerprint manifest "
+                                  "instead of linting (the explicit "
+                                  "schema-drift acknowledgement)")
+    lint_parser.add_argument("--rules", action="store_true",
+                             help="list every lint rule id and exit")
+
     report_parser = sub.add_parser(
         "report", help="generate the full markdown experiment report")
     _add_common(report_parser)
@@ -653,6 +711,7 @@ _COMMANDS = {
     "disasm": cmd_disasm,
     "report": cmd_report,
     "verify": cmd_verify,
+    "lint": cmd_lint,
 }
 
 

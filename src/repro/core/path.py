@@ -97,6 +97,9 @@ class PathTracker:
     equivalence against the reference recompute.
     """
 
+    __slots__ = ("n", "id_bits", "_history", "_hash", "_mask", "_rot",
+                 "_evict_rot")
+
     def __init__(self, n: int, id_bits: int = DEFAULT_PATH_ID_BITS):
         if n <= 0:
             raise ValueError("path length n must be positive")

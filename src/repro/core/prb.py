@@ -40,6 +40,9 @@ class PRBEntry:
 class PostRetirementBuffer:
     """Ring buffer of the last ``capacity`` retired instructions."""
 
+    __slots__ = ("capacity", "_ring", "_next_pos", "_reg_writer",
+                 "_mem_writer")
+
     def __init__(self, capacity: int = 512):
         if capacity <= 0:
             raise ValueError("capacity must be positive")

@@ -1,0 +1,42 @@
+"""repro.lint — AST-based determinism & hot-path invariant analyzer.
+
+Three rule families guard the contracts earlier PRs established:
+
+* determinism (LINT001-005): modules feeding task keys and payloads
+  must not read ambient state or depend on unordered iteration;
+* hot-path discipline (LINT010-013): the per-retire simulator core keeps
+  its ``__slots__`` / fused-predictor / guarded-hook shapes;
+* schema governance (LINT020-022): artifact markers come from
+  :data:`repro.schemas.SCHEMA_REGISTRY`, and payload-affecting modules
+  cannot change without a ``CODE_SCHEMA_VERSION`` bump or an explicit
+  fingerprint-manifest refresh.
+
+Entry points: the ``repro lint`` CLI subcommand, or programmatically
+:class:`~repro.lint.engine.LintEngine` /
+:func:`~repro.lint.engine.analyze_source`.  See ``docs/lint.md``.
+"""
+
+from repro.lint.baseline import BASELINE_NAME, BaselineEntry, load_baseline
+from repro.lint.engine import LintEngine, analyze_source
+from repro.lint.fingerprint import (
+    MANIFEST_NAME,
+    fingerprint_source,
+    normalize_source,
+)
+from repro.lint.report import LintReport
+from repro.lint.rules import LINT_RULES, Finding, severity_of
+
+__all__ = [
+    "BASELINE_NAME",
+    "BaselineEntry",
+    "Finding",
+    "LINT_RULES",
+    "LintEngine",
+    "LintReport",
+    "MANIFEST_NAME",
+    "analyze_source",
+    "fingerprint_source",
+    "load_baseline",
+    "normalize_source",
+    "severity_of",
+]

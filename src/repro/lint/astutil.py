@@ -1,0 +1,157 @@
+"""Shared AST machinery for the lint checkers.
+
+:class:`ModuleContext` parses one module, annotates parent links (the
+stdlib AST has none), resolves import aliases to qualified names, and
+maps nodes to their enclosing symbol (``Class.method``) — everything a
+checker needs to produce anchored findings without re-walking.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+_PARENT = "_lint_parent"
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class ModuleContext:
+    """One parsed module plus the derived lookup structures."""
+
+    def __init__(self, module: str, path: str, source: str):
+        self.module = module          # dotted name, e.g. "repro.core.prb"
+        self.path = path              # repo-relative posix path
+        self.source = source
+        self.tree = ast.parse(source)
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                setattr(child, _PARENT, parent)
+        self.aliases = module_aliases(self.tree)
+
+    # -- navigation ------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return getattr(node, _PARENT, None)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def symbol_of(self, node: ast.AST) -> str:
+        """``Class.method``-style enclosing symbol, or ``<module>``."""
+        names: List[str] = []
+        current: Optional[ast.AST] = node
+        while current is not None:
+            if isinstance(current, _SCOPE_NODES):
+                names.append(current.name)
+            current = self.parent(current)
+        return ".".join(reversed(names)) if names else "<module>"
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    # -- name resolution -------------------------------------------------
+
+    def qualname_of_call(self, call: ast.Call) -> Optional[str]:
+        """Resolve a call target through the module's import aliases.
+
+        ``random.Random(...)`` under ``import random`` -> "random.Random";
+        ``Random(...)`` under ``from random import Random`` ->
+        "random.Random".  Returns ``None`` for targets that do not reach
+        back to an import (method calls on local objects, builtins).
+        """
+        return resolve_qualname(call.func, self.aliases)
+
+
+def walk_function_body(func: ast.AST) -> Iterator[ast.AST]:
+    """Yield the nodes of a function's own body, not descending into
+    nested function/class definitions (they get their own visit)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def module_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> qualified dotted name, from the module's imports."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                # "import a.b" binds "a" to package "a"; "import a.b as c"
+                # binds "c" to "a.b".
+                aliases[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_qualname(node: ast.AST,
+                     aliases: Dict[str, str]) -> Optional[str]:
+    """Qualified dotted name of an expression, through import aliases."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    base = aliases.get(current.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def receiver_key(node: ast.AST) -> str:
+    """A structural key identifying a call receiver expression."""
+    return ast.dump(node)
+
+
+def constant_str_nodes(tree: ast.Module) -> Iterator[Tuple[ast.Constant, str]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            yield node, node.value
+
+
+def decorator_names(node: ast.ClassDef) -> List[str]:
+    """Last-component names of a class's decorators (call or bare)."""
+    names = []
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute):
+            names.append(target.attr)
+        elif isinstance(target, ast.Name):
+            names.append(target.id)
+    return names
+
+
+def base_names(node: ast.ClassDef) -> List[str]:
+    """Last-component names of a class's bases."""
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Attribute):
+            names.append(base.attr)
+        elif isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Subscript):  # Generic[...] style
+            inner = base.value
+            if isinstance(inner, ast.Attribute):
+                names.append(inner.attr)
+            elif isinstance(inner, ast.Name):
+                names.append(inner.id)
+    return names

@@ -1,0 +1,107 @@
+"""Suppression baseline: justified, audited exceptions (LINT030/031).
+
+The baseline (``lint-baseline.json``, ``repro.lint.baseline/1``) lists
+findings that are *intentional* — each entry carries a human-written
+justification, and matching is by ``(rule, path, symbol)`` so entries
+survive unrelated edits but go stale (LINT030) the moment the code they
+excuse disappears.  An entry without a justification is itself an error
+(LINT031): the whole point is that every suppression is an argument,
+not a mute button.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.lint.rules import Finding, severity_of
+from repro.schemas import schema_string
+
+BASELINE_SCHEMA = schema_string("repro.lint.baseline", 1)
+
+#: Default baseline location, relative to the repo root.
+BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+
+def load_baseline(path: str) -> Tuple[List[BaselineEntry], List[Finding]]:
+    """Parse the baseline; malformed entries become LINT031 findings."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except FileNotFoundError:
+        return [], []
+    except ValueError:
+        return [], [_invalid(path, "baseline file is not valid JSON")]
+    if not isinstance(raw, dict) or raw.get("schema") != BASELINE_SCHEMA:
+        return [], [_invalid(
+            path, f"baseline schema must be {BASELINE_SCHEMA!r}")]
+    entries: List[BaselineEntry] = []
+    findings: List[Finding] = []
+    for i, item in enumerate(raw.get("entries", [])):
+        if not isinstance(item, dict):
+            findings.append(_invalid(path, f"entry #{i} is not an object"))
+            continue
+        missing = [k for k in ("rule", "path", "symbol") if not item.get(k)]
+        if missing:
+            findings.append(_invalid(
+                path, f"entry #{i} is missing {', '.join(missing)}"))
+            continue
+        justification = str(item.get("justification", "")).strip()
+        if not justification:
+            findings.append(_invalid(
+                path,
+                f"entry #{i} ({item['rule']} {item['path']} "
+                f"[{item['symbol']}]) has no justification",
+                hint="every suppression must say *why* the finding is "
+                     "intentional"))
+            continue
+        entries.append(BaselineEntry(
+            rule=str(item["rule"]), path=str(item["path"]),
+            symbol=str(item["symbol"]), justification=justification))
+    return entries, findings
+
+
+def apply_baseline(findings: List[Finding],
+                   entries: List[BaselineEntry],
+                   baseline_path: str) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (kept, suppressed); stale entries -> LINT030."""
+    by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+        e.key(): e for e in entries}
+    used: set = set()
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for f in findings:
+        entry = by_key.get((f.rule, f.path, f.symbol))
+        if entry is not None:
+            used.add(entry.key())
+            suppressed.append(f)
+        else:
+            kept.append(f)
+    for entry in entries:
+        if entry.key() not in used:
+            kept.append(Finding(
+                rule="LINT030", severity=severity_of("LINT030"),
+                path=baseline_path, line=0,
+                symbol=f"{entry.rule}:{entry.path}:{entry.symbol}",
+                message="baseline entry no longer matches any finding",
+                hint="the code it excused is gone or fixed; delete the "
+                     "entry"))
+    return kept, suppressed
+
+
+def _invalid(path: str, message: str, hint: str = "") -> Finding:
+    return Finding(rule="LINT031", severity=severity_of("LINT031"),
+                   path=path, line=0, symbol="<baseline>",
+                   message=message, hint=hint)

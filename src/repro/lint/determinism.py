@@ -1,0 +1,162 @@
+"""Determinism rules LINT001-005.
+
+Scope: modules whose behaviour flows into task keys, worker payloads, or
+canonical JSON (``repro.parallel.*``, ``repro.sim.*``,
+``repro.workloads.*``).  A single ambient read — an unseeded RNG draw, a
+clock sample, an environment variable — in these modules silently forks
+the "two tasks with equal keys produce bit-identical payloads" contract
+the result cache is built on, so the rules reject the *capability*, not
+just observed nondeterminism.  Intentional exceptions (e.g. the sweep
+runner's wall-clock accounting, which never enters a payload) carry a
+justified baseline entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.astutil import ModuleContext
+from repro.lint.rules import (
+    DETERMINISM_MODULES,
+    Finding,
+    in_scope,
+    severity_of,
+)
+
+#: Clock reads that differ run-to-run.
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Environment / entropy reads.
+_AMBIENT_CALLS = frozenset({
+    "os.getenv", "os.urandom", "os.environ.get",
+    "uuid.uuid1", "uuid.uuid4",
+})
+
+#: Sequence constructors that freeze a set's iteration order.
+_MATERIALISERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _finding(ctx: ModuleContext, rule: str, node: ast.AST, message: str,
+             hint: str = "") -> Finding:
+    return Finding(rule=rule, severity=severity_of(rule), path=ctx.path,
+                   line=getattr(node, "lineno", 0),
+                   symbol=ctx.symbol_of(node), message=message, hint=hint)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+def check_determinism(ctx: ModuleContext) -> List[Finding]:
+    if not in_scope(ctx.module, DETERMINISM_MODULES):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            findings.extend(_check_call(ctx, node))
+        elif isinstance(node, ast.Attribute) and node.attr == "environ":
+            qual = ctx.aliases.get(node.value.id) \
+                if isinstance(node.value, ast.Name) else None
+            if qual == "os" and not _reported_as_call(ctx, node):
+                findings.append(_finding(
+                    ctx, "LINT003", node,
+                    "os.environ read in a determinism-scoped module",
+                    "pass configuration explicitly; ambient state must "
+                    "not reach payloads or task keys"))
+        elif isinstance(node, ast.For) and _is_set_expr(node.iter):
+            findings.append(_finding(
+                ctx, "LINT004", node,
+                "iterating a set: order is hash-seed dependent",
+                "wrap in sorted(...)"))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter):
+                    findings.append(_finding(
+                        ctx, "LINT004", node,
+                        "comprehension over a set: order is hash-seed "
+                        "dependent", "wrap in sorted(...)"))
+    return findings
+
+
+def _reported_as_call(ctx: ModuleContext, environ: ast.Attribute) -> bool:
+    """Whether this ``os.environ`` node is the receiver of a method call
+    the call check already reports (avoids double-flagging one read)."""
+    parent = ctx.parent(environ)
+    if not (isinstance(parent, ast.Attribute) and parent.value is environ):
+        return False
+    grand = ctx.parent(parent)
+    return (isinstance(grand, ast.Call) and grand.func is parent
+            and f"os.environ.{parent.attr}" in _AMBIENT_CALLS)
+
+
+def _check_call(ctx: ModuleContext, call: ast.Call) -> List[Finding]:
+    qual = ctx.qualname_of_call(call)
+    out: List[Finding] = []
+    if qual is not None:
+        if qual == "random.Random":
+            if not call.args and not call.keywords:
+                out.append(_finding(
+                    ctx, "LINT001", call,
+                    "random.Random() constructed without a seed",
+                    "pass an explicit seed derived from the workload spec"))
+        elif qual.startswith("random."):
+            out.append(_finding(
+                ctx, "LINT001", call,
+                f"process-global RNG call {qual}()",
+                "use a seeded random.Random instance; the module-level "
+                "RNG is shared process state"))
+        elif qual.startswith("numpy.random.") or qual.startswith(
+                "np.random."):
+            out.append(_finding(
+                ctx, "LINT001", call,
+                f"numpy global RNG call {qual}()",
+                "use numpy.random.Generator seeded from the workload "
+                "spec"))
+        elif qual in _CLOCK_CALLS:
+            out.append(_finding(
+                ctx, "LINT002", call,
+                f"clock read {qual}() in a determinism-scoped module",
+                "timing belongs in telemetry/perf layers; keep it out of "
+                "payload-producing code"))
+        elif qual in _AMBIENT_CALLS or qual.startswith("secrets."):
+            out.append(_finding(
+                ctx, "LINT003", call,
+                f"ambient input {qual}() in a determinism-scoped module",
+                "pass configuration explicitly; ambient state must not "
+                "reach payloads or task keys"))
+        elif qual in ("json.dumps", "json.dump"):
+            if not _has_sort_keys(call):
+                out.append(_finding(
+                    ctx, "LINT005", call,
+                    f"{qual}() without sort_keys=True",
+                    "canonical JSON requires sorted keys for "
+                    "bit-identical payloads"))
+    if isinstance(call.func, ast.Name) and call.func.id in _MATERIALISERS:
+        if call.args and _is_set_expr(call.args[0]):
+            out.append(_finding(
+                ctx, "LINT004", call,
+                f"{call.func.id}() over a set: order is hash-seed "
+                "dependent", "wrap the set in sorted(...)"))
+    return out
+
+
+def _has_sort_keys(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "sort_keys":
+            value = kw.value
+            return not (isinstance(value, ast.Constant)
+                        and value.value is False)
+        if kw.arg is None:  # **kwargs — assume the caller knows
+            return True
+    return False

@@ -1,0 +1,209 @@
+"""AST-normalised module fingerprints and the drift manifest (LINT022).
+
+A module's *fingerprint* is the SHA-256 of a canonical dump of its AST
+with docstrings stripped.  Comments, whitespace, string-quoting style
+and docstring edits do not change the AST, so the fingerprint is stable
+under formatting-only edits and changes exactly when the module's
+*semantics-bearing structure* changes (``tests/test_lint_fingerprint.py``
+property-checks both directions).
+
+The committed manifest (``lint-fingerprints.json``,
+``repro.lint.fingerprints/1``) records the fingerprint of every
+payload-affecting module together with the ``CODE_SCHEMA_VERSION`` it
+was taken under::
+
+    {"schema": "repro.lint.fingerprints/1",
+     "code_schema_version": 1,
+     "fingerprints": {"repro/core/ssmt.py": "<sha256>", ...}}
+
+The drift gate compares current fingerprints against the manifest:
+
+* a fingerprint differs while ``CODE_SCHEMA_VERSION`` still equals the
+  manifest's -> LINT022 (simulator semantics may have changed without
+  invalidating the result cache; bump the version, or refresh the
+  manifest if the change is provably payload-neutral);
+* ``CODE_SCHEMA_VERSION`` differs from the manifest's -> LINT022 (the
+  bump must land together with a refreshed manifest so the next drift
+  starts from a clean base).
+
+``repro lint --update-manifest`` performs the refresh; the explicit
+command *is* the auditable "I thought about cache identity" step.
+
+The canonical dump deliberately skips empty/``None`` fields so that
+version-dependent AST additions (e.g. ``type_params`` on 3.12) do not
+change fingerprints across the CPython versions CI runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro.lint.rules import PAYLOAD_PREFIXES, Finding, severity_of
+from repro.schemas import schema_string
+
+FINGERPRINT_SCHEMA = schema_string("repro.lint.fingerprints", 1)
+
+#: Default manifest location, relative to the repo root.
+MANIFEST_NAME = "lint-fingerprints.json"
+
+
+# -- normalisation --------------------------------------------------------
+
+def _strip_docstrings(tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            body = node.body
+            if (body and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)):
+                del body[0]
+
+
+def _canonical(node: object) -> str:
+    """Version-tolerant structural dump (see module docstring)."""
+    if isinstance(node, ast.AST):
+        parts = []
+        for name, value in ast.iter_fields(node):
+            if value is None or (isinstance(value, list) and not value):
+                continue
+            if name == "type_comment":
+                continue
+            parts.append(f"{name}={_canonical(value)}")
+        return f"{type(node).__name__}({','.join(parts)})"
+    if isinstance(node, list):
+        return "[" + ",".join(_canonical(v) for v in node) + "]"
+    return repr(node)
+
+
+def normalize_source(source: str) -> str:
+    """The canonical structural rendering a fingerprint hashes over."""
+    tree = ast.parse(source)
+    _strip_docstrings(tree)
+    return _canonical(tree)
+
+
+def fingerprint_source(source: str) -> str:
+    """SHA-256 hex of the AST-normalised source."""
+    blob = normalize_source(source).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# -- manifest -------------------------------------------------------------
+
+def payload_module_files(src_root: str) -> List[str]:
+    """Repo ``src``-relative posix paths of every fingerprinted module."""
+    out: List[str] = []
+    for prefix in PAYLOAD_PREFIXES:
+        absolute = os.path.join(src_root, *prefix.split("/"))
+        if prefix.endswith(".py"):
+            if os.path.isfile(absolute):
+                out.append(prefix)
+            continue
+        for dirpath, _dirnames, filenames in os.walk(absolute):
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, name), src_root)
+                out.append(rel.replace(os.sep, "/"))
+    return sorted(set(out))
+
+
+def compute_fingerprints(src_root: str) -> Dict[str, str]:
+    fingerprints: Dict[str, str] = {}
+    for rel in payload_module_files(src_root):
+        path = os.path.join(src_root, *rel.split("/"))
+        with open(path, encoding="utf-8") as handle:
+            fingerprints[rel] = fingerprint_source(handle.read())
+    return fingerprints
+
+
+def write_manifest(manifest_path: str, src_root: str,
+                   code_schema_version: int) -> Dict[str, object]:
+    payload = {
+        "schema": FINGERPRINT_SCHEMA,
+        "code_schema_version": code_schema_version,
+        "fingerprints": compute_fingerprints(src_root),
+    }
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def load_manifest(manifest_path: str) -> Dict[str, object]:
+    with open(manifest_path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+# -- the gate -------------------------------------------------------------
+
+def drift_findings(src_root: str, manifest_path: str,
+                   current_version: int) -> List[Finding]:
+    """LINT022 findings for the current tree against the manifest."""
+    rel_manifest = os.path.basename(manifest_path)
+
+    def finding(message: str, hint: str) -> Finding:
+        return Finding(rule="LINT022", severity=severity_of("LINT022"),
+                       path=rel_manifest, line=0, symbol="<manifest>",
+                       message=message, hint=hint)
+
+    try:
+        manifest = load_manifest(manifest_path)
+    except (OSError, ValueError):
+        return [finding(
+            "fingerprint manifest missing or unreadable",
+            "run 'repro lint --update-manifest' and commit the result")]
+    if manifest.get("schema") != FINGERPRINT_SCHEMA:
+        return [finding(
+            f"manifest schema {manifest.get('schema')!r} != "
+            f"{FINGERPRINT_SCHEMA!r}",
+            "run 'repro lint --update-manifest'")]
+
+    recorded_version = manifest.get("code_schema_version")
+    recorded: Dict[str, str] = dict(manifest.get("fingerprints", {}))
+    current = compute_fingerprints(src_root)
+    changed, added, removed = _diff(recorded, current)
+
+    findings: List[Finding] = []
+    if recorded_version != current_version:
+        findings.append(finding(
+            f"CODE_SCHEMA_VERSION is {current_version} but the manifest "
+            f"was taken under {recorded_version}",
+            "a version bump must land with a refreshed manifest: run "
+            "'repro lint --update-manifest' and commit both"))
+        return findings  # per-module diffs are implied by the bump
+    for rel in changed:
+        findings.append(Finding(
+            rule="LINT022", severity=severity_of("LINT022"), path=rel,
+            line=0, symbol="<module>",
+            message="payload-affecting module changed without a "
+                    "CODE_SCHEMA_VERSION bump",
+            hint="if simulator semantics changed, bump "
+                 "CODE_SCHEMA_VERSION in repro/schemas.py; either way "
+                 "refresh with 'repro lint --update-manifest'"))
+    for rel in added:
+        findings.append(Finding(
+            rule="LINT022", severity=severity_of("LINT022"), path=rel,
+            line=0, symbol="<module>",
+            message="new payload-affecting module is not in the "
+                    "fingerprint manifest",
+            hint="run 'repro lint --update-manifest'"))
+    for rel in removed:
+        findings.append(finding(
+            f"manifest entry {rel} no longer exists in the tree",
+            "run 'repro lint --update-manifest'"))
+    return findings
+
+
+def _diff(recorded: Dict[str, str],
+          current: Dict[str, str]) -> Tuple[List[str], List[str], List[str]]:
+    changed = sorted(rel for rel in recorded.keys() & current.keys()
+                     if recorded[rel] != current[rel])
+    added = sorted(current.keys() - recorded.keys())
+    removed = sorted(recorded.keys() - current.keys())
+    return changed, added, removed

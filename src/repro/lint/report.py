@@ -1,0 +1,84 @@
+"""Lint report rendering: human text and machine JSON.
+
+The JSON form carries the ``repro.lint/1`` schema marker and is what
+the CI ``lint-invariants`` job consumes; the text form is for humans at
+the terminal.  Both render the same :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.lint.rules import Finding
+from repro.schemas import CODE_SCHEMA_VERSION, schema_string
+from repro.verify.diagnostics import Severity
+
+REPORT_SCHEMA = schema_string("repro.lint", 1)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings
+                if f.severity == Severity.WARNING]
+
+    def ok(self) -> bool:
+        return not self.errors
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(self.findings,
+                      key=lambda f: (f.path, f.line, f.rule, f.symbol))
+
+    # -- renderers --------------------------------------------------------
+
+    def to_text(self) -> str:
+        lines = [f.format() for f in self.sorted_findings()]
+        lines.append(
+            f"repro lint: {self.files_checked} files, "
+            f"{len(self.errors)} error(s), {len(self.warnings)} "
+            f"warning(s), {len(self.suppressed)} baseline-suppressed")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "code_schema_version": CODE_SCHEMA_VERSION,
+            "files_checked": self.files_checked,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "suppressed": len(self.suppressed),
+            },
+            "findings": [_finding_dict(f) for f in self.sorted_findings()],
+            "suppressed": [_finding_dict(f) for f in sorted(
+                self.suppressed,
+                key=lambda f: (f.path, f.line, f.rule, f.symbol))],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def _finding_dict(f: Finding) -> Dict[str, object]:
+    return {
+        "rule": f.rule,
+        "severity": f.severity.name,
+        "path": f.path,
+        "line": f.line,
+        "symbol": f.symbol,
+        "message": f.message,
+        "hint": f.hint,
+    }

@@ -1,0 +1,75 @@
+"""Schema-governance rules LINT020 and LINT021.
+
+Every versioned artifact marker (``"repro.telemetry/1"``-style strings)
+must come from :data:`repro.schemas.SCHEMA_REGISTRY` via
+``schema_string()`` — a literal that is not in the registry is a schema
+nobody owns (LINT020).  And every *registered* marker must be mentioned
+in the docs (README.md or docs/*.md), because an artifact format that
+consumers cannot look up is not governed either (LINT021).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List
+
+from repro.lint.astutil import ModuleContext, constant_str_nodes
+from repro.lint.rules import Finding, severity_of
+from repro.schemas import is_registered, registered_markers
+
+#: What a versioned artifact marker looks like.
+_MARKER_RE = re.compile(r"repro\.[a-z0-9_.]+/[0-9]+")
+
+
+def check_schema_literals(ctx: ModuleContext) -> List[Finding]:
+    """LINT020: every ``repro.*/N`` string literal must be registered."""
+    findings: List[Finding] = []
+    for node, value in constant_str_nodes(ctx.tree):
+        if not _MARKER_RE.fullmatch(value):
+            continue
+        if is_registered(value):
+            # Registered markers as literals are tolerated in tests and
+            # docs examples; in src they should come from schema_string(),
+            # but that is a style preference the registry already keeps
+            # honest (drift shows up as a KeyError at import time).
+            continue
+        findings.append(Finding(
+            rule="LINT020", severity=severity_of("LINT020"), path=ctx.path,
+            line=getattr(node, "lineno", 0), symbol=ctx.symbol_of(node),
+            message=f"schema marker {value!r} is not in "
+                    f"repro.schemas.SCHEMA_REGISTRY",
+            hint="register it (name, version, owning module) and import "
+                 "it via schema_string()"))
+    return findings
+
+
+def check_schema_docs(repo_root: str) -> List[Finding]:
+    """LINT021: every registered marker is documented somewhere."""
+    corpus = _docs_corpus(repo_root)
+    findings: List[Finding] = []
+    for marker in sorted(registered_markers()):
+        if marker not in corpus:
+            findings.append(Finding(
+                rule="LINT021", severity=severity_of("LINT021"),
+                path="docs/lint.md", line=0, symbol="<docs>",
+                message=f"registered schema marker {marker!r} is not "
+                        f"documented in README.md or docs/",
+                hint="add it to the schema-registry table in docs/lint.md"))
+    return findings
+
+
+def _docs_corpus(repo_root: str) -> str:
+    chunks: List[str] = []
+    readme = os.path.join(repo_root, "README.md")
+    if os.path.isfile(readme):
+        with open(readme, encoding="utf-8") as handle:
+            chunks.append(handle.read())
+    docs_dir = os.path.join(repo_root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                with open(os.path.join(docs_dir, name),
+                          encoding="utf-8") as handle:
+                    chunks.append(handle.read())
+    return "\n".join(chunks)

@@ -20,8 +20,10 @@ import os
 import tempfile
 from typing import Any, Dict, Optional
 
+from repro.schemas import schema_string
+
 #: Schema of one cached/returned sweep-point payload.
-POINT_SCHEMA = "repro.sweep.point/1"
+POINT_SCHEMA = schema_string("repro.sweep.point", 1)
 
 
 class ResultCache:

@@ -33,10 +33,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core.ssmt import SSMTConfig
 from repro.parallel.taskkey import SweepTask, canonical_json
 from repro.parallel.worker import point_ipc
+from repro.schemas import schema_string
 from repro.uarch.config import TABLE3_BASELINE, MachineConfig
 
 #: Schema of the merged sweep-level artifact.
-SWEEP_SCHEMA = "repro.sweep/1"
+SWEEP_SCHEMA = schema_string("repro.sweep", 1)
 
 
 def parse_knob_value(knob: str, raw: str) -> Any:

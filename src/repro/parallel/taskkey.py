@@ -38,9 +38,17 @@ from repro.core.oracle import PotentialConfig
 from repro.core.ssmt import SSMTConfig
 from repro.uarch.config import TABLE3_BASELINE, MachineConfig
 
-#: Bump on any change to simulation semantics or the point payload —
-#: cached results from an older version must never be served as current.
-CODE_SCHEMA_VERSION = 1
+# Re-exported from their canonical (leaf) home so the many existing
+# importers of ``taskkey.CODE_SCHEMA_VERSION`` keep working, and so the
+# task-key module remains the one-stop shop for cache-identity rules.
+# SCHEMA_REGISTRY maps schema name -> version -> owning module; every
+# artifact module imports its schema marker from it (``repro lint``
+# rule LINT020 rejects stray literals).
+from repro.schemas import (  # noqa: F401  (re-exports)
+    CODE_SCHEMA_VERSION,
+    SCHEMA_REGISTRY,
+    schema_string,
+)
 
 #: Simulations a sweep point can request.
 TASK_KINDS = ("baseline", "ssmt", "oracle", "potential")

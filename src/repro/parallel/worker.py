@@ -89,5 +89,6 @@ def run_task(task: SweepTask) -> Dict[str, Any]:
     }
     # Normalise to JSON-native types (tuples -> lists, etc.) so fresh,
     # pooled, and cached payloads compare bit-identically.
-    normalised: Dict[str, Any] = json.loads(json.dumps(payload))
+    normalised: Dict[str, Any] = json.loads(
+        json.dumps(payload, sort_keys=True))
     return normalised

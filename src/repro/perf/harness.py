@@ -17,10 +17,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.branch.unit import BranchPredictorComplex
 from repro.core.ssmt import SSMTConfig, run_ssmt
+from repro.schemas import schema_string
 from repro.telemetry.session import TelemetrySession
 from repro.workloads import benchmark_trace
 
-SCHEMA = "repro.perf/1"
+SCHEMA = schema_string("repro.perf", 1)
 
 #: Subsystem name -> module path fragments (matched against profile
 #: entries' filenames).  First match wins; order is most-specific first.

@@ -1,0 +1,97 @@
+"""Single source of truth for versioned artifact schemas.
+
+Every machine-readable artifact the toolkit writes carries a
+``"schema": "<name>/<version>"`` marker.  Historically each module
+declared its own string literal; this registry centralises them so that
+
+* a schema string can never be emitted without being registered here
+  (``repro lint`` rule LINT020 scans for stray ``repro.*/N`` literals),
+* every registered schema has exactly one owning module and a place the
+  docs can enumerate (rule LINT021), and
+* consumers can discover the current version of any artifact family
+  programmatically.
+
+:data:`CODE_SCHEMA_VERSION` also lives here (re-exported by
+:mod:`repro.parallel.taskkey`, its historical home): it versions the
+*simulator semantics* that task keys hash over, and must be bumped
+whenever those semantics change — the ``repro lint`` schema-drift gate
+(rule LINT022) enforces the bump by fingerprinting every
+payload-affecting module.
+
+This module is intentionally a leaf: it imports nothing from
+``repro.*`` so that any module (telemetry, parallel, perf, lint) can
+import it without creating a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+#: Bump on any change to simulation semantics or the point payload —
+#: cached results from an older version must never be served as current.
+#: The ``repro lint`` schema-drift gate cross-checks this against the
+#: committed AST-fingerprint manifest (``lint-fingerprints.json``).
+CODE_SCHEMA_VERSION = 1
+
+#: Every versioned artifact schema: name -> version -> owning module.
+#: The owning module is the one that emits the schema string (and
+#: documents the payload layout in its docstring).
+SCHEMA_REGISTRY: Dict[str, Dict[int, str]] = {
+    "repro.telemetry": {1: "repro.telemetry.report"},
+    "repro.bench": {1: "repro.telemetry.report"},
+    "repro.sweep": {1: "repro.parallel.sweep"},
+    "repro.sweep.point": {1: "repro.parallel.cache"},
+    "repro.perf": {1: "repro.perf.harness"},
+    "repro.lint": {1: "repro.lint.report"},
+    "repro.lint.fingerprints": {1: "repro.lint.fingerprint"},
+    "repro.lint.baseline": {1: "repro.lint.baseline"},
+}
+
+
+def schema_string(name: str, version: int = 0) -> str:
+    """The ``"<name>/<version>"`` marker for a registered schema.
+
+    With ``version=0`` (the default) the newest registered version is
+    used.  Asking for an unregistered name or version raises — emitting
+    an unregistered schema is exactly the drift LINT020 exists to catch,
+    so the runtime refuses it too.
+    """
+    versions = SCHEMA_REGISTRY.get(name)
+    if not versions:
+        raise KeyError(f"schema {name!r} is not in SCHEMA_REGISTRY")
+    if version == 0:
+        version = max(versions)
+    elif version not in versions:
+        raise KeyError(f"schema {name!r} has no version {version} "
+                       f"(registered: {sorted(versions)})")
+    return f"{name}/{version}"
+
+
+def parse_schema_string(marker: str) -> Tuple[str, int]:
+    """Split ``"<name>/<version>"``; raises ``ValueError`` on bad form."""
+    name, _, raw = marker.rpartition("/")
+    if not name or not raw.isdigit():
+        raise ValueError(f"not a schema marker: {marker!r}")
+    return name, int(raw)
+
+
+def is_registered(marker: str) -> bool:
+    """Whether a ``"<name>/<version>"`` marker is in the registry."""
+    try:
+        name, version = parse_schema_string(marker)
+    except ValueError:
+        return False
+    return version in SCHEMA_REGISTRY.get(name, {})
+
+
+def registered_markers() -> Iterator[str]:
+    """Every registered ``"<name>/<version>"`` marker, sorted."""
+    for name in sorted(SCHEMA_REGISTRY):
+        for version in sorted(SCHEMA_REGISTRY[name]):
+            yield f"{name}/{version}"
+
+
+def owning_module(marker: str) -> str:
+    """The module that owns (emits and documents) a schema marker."""
+    name, version = parse_schema_string(marker)
+    return SCHEMA_REGISTRY[name][version]

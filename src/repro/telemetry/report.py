@@ -36,8 +36,10 @@ import json
 from dataclasses import asdict, dataclass, field, is_dataclass
 from typing import Any, Dict, List, Optional
 
-SCHEMA = "repro.telemetry/1"
-BENCH_SCHEMA = "repro.bench/1"
+from repro.schemas import schema_string
+
+SCHEMA = schema_string("repro.telemetry", 1)
+BENCH_SCHEMA = schema_string("repro.bench", 1)
 
 
 def _plain(value: Any) -> Any:

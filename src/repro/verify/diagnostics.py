@@ -5,13 +5,19 @@ Every check failure is a :class:`Diagnostic` carrying a stable rule id
 invariants), a severity, the offending micro-op index where applicable,
 and a fix hint.  Diagnostics accumulate into a :class:`VerifyReport` per
 verified object; reports render as rows for the CLI summary table.
+
+The rule-id/severity plumbing is shared across verification layers: each
+layer registers its rule family under a prefix via :func:`register_rules`
+(``MT``/``SAN`` here, ``LINT`` in :mod:`repro.lint.rules`), so rule ids
+stay globally unique and tooling (docs checks, ``--rules`` listings) can
+enumerate every family through :func:`all_rules`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 
 class Severity(IntEnum):
@@ -20,6 +26,45 @@ class Severity(IntEnum):
     INFO = 0
     WARNING = 1
     ERROR = 2
+
+
+#: Every registered rule family: prefix -> {rule id -> description}.
+RULE_NAMESPACES: Dict[str, Dict[str, str]] = {}
+
+
+def register_rules(prefix: str, rules: Mapping[str, str]) -> Dict[str, str]:
+    """Register a rule family under ``prefix``; returns the family dict.
+
+    Rule ids must start with the prefix and may not collide with any id
+    already registered under another prefix.  Registration is idempotent
+    for an identical family (modules may be re-imported).
+    """
+    for rule in rules:
+        if not rule.startswith(prefix):
+            raise ValueError(f"rule id {rule!r} does not start with "
+                             f"prefix {prefix!r}")
+    existing = RULE_NAMESPACES.get(prefix)
+    if existing is not None:
+        if existing != dict(rules):
+            raise ValueError(f"rule family {prefix!r} already registered "
+                             f"with different contents")
+        return existing
+    for other_prefix, family in RULE_NAMESPACES.items():
+        dupes = set(family) & set(rules)
+        if dupes:
+            raise ValueError(f"rule ids {sorted(dupes)} already registered "
+                             f"under {other_prefix!r}")
+    family = dict(rules)
+    RULE_NAMESPACES[prefix] = family
+    return family
+
+
+def all_rules() -> Dict[str, str]:
+    """Every registered rule id -> description, across all families."""
+    merged: Dict[str, str] = {}
+    for family in RULE_NAMESPACES.values():
+        merged.update(family)
+    return merged
 
 
 #: Registry of every rule id, for docs and ``repro verify --rules``.
@@ -58,6 +103,12 @@ RULES: Dict[str, str] = {
     "SAN006": "demoted-routine: a demoted/rebuilt path still has a stale "
               "routine resident in the MicroRAM",
 }
+
+# The verifier/sanitizer families share one dict (RULES) because they
+# share the VerifyReport pipeline; register them per-prefix so other
+# families (repro.lint's LINT rules) can join the shared namespace.
+register_rules("MT", {k: v for k, v in RULES.items() if k.startswith("MT")})
+register_rules("SAN", {k: v for k, v in RULES.items() if k.startswith("SAN")})
 
 
 @dataclass(frozen=True)

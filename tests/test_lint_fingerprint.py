@@ -1,0 +1,199 @@
+"""Fingerprint stability properties and the schema-drift gate."""
+
+import json
+import os
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lint.fingerprint import (
+    FINGERPRINT_SCHEMA,
+    compute_fingerprints,
+    drift_findings,
+    fingerprint_source,
+    normalize_source,
+    payload_module_files,
+    write_manifest,
+)
+
+BASE_SOURCE = '''\
+"""Module docstring."""
+import math
+
+
+class Counter:
+    """Class docstring."""
+
+    def __init__(self, start=0):
+        self.value = start
+
+    def bump(self, by=1):
+        """Method docstring."""
+        self.value = self.value + by
+        return self.value
+
+
+def scale(x, factor=2.0):
+    return math.floor(x * factor)
+'''
+
+
+# -- formatting-invariance properties --------------------------------------
+
+names = st.sampled_from(["alpha", "beta", "gamma_2", "x9"])
+
+
+@given(st.text(alphabet=" \t", max_size=6), names)
+def test_fingerprint_ignores_comments_and_blank_lines(pad, word):
+    edited = BASE_SOURCE.replace(
+        "import math",
+        f"import math\n{pad.rstrip()}\n# note about {word}\n")
+    assert fingerprint_source(edited) == fingerprint_source(BASE_SOURCE)
+
+
+@given(names)
+def test_fingerprint_ignores_docstring_edits(word):
+    edited = BASE_SOURCE.replace("Module docstring.", f"About {word}.")
+    edited = edited.replace("Class docstring.", f"A {word} counter.")
+    edited = edited.replace("Method docstring.", f"Bump by {word}.")
+    assert fingerprint_source(edited) == fingerprint_source(BASE_SOURCE)
+
+
+def test_fingerprint_ignores_quote_style_and_line_breaks():
+    reflowed = BASE_SOURCE.replace(
+        "def scale(x, factor=2.0):",
+        "def scale(\n        x,\n        factor=2.0,\n):")
+    assert fingerprint_source(reflowed) == fingerprint_source(BASE_SOURCE)
+
+
+@given(st.integers(min_value=2, max_value=50))
+def test_fingerprint_changes_under_constant_edit(value):
+    edited = BASE_SOURCE.replace("by=1", f"by={value}")
+    same = value == 1
+    assert (fingerprint_source(edited)
+            == fingerprint_source(BASE_SOURCE)) is same
+
+
+@given(names)
+def test_fingerprint_changes_under_rename(word):
+    edited = BASE_SOURCE.replace("def bump", f"def bump_{word}")
+    assert fingerprint_source(edited) != fingerprint_source(BASE_SOURCE)
+
+
+def test_fingerprint_changes_under_statement_insertion():
+    edited = BASE_SOURCE.replace("        return self.value",
+                                 "        self.value += 0\n"
+                                 "        return self.value")
+    assert fingerprint_source(edited) != fingerprint_source(BASE_SOURCE)
+
+
+def test_fingerprint_changes_under_operator_swap():
+    edited = BASE_SOURCE.replace("self.value + by", "self.value - by")
+    assert fingerprint_source(edited) != fingerprint_source(BASE_SOURCE)
+
+
+def test_normalize_strips_every_docstring():
+    dump = normalize_source(BASE_SOURCE)
+    for text in ("Module docstring", "Class docstring", "Method docstring"):
+        assert text not in dump
+
+
+# -- manifest over a synthetic src tree ------------------------------------
+
+@pytest.fixture()
+def src_tree(tmp_path, monkeypatch):
+    """A minimal src/ tree matching one directory and one file prefix."""
+    monkeypatch.setattr(
+        "repro.lint.fingerprint.PAYLOAD_PREFIXES",
+        ("repro/core/", "repro/schemas.py"))
+    src = tmp_path / "src"
+    (src / "repro" / "core").mkdir(parents=True)
+    (src / "repro" / "core" / "a.py").write_text("X = 1\n")
+    (src / "repro" / "core" / "b.py").write_text("def f():\n    return 2\n")
+    (src / "repro" / "schemas.py").write_text("CODE_SCHEMA_VERSION = 1\n")
+    return src
+
+
+def test_payload_module_enumeration(src_tree):
+    assert payload_module_files(str(src_tree)) == [
+        "repro/core/a.py", "repro/core/b.py", "repro/schemas.py"]
+
+
+def test_manifest_roundtrip_clean(src_tree, tmp_path):
+    manifest = tmp_path / "m.json"
+    payload = write_manifest(str(manifest), str(src_tree), 1)
+    assert payload["schema"] == FINGERPRINT_SCHEMA
+    assert drift_findings(str(src_tree), str(manifest), 1) == []
+
+
+def test_missing_manifest_is_an_error(src_tree, tmp_path):
+    findings = drift_findings(str(src_tree), str(tmp_path / "no.json"), 1)
+    assert [f.rule for f in findings] == ["LINT022"]
+
+
+def test_semantic_edit_without_bump_fails_gate(src_tree, tmp_path):
+    manifest = tmp_path / "m.json"
+    write_manifest(str(manifest), str(src_tree), 1)
+    (src_tree / "repro" / "core" / "b.py").write_text(
+        "def f():\n    return 3\n")
+    findings = drift_findings(str(src_tree), str(manifest), 1)
+    assert [f.rule for f in findings] == ["LINT022"]
+    assert findings[0].path == "repro/core/b.py"
+    assert "CODE_SCHEMA_VERSION" in findings[0].message
+
+
+def test_formatting_edit_passes_gate(src_tree, tmp_path):
+    manifest = tmp_path / "m.json"
+    write_manifest(str(manifest), str(src_tree), 1)
+    (src_tree / "repro" / "core" / "b.py").write_text(
+        '"""Now documented."""\n\n\ndef f():  # comment\n    return 2\n')
+    assert drift_findings(str(src_tree), str(manifest), 1) == []
+
+
+def test_version_bump_without_refresh_fails_gate(src_tree, tmp_path):
+    manifest = tmp_path / "m.json"
+    write_manifest(str(manifest), str(src_tree), 1)
+    findings = drift_findings(str(src_tree), str(manifest), 2)
+    assert [f.rule for f in findings] == ["LINT022"]
+    assert "refreshed manifest" in findings[0].hint
+
+
+def test_new_module_fails_gate_until_refresh(src_tree, tmp_path):
+    manifest = tmp_path / "m.json"
+    write_manifest(str(manifest), str(src_tree), 1)
+    (src_tree / "repro" / "core" / "c.py").write_text("Y = 3\n")
+    findings = drift_findings(str(src_tree), str(manifest), 1)
+    assert [f.rule for f in findings] == ["LINT022"]
+    assert findings[0].path == "repro/core/c.py"
+    write_manifest(str(manifest), str(src_tree), 1)
+    assert drift_findings(str(src_tree), str(manifest), 1) == []
+
+
+def test_removed_module_fails_gate(src_tree, tmp_path):
+    manifest = tmp_path / "m.json"
+    write_manifest(str(manifest), str(src_tree), 1)
+    os.remove(src_tree / "repro" / "core" / "a.py")
+    findings = drift_findings(str(src_tree), str(manifest), 1)
+    assert [f.rule for f in findings] == ["LINT022"]
+    assert "repro/core/a.py" in findings[0].message
+
+
+def test_corrupt_manifest_is_an_error(src_tree, tmp_path):
+    manifest = tmp_path / "m.json"
+    manifest.write_text("{not json")
+    findings = drift_findings(str(src_tree), str(manifest), 1)
+    assert [f.rule for f in findings] == ["LINT022"]
+
+
+def test_manifest_is_deterministic_json(src_tree, tmp_path):
+    m1, m2 = tmp_path / "m1.json", tmp_path / "m2.json"
+    write_manifest(str(m1), str(src_tree), 1)
+    write_manifest(str(m2), str(src_tree), 1)
+    assert m1.read_text() == m2.read_text()
+    parsed = json.loads(m1.read_text())
+    assert parsed["fingerprints"] == compute_fingerprints(str(src_tree))
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs consistency checks, run as a CI job (and runnable locally).
 
-Three checks keep the documentation honest as the code moves:
+Four checks keep the documentation honest as the code moves:
 
 1. every ``docs/*.md`` file is linked from the README (no orphan docs),
    and every ``docs/...`` link in the README resolves to a real file;
@@ -10,7 +10,10 @@ Three checks keep the documentation honest as the code moves:
    somewhere);
 3. the bash quickstart fences in the README and ``docs/performance.md``
    only invoke known subcommands with flags the parser actually accepts
-   (checked by dry-parsing each ``python -m repro ...`` line).
+   (checked by dry-parsing each ``python -m repro ...`` line);
+4. the lint rule catalogue and ``docs/lint.md`` agree: every ``LINT*``
+   id in ``repro.lint.rules.LINT_RULES`` appears in the doc, and every
+   ``LINT*`` id the doc mentions exists in the catalogue.
 
 Exits non-zero with a list of violations.
 
@@ -104,19 +107,37 @@ def check_quickstart_fences(errors: list) -> None:
                         f"against the CLI: {command!r}")
 
 
+def check_lint_rules_documented(errors: list) -> None:
+    from repro.lint.rules import LINT_RULES
+
+    doc_path = DOCS / "lint.md"
+    if not doc_path.exists():
+        errors.append("docs/lint.md does not exist but the LINT rule "
+                      "catalogue does")
+        return
+    doc = doc_path.read_text()
+    mentioned = set(re.findall(r"\bLINT\d{3}\b", doc))
+    for rule in sorted(set(LINT_RULES) - mentioned):
+        errors.append(f"lint rule {rule} is not documented in docs/lint.md")
+    for rule in sorted(mentioned - set(LINT_RULES)):
+        errors.append(f"docs/lint.md mentions {rule}, which is not in "
+                      f"repro.lint.rules.LINT_RULES")
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO / "src"))
     errors: list = []
     check_docs_linked(errors)
     check_subcommands_exist(errors)
     check_quickstart_fences(errors)
+    check_lint_rules_documented(errors)
     if errors:
         print("docs check failed:")
         for error in errors:
             print(f"  - {error}")
         return 1
-    print("docs check passed: links, subcommands and quickstart fences "
-          "are consistent with the CLI")
+    print("docs check passed: links, subcommands, quickstart fences and "
+          "the lint rule catalogue are consistent with the code")
     return 0
 
 
