@@ -10,6 +10,11 @@ Every table and figure of the paper's evaluation has a driver here:
 * Figure 9 — :func:`repro.analysis.experiments.figure9_timeliness`
 * §1 intro claim — :func:`repro.analysis.experiments.intro_perfect_prediction`
 
+Beyond the paper, :mod:`repro.analysis.arena` re-runs the figure
+pipeline once per zoo baseline predictor (the SSMT-headroom-vs-baseline-
+strength study) and :mod:`repro.analysis.h2p` classifies per-path
+prediction regimes (Lin & Tarsa-style H2P analytics).
+
 :mod:`repro.analysis.report` renders the results as aligned text tables,
 which is what the benchmark harness prints.
 """
@@ -23,6 +28,13 @@ from repro.analysis.experiments import (
     figure8_routines,
     figure9_timeliness,
     intro_perfect_prediction,
+)
+from repro.analysis.arena import ARENA_SCHEMA, arena_tasks, run_arena
+from repro.analysis.h2p import (
+    PathRegimeProfile,
+    calibration_target,
+    compare_profiles,
+    profile_paths,
 )
 from repro.analysis.report import format_table
 from repro.analysis.confidence import (
@@ -56,6 +68,13 @@ __all__ = [
     "figure8_routines",
     "figure9_timeliness",
     "intro_perfect_prediction",
+    "ARENA_SCHEMA",
+    "arena_tasks",
+    "run_arena",
+    "PathRegimeProfile",
+    "calibration_target",
+    "compare_profiles",
+    "profile_paths",
     "format_table",
     "ConfidenceCoverage",
     "compare_confidence_schemes",

@@ -1,0 +1,199 @@
+"""Per-path hard-to-predict (H2P) analytics for the predictor arena.
+
+Lin & Tarsa ("Branch Prediction Is Not a Solved Problem", IISWC 2019)
+showed that a modern TAGE-class predictor's remaining mispredictions
+concentrate in a small set of *hard-to-predict* static entities that are
+executed often yet stay inaccurate.  This module applies that taxonomy
+at the paper's granularity — the difficult **path** (terminating branch
+plus its ``n`` prior taken branches) — so the arena can ask, per zoo
+baseline: which path regimes does this predictor eliminate, and which
+survive even the strongest baseline (the population SSMT microthreads
+must target)?
+
+Every measured path lands in exactly one regime:
+
+* ``easy`` — mispredict rate at or below ``easy_threshold``: the
+  predictor has effectively solved it,
+* ``h2p`` — rate above ``difficult_threshold`` **and** at least
+  ``min_occurrences`` executions: frequently executed yet still wrong,
+  the Lin & Tarsa hard branch generalised to a path, and
+* ``transient`` — everything between: moderately mispredicted, or too
+  rarely executed for the rate to mean much (cold/short-lived paths).
+
+:func:`compare_profiles` diffs two predictors' H2P sets (killed /
+surviving / introduced paths); :func:`calibration_target` turns a set of
+per-baseline profiles into workload-generator targets — the difficult
+fraction a synthetic benchmark should produce to stay representative
+against modern baselines, fed back into workload calibration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterable, Set, Tuple
+
+from repro.analysis.events import ControlEvent
+from repro.core.path import PathKey
+
+#: The regimes every measured path is classified into.
+REGIMES = ("easy", "transient", "h2p")
+
+
+@dataclass
+class PathRegimeProfile:
+    """One predictor's per-path accuracy regimes over one benchmark.
+
+    ``paths`` maps each measured path to ``(occurrences, mispredicts)``;
+    ``regimes`` counts unique paths per regime and
+    ``mispredicts_by_regime`` attributes the measured mispredictions to
+    the regime of the path they occurred on.
+    """
+
+    n: int
+    easy_threshold: float
+    difficult_threshold: float
+    min_occurrences: int
+    accuracy: float  #: measured terminating-branch prediction accuracy
+    paths: Dict[PathKey, Tuple[int, int]]
+    regimes: Dict[str, int]
+    mispredicts_by_regime: Dict[str, int]
+
+    def regime_of(self, key: PathKey) -> str:
+        """The regime of one measured path."""
+        occurrences, mispredicts = self.paths[key]
+        return _classify(occurrences, mispredicts, self.easy_threshold,
+                         self.difficult_threshold, self.min_occurrences)
+
+    def h2p_paths(self) -> Set[PathKey]:
+        """The paths this predictor leaves hard-to-predict."""
+        return {key for key in self.paths if self.regime_of(key) == "h2p"}
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (path keys are not serialised)."""
+        return {
+            "n": self.n,
+            "accuracy": round(self.accuracy, 6),
+            "unique_paths": len(self.paths),
+            "regimes": dict(self.regimes),
+            "mispredicts_by_regime": dict(self.mispredicts_by_regime),
+        }
+
+
+def _classify(occurrences: int, mispredicts: int, easy_threshold: float,
+              difficult_threshold: float, min_occurrences: int) -> str:
+    rate = mispredicts / occurrences if occurrences else 0.0
+    if rate <= easy_threshold:
+        return "easy"
+    if rate > difficult_threshold and occurrences >= min_occurrences:
+        return "h2p"
+    return "transient"
+
+
+def profile_paths(
+    events: Iterable[ControlEvent],
+    n: int = 10,
+    easy_threshold: float = 0.01,
+    difficult_threshold: float = 0.10,
+    min_occurrences: int = 4,
+) -> PathRegimeProfile:
+    """Classify every measured path of a control-event stream.
+
+    ``events`` comes from
+    :func:`repro.analysis.events.collect_control_events` run with the
+    predictor under study; path history warms up over the full stream
+    but only measured (post-warm-up) terminating branches contribute,
+    mirroring :func:`repro.analysis.characterize.characterize_paths`.
+    """
+    history: Deque[Tuple[int, int]] = deque(maxlen=n)
+    paths: Dict[PathKey, Tuple[int, int]] = {}
+    branches = 0
+    mispredicted = 0
+    for event in events:
+        if event.terminating and event.measured:
+            branches += 1
+            if event.mispredicted:
+                mispredicted += 1
+            if len(history) == n:
+                key = PathKey(event.pc, tuple(pc for pc, _ in history))
+                occurrences, mispredicts = paths.get(key, (0, 0))
+                paths[key] = (occurrences + 1,
+                              mispredicts + (1 if event.mispredicted else 0))
+        if event.taken:
+            history.append((event.pc, event.idx))
+
+    regimes = {regime: 0 for regime in REGIMES}
+    by_regime = {regime: 0 for regime in REGIMES}
+    for occurrences, mispredicts in paths.values():
+        regime = _classify(occurrences, mispredicts, easy_threshold,
+                           difficult_threshold, min_occurrences)
+        regimes[regime] += 1
+        by_regime[regime] += mispredicts
+    return PathRegimeProfile(
+        n=n,
+        easy_threshold=easy_threshold,
+        difficult_threshold=difficult_threshold,
+        min_occurrences=min_occurrences,
+        accuracy=1.0 - (mispredicted / branches) if branches else 0.0,
+        paths=paths,
+        regimes=regimes,
+        mispredicts_by_regime=by_regime,
+    )
+
+
+def compare_profiles(reference: PathRegimeProfile,
+                     candidate: PathRegimeProfile) -> Dict[str, Any]:
+    """Diff two predictors' H2P path sets over the same benchmark.
+
+    ``killed`` paths are H2P under the reference but not the candidate
+    (the regimes the candidate eliminates), ``surviving`` stay H2P under
+    both, ``introduced`` are H2P only under the candidate.
+    ``killed_mispredict_share`` weights the kill set by the reference
+    mispredictions it accounts for — eliminating two noisy paths matters
+    less than eliminating one hot one.
+    """
+    ref_h2p = reference.h2p_paths()
+    cand_h2p = candidate.h2p_paths()
+    killed = ref_h2p - cand_h2p
+    ref_h2p_mispredicts = sum(reference.paths[k][1] for k in ref_h2p)
+    killed_mispredicts = sum(reference.paths[k][1] for k in killed)
+    return {
+        "reference_h2p": len(ref_h2p),
+        "killed": len(killed),
+        "surviving": len(ref_h2p & cand_h2p),
+        "introduced": len(cand_h2p - ref_h2p),
+        "killed_mispredict_share": round(
+            killed_mispredicts / ref_h2p_mispredicts, 6)
+        if ref_h2p_mispredicts else 0.0,
+    }
+
+
+def calibration_target(
+    profiles: Dict[str, PathRegimeProfile],
+) -> Dict[str, Any]:
+    """Workload-generator targets from per-baseline profiles of one
+    benchmark.
+
+    The strongest baseline (fewest surviving H2P paths; ties broken by
+    label for determinism) defines what the synthetic workload should
+    calibrate against: ``target_h2p_fraction`` is the share of unique
+    paths a representative workload should leave hard even for that
+    predictor, and ``target_accuracy`` the branch accuracy it should
+    allow.  A generator tuned only against the 2002 hybrid overstates
+    difficulty; these targets keep it honest against modern baselines.
+    """
+    if not profiles:
+        raise ValueError("calibration_target needs at least one profile")
+    strongest = min(sorted(profiles),
+                    key=lambda label: profiles[label].regimes["h2p"])
+    best = profiles[strongest]
+    unique = len(best.paths)
+    return {
+        "strongest_baseline": strongest,
+        "target_accuracy": round(best.accuracy, 6),
+        "surviving_h2p_paths": best.regimes["h2p"],
+        "target_h2p_fraction": round(best.regimes["h2p"] / unique, 6)
+        if unique else 0.0,
+        "per_baseline_h2p": {label: profiles[label].regimes["h2p"]
+                             for label in sorted(profiles)},
+    }

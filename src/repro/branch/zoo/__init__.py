@@ -1,0 +1,59 @@
+"""repro.zoo — the pluggable modern-predictor arena.
+
+The paper's 2002 baseline (gshare/PAs hybrid) leaves ~2x IPC on the
+table behind mispredictions; the open question (ROADMAP item 1) is how
+much of the SSMT mechanism's headroom survives a *modern* baseline.
+This package supplies the contestants:
+
+* :class:`~repro.branch.zoo.tage.TageLitePredictor` — geometric-history
+  tagged tables with useful-bit allocation (Seznec & Michaud, reduced),
+* :class:`~repro.branch.zoo.perceptron.HashedPerceptronPredictor` —
+  Jimenez & Lin's perceptron over global history,
+* :class:`~repro.branch.zoo.h2p.H2PAugmentedPredictor` — a
+  Bullseye-style hard-to-predict side-table layered over any base,
+
+each constructible from a frozen, task-key-canonical
+:class:`~repro.branch.zoo.config.PredictorConfig` via the scheme
+registry (:func:`make_predictor` / :func:`make_complex`), so arena
+sweeps stay content-addressed and cacheable.
+
+This package is intentionally **not** imported by the default simulation
+path: ``repro.branch.unit`` and the sweep worker only import it when a
+task actually requests a zoo predictor, keeping the paper-default hot
+path zero-cost (``tests/test_zoo_zero_cost.py`` enforces this).
+
+See ``docs/predictors.md`` for the architecture, the config schema and
+the arena workflow.
+"""
+
+from repro.branch.zoo.config import (
+    PREDICTOR_CONFIG_VERSION,
+    PredictorConfig,
+    config_from_dict,
+    small_config,
+)
+from repro.branch.zoo.tage import TageLitePredictor
+from repro.branch.zoo.perceptron import HashedPerceptronPredictor
+from repro.branch.zoo.h2p import H2PAugmentedPredictor
+from repro.branch.zoo.registry import (
+    ARENA_BASELINES,
+    make_complex,
+    make_predictor,
+    register_scheme,
+    registered_schemes,
+)
+
+__all__ = [
+    "PREDICTOR_CONFIG_VERSION",
+    "PredictorConfig",
+    "config_from_dict",
+    "small_config",
+    "TageLitePredictor",
+    "HashedPerceptronPredictor",
+    "H2PAugmentedPredictor",
+    "ARENA_BASELINES",
+    "make_complex",
+    "make_predictor",
+    "register_scheme",
+    "registered_schemes",
+]

@@ -1,0 +1,158 @@
+"""Versioned, task-key-canonical predictor configuration.
+
+A :class:`PredictorConfig` is the *declarative* identity of a direction
+predictor: a frozen dataclass whose canonical JSON rendering (via
+``repro.parallel.taskkey.canonical_json``) participates in sweep task
+keys, so every arena/sweep point that varies the baseline predictor is
+content-addressed exactly like points that vary the machine or the
+mechanism.  Constructing the predictor an instance describes is the
+registry's job (:func:`repro.branch.zoo.registry.make_predictor`).
+
+The dataclass is deliberately flat: one ``scheme`` selector plus one
+field group per predictor family, with the unrelated groups ignored by
+each scheme.  Flat fields keep the canonical JSON stable and diffable
+(no nested opaque dicts), and let a single scaled-down instance drive
+every registered scheme in the property tests.
+
+``config_version`` is the *format* version of this dataclass.  It is
+hashed into task keys alongside ``CODE_SCHEMA_VERSION``; bump it if a
+field's meaning changes without the field set changing (renames and
+additions already change the canonical JSON on their own).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+#: Format version of :class:`PredictorConfig` (part of every task key).
+PREDICTOR_CONFIG_VERSION = 1
+
+
+def _require_power_of_two(value: int, what: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Declarative description of one direction predictor.
+
+    ``scheme`` names a factory registered in
+    :mod:`repro.branch.zoo.registry` (``hybrid``, ``gshare``, ``pas``,
+    ``bimodal``, ``tage``, ``perceptron``, ``h2p``).  Defaults reproduce
+    the paper's Table 3 baseline for the classic family and sensible
+    2020-era "lite" geometries for the modern predictors.
+    """
+
+    scheme: str = "hybrid"
+    #: format version of this config layout (see module docstring)
+    config_version: int = PREDICTOR_CONFIG_VERSION
+
+    # -- classic family (bimodal / gshare / PAs / hybrid) -----------------
+    #: bimodal/gshare pattern-table entries
+    entries: int = 128 * 1024
+    #: gshare global-history bits
+    history_bits: int = 17
+    #: counter width for the classic tables
+    counter_bits: int = 2
+    pas_history_entries: int = 4096
+    pas_history_bits: int = 12
+    pas_pht_sets: int = 64
+    #: hybrid selector entries (paper: 64K)
+    selector_entries: int = 64 * 1024
+
+    # -- TAGE-lite ---------------------------------------------------------
+    #: base (tagless bimodal) table entries
+    tage_base_entries: int = 16 * 1024
+    #: number of tagged tables
+    tage_tables: int = 6
+    #: entries per tagged table
+    tage_entries: int = 2048
+    tage_tag_bits: int = 9
+    tage_counter_bits: int = 3
+    tage_useful_bits: int = 2
+    #: geometric history series endpoints (inclusive)
+    tage_min_history: int = 4
+    tage_max_history: int = 128
+    #: updates between graceful halvings of the useful counters
+    tage_useful_reset: int = 262_144
+
+    # -- hashed perceptron -------------------------------------------------
+    ptron_entries: int = 4096
+    #: global-history length (weights per row, plus a bias weight)
+    ptron_history: int = 28
+    ptron_weight_bits: int = 8
+    #: training threshold theta; 0 selects Jimenez's 1.93*h + 14
+    ptron_threshold: int = 0
+
+    # -- Bullseye-style H2P side-table overlay ----------------------------
+    #: base predictor the side-table layers over (any registered scheme
+    #: except ``h2p`` itself)
+    h2p_base: str = "tage"
+    #: capacity of the side-table (tracked hard branches)
+    h2p_entries: int = 128
+    #: per-branch local-history bits (side-table PHT is 2**bits counters)
+    h2p_history_bits: int = 8
+    h2p_counter_bits: int = 3
+    #: promotion: at least this many base-predictor mispredicts ...
+    h2p_promote_mispredicts: int = 32
+    #: ... at at least this misprediction rate
+    h2p_promote_rate: float = 0.05
+    #: override margin beyond the counter midpoint (0 = any lean)
+    h2p_confidence: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.scheme or not isinstance(self.scheme, str):
+            raise ValueError("scheme must be a non-empty string")
+        if self.h2p_base == "h2p":
+            raise ValueError("h2p_base cannot itself be 'h2p'")
+        for name in ("entries", "pas_history_entries", "pas_pht_sets",
+                     "selector_entries", "tage_base_entries", "tage_entries",
+                     "ptron_entries"):
+            _require_power_of_two(getattr(self, name), name)
+        for name in ("history_bits", "counter_bits", "pas_history_bits",
+                     "tage_tables", "tage_tag_bits", "tage_counter_bits",
+                     "tage_useful_bits", "tage_min_history",
+                     "tage_max_history", "tage_useful_reset",
+                     "ptron_history", "ptron_weight_bits", "h2p_entries",
+                     "h2p_history_bits", "h2p_counter_bits",
+                     "h2p_promote_mispredicts"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.tage_max_history < self.tage_min_history:
+            raise ValueError("tage_max_history must be >= tage_min_history")
+        if not 0.0 <= self.h2p_promote_rate <= 1.0:
+            raise ValueError("h2p_promote_rate must be in [0, 1]")
+        if self.ptron_threshold < 0 or self.h2p_confidence < 0:
+            raise ValueError("thresholds must be non-negative")
+
+
+def small_config(scheme: str, **overrides: object) -> PredictorConfig:
+    """A scaled-down config for tests: every family's tables shrunk so
+    property tests can drive any registered scheme cheaply."""
+    small = dict(
+        scheme=scheme,
+        entries=256, history_bits=6,
+        pas_history_entries=16, pas_history_bits=4, pas_pht_sets=4,
+        selector_entries=64,
+        tage_base_entries=64, tage_tables=3, tage_entries=32,
+        tage_tag_bits=7, tage_min_history=2, tage_max_history=16,
+        tage_useful_reset=256,
+        ptron_entries=32, ptron_history=8,
+        h2p_entries=8, h2p_history_bits=4,
+        h2p_promote_mispredicts=4, h2p_promote_rate=0.02,
+    )
+    small.update(overrides)
+    return PredictorConfig(**small)  # type: ignore[arg-type]
+
+
+_FIELD_NAMES = tuple(f.name for f in fields(PredictorConfig))
+
+
+def config_from_dict(payload: dict) -> PredictorConfig:
+    """Rebuild a :class:`PredictorConfig` from a JSON payload (e.g. a
+    sweep-point's ``predictor`` section); unknown keys are rejected."""
+    unknown = sorted(set(payload) - set(_FIELD_NAMES))
+    if unknown:
+        raise ValueError(f"unknown PredictorConfig fields: {unknown}")
+    return PredictorConfig(**payload)

@@ -1,0 +1,157 @@
+"""Bullseye-style hard-to-predict (H2P) side-table overlay.
+
+Gupta et al.'s Bullseye observes that a handful of static branches —
+the H2Ps of Lin & Tarsa's taxonomy — concentrate most of the remaining
+mispredictions of a strong base predictor, and that dedicating small
+per-branch side tables to exactly those branches beats growing the base.
+This module is the "lite" version of that idea, layerable over *any*
+registered base predictor:
+
+* an identification stage counts, per static branch, how often the
+  **base** predictor executes and mispredicts it;
+* a branch is *promoted* into the side-table once it crosses both an
+  absolute mispredict count and a mispredict-rate floor (and capacity
+  remains — the side-table is a fixed budget, first-crossed-first-held);
+* promoted branches get a dedicated local-history pattern table whose
+  prediction *overrides* the base only when its counter leans at least
+  ``confidence`` beyond the midpoint — an unconfident side entry defers.
+
+The base predictor always trains (promotion must not starve it), so the
+overlay never hurts the base's global history.  Identification tracks
+the base's own accuracy (not the overlay's): H2P-ness is a property of
+the base predictor, which is exactly what the arena's per-path
+analytics compare across baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.branch.base import (
+    DirectionPredictor,
+    SaturatingCounterTable,
+    _check_power_of_two,
+)
+
+
+class _SideEntry:
+    """Dedicated state for one promoted hard branch."""
+
+    __slots__ = ("history", "pht")
+
+    def __init__(self, history_entries: int, counter_bits: int):
+        self.history = 0
+        self.pht = SaturatingCounterTable(history_entries, counter_bits)
+
+
+class H2PAugmentedPredictor(DirectionPredictor):
+    """Any base predictor plus a dedicated side-table for H2P branches."""
+
+    def __init__(
+        self,
+        base: DirectionPredictor,
+        entries: int = 128,
+        history_bits: int = 8,
+        counter_bits: int = 3,
+        promote_mispredicts: int = 32,
+        promote_rate: float = 0.05,
+        confidence: int = 1,
+    ):
+        _check_power_of_two(1 << history_bits, "2**history_bits")
+        if entries <= 0:
+            raise ValueError("side-table capacity must be positive")
+        if not 0.0 <= promote_rate <= 1.0:
+            raise ValueError("promote_rate must be in [0, 1]")
+        self.base = base
+        self.capacity = entries
+        self.history_bits = history_bits
+        self.history_entries = 1 << history_bits
+        self.history_mask = self.history_entries - 1
+        self.counter_bits = counter_bits
+        mid = 1 << (counter_bits - 1)
+        top = (1 << counter_bits) - 1
+        #: side counter must be >= hi (or <= lo) to override the base
+        self.hi = min(top, mid + confidence)
+        self.lo = max(0, mid - 1 - confidence)
+        self.promote_mispredicts = promote_mispredicts
+        self.promote_rate = promote_rate
+        #: pc -> [executions, base mispredicts] (identification stage)
+        self.ident: Dict[int, list] = {}
+        #: pc -> dedicated local-history table (promoted branches)
+        self.side: Dict[int, _SideEntry] = {}
+        # Statistics (observability only).
+        self.overrides = 0
+        self.override_correct = 0
+
+    # -- pure lookup -------------------------------------------------------
+
+    def _side_view(self, pc: int, base_pred: bool) -> Tuple[bool, bool]:
+        """(final prediction, overrode) for ``pc`` given the base's
+        prediction, reading side-table state without mutating it."""
+        entry = self.side.get(pc)
+        if entry is None:
+            return base_pred, False
+        counter = entry.pht.counter(entry.history)
+        if counter >= self.hi:
+            return True, True
+        if counter <= self.lo:
+            return False, True
+        return base_pred, False
+
+    # -- training ----------------------------------------------------------
+
+    def _train(self, pc: int, base_pred: bool, overrode: bool,
+               final_pred: bool, taken: bool) -> None:
+        if overrode:
+            self.overrides += 1
+            if final_pred == taken:
+                self.override_correct += 1
+        # Identification: track the *base* predictor's H2P-ness.
+        stat = self.ident.get(pc)
+        if stat is None:
+            stat = self.ident[pc] = [0, 0]
+        stat[0] += 1
+        if base_pred != taken:
+            stat[1] += 1
+        entry = self.side.get(pc)
+        if entry is None:
+            if (len(self.side) < self.capacity
+                    and stat[1] >= self.promote_mispredicts
+                    and stat[1] >= self.promote_rate * stat[0]):
+                entry = self.side[pc] = _SideEntry(self.history_entries,
+                                                  self.counter_bits)
+        if entry is not None:
+            entry.pht.update(entry.history, taken)
+            entry.history = ((entry.history << 1) | (1 if taken else 0)) \
+                & self.history_mask
+
+    # -- DirectionPredictor interface --------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        return self._side_view(pc, self.base.predict(pc))[0]
+
+    def update(self, pc: int, taken: bool) -> None:
+        base_pred = self.base.predict(pc)
+        final_pred, overrode = self._side_view(pc, base_pred)
+        self.base.update(pc, taken)
+        self._train(pc, base_pred, overrode, final_pred, taken)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Fused path: one base query via the base's own fused method
+        (bit-identical to its split pair by contract) and one side-table
+        read before training."""
+        base_pred = self.base.predict_and_update(pc, taken)
+        # NOTE: the side view must be read before _train mutates the
+        # side entry; base state is independent of the side-table, so
+        # querying the base fused-first is state-identical to the split
+        # predict -> update sequence.
+        final_pred, overrode = self._side_view(pc, base_pred)
+        self._train(pc, base_pred, overrode, final_pred, taken)
+        return final_pred
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def promoted_count(self) -> int:
+        """Branches currently holding a dedicated side entry."""
+        return len(self.side)

@@ -1,0 +1,105 @@
+"""Hashed perceptron direction predictor (Jimenez & Lin).
+
+One row of signed weights per hashed PC, dotted against the global
+branch history: the prediction is the sign of
+``bias + sum(w_i * h_i)`` with ``h_i`` in {-1, +1}.  Training bumps the
+row's weights toward the outcome whenever the prediction was wrong or
+the output magnitude was below the threshold ``theta`` (Jimenez's
+``1.93 * history + 14``).
+
+The perceptron captures long linearly-separable correlations that
+counter-based tables dilute, and is the second modern baseline of the
+arena (TAGE-lite being the first).  Like every zoo predictor it is
+fully deterministic, and its split ``predict``/``update`` pair and the
+fused ``predict_and_update`` are wrappers over one pure ``_output`` and
+one mutating ``_train``.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.branch.base import DirectionPredictor, _check_power_of_two
+
+
+class HashedPerceptronPredictor(DirectionPredictor):
+    """Global-history perceptron with a hashed weight-row index."""
+
+    def __init__(
+        self,
+        entries: int = 4096,
+        history: int = 28,
+        weight_bits: int = 8,
+        threshold: int = 0,
+    ):
+        _check_power_of_two(entries, "entries")
+        if history <= 0:
+            raise ValueError("history length must be positive")
+        self.entries = entries
+        self.row_mask = entries - 1
+        self.history_bits = history
+        self.history_mask = (1 << history) - 1
+        self.history = 0
+        self.theta = threshold if threshold > 0 else int(1.93 * history + 14)
+        self.weight_max = (1 << (weight_bits - 1)) - 1
+        self.weight_min = -(1 << (weight_bits - 1))
+        self.row_size = history + 1  # +1: bias weight at offset 0
+        self.weights = array("h", [0]) * (entries * self.row_size)
+        # Statistics (observability only).
+        self.train_events = 0
+        self.saturated_updates = 0
+
+    def _row(self, pc: int) -> int:
+        """Weight-row base offset for ``pc`` (multiplicative hash)."""
+        return ((pc * 0x9E3779B1) & self.row_mask) * self.row_size
+
+    def _output(self, pc: int) -> int:
+        """The perceptron output (dot product); pure."""
+        weights = self.weights
+        row = self._row(pc)
+        total = weights[row]  # bias
+        history = self.history
+        for i in range(1, self.row_size):
+            if history & 1:
+                total += weights[row + i]
+            else:
+                total -= weights[row + i]
+            history >>= 1
+        return total
+
+    def _train(self, output: int, pc: int, taken: bool) -> None:
+        prediction = output >= 0
+        if prediction != taken or abs(output) <= self.theta:
+            self.train_events += 1
+            weights = self.weights
+            row = self._row(pc)
+            step = 1 if taken else -1
+            value = weights[row] + step
+            if self.weight_min <= value <= self.weight_max:
+                weights[row] = value
+            else:
+                self.saturated_updates += 1
+            history = self.history
+            for i in range(1, self.row_size):
+                # Agreeing history bits strengthen, disagreeing weaken.
+                delta = step if history & 1 else -step
+                value = weights[row + i] + delta
+                if self.weight_min <= value <= self.weight_max:
+                    weights[row + i] = value
+                history >>= 1
+        self.history = ((self.history << 1) | (1 if taken else 0)) \
+            & self.history_mask
+
+    # -- DirectionPredictor interface --------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        return self._output(pc) >= 0
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._train(self._output(pc), pc, taken)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Fused path: one dot product for both halves."""
+        output = self._output(pc)
+        self._train(output, pc, taken)
+        return output >= 0

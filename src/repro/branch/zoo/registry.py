@@ -1,0 +1,153 @@
+"""Scheme registry: from :class:`PredictorConfig` to a live predictor.
+
+Every constructible direction predictor registers a factory under a
+``scheme`` name; :func:`make_predictor` turns a config into an instance
+and :func:`make_complex` wraps it in the full
+:class:`~repro.branch.unit.BranchPredictorComplex` (paper BTB/RAS/target
+cache, zoo direction predictor).
+
+The registry is the arena's pluggability point: a new predictor needs
+one factory registration (plus config fields if its geometry is new)
+and it is automatically picked up by ``repro arena``, the fused-path
+property tests and the strength benchmarks.
+
+:data:`ARENA_BASELINES` names the canonical four-baselines study of the
+SSMT-headroom experiment: the paper's hybrid, TAGE-lite, the hashed
+perceptron, and the H2P side-table over TAGE-lite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.branch.base import DirectionPredictor
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GsharePredictor
+from repro.branch.hybrid import HybridPredictor
+from repro.branch.pas import PAsPredictor
+from repro.branch.unit import BranchPredictorComplex
+from repro.branch.zoo.config import PredictorConfig
+from repro.branch.zoo.h2p import H2PAugmentedPredictor
+from repro.branch.zoo.perceptron import HashedPerceptronPredictor
+from repro.branch.zoo.tage import TageLitePredictor
+
+PredictorFactory = Callable[[PredictorConfig], DirectionPredictor]
+
+_FACTORIES: Dict[str, PredictorFactory] = {}
+
+
+def register_scheme(name: str) -> Callable[[PredictorFactory],
+                                           PredictorFactory]:
+    """Class/function decorator registering a predictor factory."""
+    def decorate(factory: PredictorFactory) -> PredictorFactory:
+        if name in _FACTORIES:
+            raise ValueError(f"scheme {name!r} is already registered")
+        _FACTORIES[name] = factory
+        return factory
+    return decorate
+
+
+def registered_schemes() -> Tuple[str, ...]:
+    """Every registered scheme name, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_predictor(config: PredictorConfig) -> DirectionPredictor:
+    """Construct the direction predictor a config describes."""
+    factory = _FACTORIES.get(config.scheme)
+    if factory is None:
+        raise ValueError(f"unknown predictor scheme {config.scheme!r}; "
+                         f"registered: {registered_schemes()}")
+    return factory(config)
+
+
+def make_complex(config: PredictorConfig) -> BranchPredictorComplex:
+    """The full predictor complex with a zoo direction predictor (the
+    paper's BTB, RAS and indirect target cache are unchanged)."""
+    return BranchPredictorComplex(direction=make_predictor(config))
+
+
+# -- factories -------------------------------------------------------------
+
+@register_scheme("bimodal")
+def _make_bimodal(config: PredictorConfig) -> DirectionPredictor:
+    return BimodalPredictor(entries=config.entries,
+                            counter_bits=config.counter_bits)
+
+
+@register_scheme("gshare")
+def _make_gshare(config: PredictorConfig) -> DirectionPredictor:
+    return GsharePredictor(entries=config.entries,
+                           history_bits=config.history_bits,
+                           counter_bits=config.counter_bits)
+
+
+@register_scheme("pas")
+def _make_pas(config: PredictorConfig) -> DirectionPredictor:
+    return PAsPredictor(history_entries=config.pas_history_entries,
+                        history_bits=config.pas_history_bits,
+                        pht_sets=config.pas_pht_sets,
+                        counter_bits=config.counter_bits)
+
+
+@register_scheme("hybrid")
+def _make_hybrid(config: PredictorConfig) -> DirectionPredictor:
+    return HybridPredictor(
+        gshare=GsharePredictor(entries=config.entries,
+                               history_bits=config.history_bits,
+                               counter_bits=config.counter_bits),
+        pas=PAsPredictor(history_entries=config.pas_history_entries,
+                         history_bits=config.pas_history_bits,
+                         pht_sets=config.pas_pht_sets,
+                         counter_bits=config.counter_bits),
+        selector_entries=config.selector_entries)
+
+
+@register_scheme("tage")
+def _make_tage(config: PredictorConfig) -> DirectionPredictor:
+    return TageLitePredictor(
+        base_entries=config.tage_base_entries,
+        tables=config.tage_tables,
+        entries=config.tage_entries,
+        tag_bits=config.tage_tag_bits,
+        counter_bits=config.tage_counter_bits,
+        useful_bits=config.tage_useful_bits,
+        min_history=config.tage_min_history,
+        max_history=config.tage_max_history,
+        useful_reset=config.tage_useful_reset)
+
+
+@register_scheme("perceptron")
+def _make_perceptron(config: PredictorConfig) -> DirectionPredictor:
+    return HashedPerceptronPredictor(
+        entries=config.ptron_entries,
+        history=config.ptron_history,
+        weight_bits=config.ptron_weight_bits,
+        threshold=config.ptron_threshold)
+
+
+@register_scheme("h2p")
+def _make_h2p(config: PredictorConfig) -> DirectionPredictor:
+    from dataclasses import replace
+
+    base = make_predictor(replace(config, scheme=config.h2p_base))
+    return H2PAugmentedPredictor(
+        base,
+        entries=config.h2p_entries,
+        history_bits=config.h2p_history_bits,
+        counter_bits=config.h2p_counter_bits,
+        promote_mispredicts=config.h2p_promote_mispredicts,
+        promote_rate=config.h2p_promote_rate,
+        confidence=config.h2p_confidence)
+
+
+#: The canonical arena study: paper hybrid vs two modern predictors vs
+#: the H2P-augmented modern predictor.  Keys are display labels (and the
+#: ``--predictors`` vocabulary of ``repro arena``); values are full
+#: task-key-canonical configs.
+ARENA_BASELINES: Dict[str, PredictorConfig] = {
+    "hybrid": PredictorConfig(scheme="hybrid"),
+    "tage": PredictorConfig(scheme="tage"),
+    "perceptron": PredictorConfig(scheme="perceptron"),
+    "h2p-tage": PredictorConfig(scheme="h2p", h2p_base="tage"),
+}

@@ -1,0 +1,238 @@
+"""TAGE-lite: geometric-history tagged tables with useful-bit allocation.
+
+A reduced TAGE (Seznec & Michaud) — the modern baseline the arena pits
+the paper's 2002 hybrid against:
+
+* a tagless bimodal base table,
+* ``tables`` tagged tables whose history lengths grow geometrically
+  from ``min_history`` to ``max_history``,
+* partial tags, 3-bit prediction counters and 2-bit useful counters per
+  tagged entry,
+* on a misprediction, allocation into one not-useful entry of a
+  longer-history table (decaying every longer table's useful counters
+  when none is free), and
+* periodic graceful halving of all useful counters.
+
+Omitted relative to full TAGE (hence "-lite"): the *dynamic*
+``use_alt_on_na`` chooser (a static weak-provider-defers-to-alternate
+rule stands in for it), the loop predictor and the statistical
+corrector.  Everything is deterministic — allocation
+picks the first free longer table rather than a random one — so runs
+are bit-reproducible and cacheable by task key.
+
+The split ``predict()``/``update()`` pair and the fused
+``predict_and_update()`` are bit-identical by construction: both are
+thin wrappers over one pure ``_lookup`` and one mutating ``_train``
+(``tests/test_zoo_properties.py`` property-checks this for every
+registered scheme).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Tuple
+
+from repro.branch.base import DirectionPredictor, SaturatingCounterTable
+
+
+def _fold(history: int, length: int, bits: int) -> int:
+    """XOR-fold the low ``length`` history bits down to ``bits`` bits."""
+    history &= (1 << length) - 1
+    mask = (1 << bits) - 1
+    folded = 0
+    while history:
+        folded ^= history & mask
+        history >>= bits
+    return folded
+
+
+#: Lookup snapshot: (indices, tags, provider, alternate, provider_pred,
+#: alt_pred, prediction).  ``provider``/``alternate`` are tagged-table
+#: numbers, or -1 for the bimodal base.
+_Lookup = Tuple[List[int], List[int], int, int, bool, bool, bool]
+
+
+class TageLitePredictor(DirectionPredictor):
+    """Tagged geometric-history predictor (TAGE-lite)."""
+
+    def __init__(
+        self,
+        base_entries: int = 16 * 1024,
+        tables: int = 6,
+        entries: int = 2048,
+        tag_bits: int = 9,
+        counter_bits: int = 3,
+        useful_bits: int = 2,
+        min_history: int = 4,
+        max_history: int = 128,
+        useful_reset: int = 262_144,
+    ):
+        self.base = SaturatingCounterTable(base_entries, 2)
+        self.tables = tables
+        self.entries = entries
+        self.index_mask = entries - 1
+        self.index_bits = entries.bit_length() - 1
+        self.tag_bits = tag_bits
+        self.tag_mask = (1 << tag_bits) - 1
+        self.counter_bits = counter_bits
+        self.counter_max = (1 << counter_bits) - 1
+        self.counter_mid = 1 << (counter_bits - 1)
+        self.useful_max = (1 << useful_bits) - 1
+        self.useful_reset = useful_reset
+        # Geometric history series L_1..L_tables (L_1 = min, L_T = max).
+        self.history_lengths: List[int] = []
+        for i in range(tables):
+            if tables == 1:
+                length = max_history
+            else:
+                ratio = (max_history / min_history) ** (i / (tables - 1))
+                length = int(round(min_history * ratio))
+            self.history_lengths.append(max(1, length))
+        self.max_history = max(self.history_lengths)
+        self.history_mask = (1 << self.max_history) - 1
+        self.history = 0
+        # Per tagged table: prediction counters (weakly taken), partial
+        # tags (0 = empty; stored tags are offset by 1) and useful bits.
+        self.ctr = [array("b", [self.counter_mid]) * entries
+                    for _ in range(tables)]
+        self.tag = [array("l", [0]) * entries for _ in range(tables)]
+        self.useful = [array("b", [0]) * entries for _ in range(tables)]
+        self.tick = 0
+        # Statistics (observability only; not part of prediction state).
+        self.provider_hits = [0] * (tables + 1)  # [-1] slot = base
+        self.allocations = 0
+        self.allocation_failures = 0
+
+    # -- pure lookup -------------------------------------------------------
+
+    def _lookup(self, pc: int) -> _Lookup:
+        """Compute per-table indices/tags and the provider/alternate
+        components for ``pc`` under the current history (no mutation)."""
+        indices: List[int] = []
+        tags: List[int] = []
+        history = self.history
+        index_bits = self.index_bits
+        tag_bits = self.tag_bits
+        for length in self.history_lengths:
+            fold_index = _fold(history, length, index_bits) if index_bits else 0
+            indices.append((pc ^ (pc >> index_bits) ^ fold_index)
+                           & self.index_mask)
+            tag_fold = _fold(history, length, tag_bits)
+            tag_fold2 = _fold(history, length, tag_bits - 1) << 1
+            # +1 offset keeps 0 as the "empty slot" sentinel.
+            tags.append(((pc ^ tag_fold ^ tag_fold2) & self.tag_mask) + 1)
+        provider = -1
+        alternate = -1
+        for t in range(self.tables - 1, -1, -1):
+            if self.tag[t][indices[t]] == tags[t]:
+                if provider < 0:
+                    provider = t
+                elif alternate < 0:
+                    alternate = t
+                    break
+        base_pred = self.base.predict(pc)
+        weak_provider = False
+        if provider >= 0:
+            counter = self.ctr[provider][indices[provider]]
+            provider_pred = counter >= self.counter_mid
+            # A newly-allocated entry (weak counter, never proved
+            # useful) defers to the alternate prediction — the static
+            # form of full TAGE's use_alt_on_na heuristic.
+            weak_provider = (self.useful[provider][indices[provider]] == 0
+                             and counter in (self.counter_mid - 1,
+                                             self.counter_mid))
+        else:
+            provider_pred = base_pred
+        if alternate >= 0:
+            alt_pred = self.ctr[alternate][indices[alternate]] \
+                >= self.counter_mid
+        else:
+            alt_pred = base_pred
+        prediction = alt_pred if weak_provider else provider_pred
+        return indices, tags, provider, alternate, provider_pred, alt_pred, \
+            prediction
+
+    # -- training ----------------------------------------------------------
+
+    def _train(self, looked: _Lookup, pc: int, taken: bool) -> None:
+        indices, tags, provider, _alternate, provider_pred, alt_pred, \
+            prediction = looked
+        correct = prediction == taken
+        self.provider_hits[provider] += 1
+
+        if provider >= 0:
+            # Train the provider counter toward the outcome.
+            ctr = self.ctr[provider]
+            index = indices[provider]
+            value = ctr[index]
+            if taken:
+                if value < self.counter_max:
+                    ctr[index] = value + 1
+            elif value > 0:
+                ctr[index] = value - 1
+            # Useful bit: the provider proved (un)useful only when it
+            # disagreed with the alternate prediction.
+            if provider_pred != alt_pred:
+                useful = self.useful[provider]
+                uval = useful[index]
+                if provider_pred == taken:
+                    if uval < self.useful_max:
+                        useful[index] = uval + 1
+                elif uval > 0:
+                    useful[index] = uval - 1
+        else:
+            self.base.update(pc, taken)
+
+        # Allocate a longer-history entry on a misprediction.
+        if not correct and provider < self.tables - 1:
+            victim = -1
+            for t in range(provider + 1, self.tables):
+                if self.useful[t][indices[t]] == 0:
+                    victim = t
+                    break
+            if victim >= 0:
+                self.allocations += 1
+                index = indices[victim]
+                self.tag[victim][index] = tags[victim]
+                self.ctr[victim][index] = (self.counter_mid if taken
+                                           else self.counter_mid - 1)
+                self.useful[victim][index] = 0
+            else:
+                self.allocation_failures += 1
+                for t in range(provider + 1, self.tables):
+                    useful = self.useful[t]
+                    index = indices[t]
+                    if useful[index] > 0:
+                        useful[index] -= 1
+
+        # Graceful useful decay.
+        self.tick += 1
+        if self.tick >= self.useful_reset:
+            self.tick = 0
+            for useful in self.useful:
+                for i, value in enumerate(useful):
+                    if value:
+                        useful[i] = value >> 1
+
+        self.history = ((self.history << 1) | (1 if taken else 0)) \
+            & self.history_mask
+
+    # -- DirectionPredictor interface --------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        return self._lookup(pc)[6]
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._train(self._lookup(pc), pc, taken)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Fused path: one table walk for both halves (the split pair
+        recomputes the same pure lookup; state is bit-identical)."""
+        looked = self._lookup(pc)
+        self._train(looked, pc, taken)
+        return looked[6]
+
+    @property
+    def total_entries(self) -> int:
+        """Counters across base and tagged tables (for size reporting)."""
+        return self.base.entries + self.tables * self.entries

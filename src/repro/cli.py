@@ -17,7 +17,13 @@
   ``--jobs N`` fans simulations across a process pool,
 * ``sweep`` — run a (benchmark x width x config-knob) grid through the
   parallel sweep runner with on-disk result caching (``--jobs``,
-  ``--cache-dir``, ``--no-resume``; see ``docs/telemetry.md``),
+  ``--cache-dir``, ``--no-resume``; see ``docs/telemetry.md``);
+  ``--predictor`` swaps the hardware direction predictor for a zoo
+  baseline (see ``docs/predictors.md``),
+* ``arena`` — the predictor arena: re-run the figure pipeline once per
+  zoo baseline and emit the ``repro.arena/1``
+  SSMT-headroom-vs-baseline-strength artifact with per-path H2P
+  analytics (see ``docs/predictors.md``),
 * ``disasm`` — disassemble a generated benchmark,
 * ``verify`` — statically verify every built microthread (and, with
   ``--sanitize``, check runtime invariants); exits non-zero on errors
@@ -437,9 +443,20 @@ def cmd_sweep(args) -> int:
         raise SystemExit("--values requires --knob")
     values = tuple(parse_knob_value(args.knob, raw) for raw in args.values) \
         if args.knob else ()
+    predictor = None
+    if args.predictor:
+        # Imported only when asked for: the default sweep never touches
+        # the zoo (see tests/test_zoo_zero_cost.py).
+        from repro.branch.zoo import ARENA_BASELINES
+        if args.predictor not in ARENA_BASELINES:
+            raise SystemExit(
+                f"unknown predictor {args.predictor!r}; choose from "
+                + ", ".join(sorted(ARENA_BASELINES)))
+        predictor = ARENA_BASELINES[args.predictor]
     tasks = build_grid(benchmarks, args.instructions,
                        knob=args.knob, values=values,
-                       widths=tuple(args.widths or ()))
+                       widths=tuple(args.widths or ()),
+                       predictor=predictor)
     runner = SweepRunner(jobs=args.jobs, cache_dir=args.cache_dir,
                          resume=args.resume, task_timeout=args.timeout,
                          max_retries=args.retries)
@@ -450,6 +467,7 @@ def cmd_sweep(args) -> int:
         "knob": args.knob,
         "values": list(values),
         "widths": list(args.widths or ()),
+        "predictor": args.predictor or None,
         "jobs": outcome.jobs,
         "simulated": outcome.simulated,
         "cache_hits": outcome.cache_hits,
@@ -482,6 +500,58 @@ def cmd_sweep(args) -> int:
                          context=merged["context"])
         print(f"wrote {path}")
     return 1 if outcome.failures else 0
+
+
+def cmd_arena(args) -> int:
+    """Run the predictor arena (see docs/predictors.md)."""
+    from repro.analysis.arena import run_arena
+
+    benchmarks = tuple(args.benchmarks) if args.benchmarks else BENCHMARK_NAMES
+    for name in benchmarks:
+        _check_benchmark(name)
+    try:
+        artifact = run_arena(benchmarks, args.instructions,
+                             baselines=args.predictors or None,
+                             jobs=args.jobs, cache_dir=args.cache_dir,
+                             resume=args.resume)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+    rows = [[label, row["mean_accuracy"], row["geomean_ssmt_speedup"],
+             row["geomean_potential_speedup"],
+             row["geomean_oracle_headroom"]]
+            for label, row in artifact["headroom"].items()]
+    print(format_table(
+        ["baseline", "accuracy", "ssmt", "potential", "oracle headroom"],
+        rows, title=f"Predictor arena over {len(benchmarks)} benchmarks "
+                    f"({args.instructions} instructions)"))
+    print()
+    targets = artifact["calibration_targets"]
+    rows = [[name, t["strongest_baseline"], t["target_accuracy"],
+             t["surviving_h2p_paths"], t["target_h2p_fraction"]]
+            for name, t in targets.items()]
+    print(format_table(
+        ["bench", "strongest", "accuracy", "surviving h2p", "h2p frac"],
+        rows, title="Workload calibration targets"))
+    context = artifact["context"]
+    print(f"\narena: baselines={len(artifact['headroom'])} "
+          f"benchmarks={len(benchmarks)} points={context['points']} "
+          f"simulated={context['simulated']} "
+          f"cache_hits={context['cache_hits']}")
+
+    if args.json_out:
+        os.makedirs(os.path.dirname(args.json_out) or ".", exist_ok=True)
+        with open(args.json_out, "w") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    if args.bench_out:
+        os.makedirs(args.bench_out, exist_ok=True)
+        path = os.path.join(args.bench_out, "BENCH_arena.json")
+        write_bench_json(path, "arena", artifact["headroom"],
+                         context=context)
+        print(f"wrote {path}")
+    return 0
 
 
 def cmd_disasm(args) -> int:
@@ -598,6 +668,11 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="W",
                               help="machine widths (fetch/issue/retire); "
                                    "each gets its own baseline")
+    sweep_parser.add_argument("--predictor", metavar="NAME",
+                              help="zoo baseline direction predictor for "
+                                   "every point, e.g. tage, perceptron, "
+                                   "h2p-tage (default: the paper's "
+                                   "hybrid; see docs/predictors.md)")
     sweep_parser.add_argument("--jobs", type=int, default=None,
                               help="process-pool workers (default: "
                                    "$REPRO_JOBS or serial)")
@@ -620,6 +695,32 @@ def build_parser() -> argparse.ArgumentParser:
                                    "artifact here")
     sweep_parser.add_argument("--bench-out", metavar="DIR",
                               help="write a BENCH_sweep.json trajectory "
+                                   "artifact into DIR")
+
+    arena_parser = sub.add_parser(
+        "arena",
+        help="predictor arena: SSMT headroom vs. baseline strength "
+             "across the zoo (see docs/predictors.md)")
+    _add_common(arena_parser)
+    arena_parser.add_argument("--benchmarks", nargs="*",
+                              help="subset (default: all 20)")
+    arena_parser.add_argument("--predictors", nargs="*", metavar="NAME",
+                              help="zoo baselines to race (default: all "
+                                   "registered arena baselines)")
+    arena_parser.add_argument("--jobs", type=int, default=None,
+                              help="process-pool workers (default: "
+                                   "$REPRO_JOBS or serial)")
+    arena_parser.add_argument("--cache-dir", metavar="DIR",
+                              help="on-disk result cache; re-runs skip "
+                                   "completed points")
+    arena_parser.add_argument("--resume", default=True,
+                              action=argparse.BooleanOptionalAction,
+                              help="read cached results (--no-resume "
+                                   "recomputes but still writes the cache)")
+    arena_parser.add_argument("--json-out", metavar="PATH",
+                              help="write the repro.arena/1 artifact here")
+    arena_parser.add_argument("--bench-out", metavar="DIR",
+                              help="write a BENCH_arena.json trajectory "
                                    "artifact into DIR")
 
     disasm_parser = sub.add_parser("disasm", help="disassemble a benchmark")
@@ -708,6 +809,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "experiment": cmd_experiment,
     "sweep": cmd_sweep,
+    "arena": cmd_arena,
     "disasm": cmd_disasm,
     "report": cmd_report,
     "verify": cmd_verify,

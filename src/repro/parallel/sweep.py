@@ -28,13 +28,16 @@ from __future__ import annotations
 
 import dataclasses
 import statistics
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.ssmt import SSMTConfig
 from repro.parallel.taskkey import SweepTask, canonical_json
 from repro.parallel.worker import point_ipc
 from repro.schemas import schema_string
 from repro.uarch.config import TABLE3_BASELINE, MachineConfig
+
+if TYPE_CHECKING:  # pragma: no cover — keeps repro.branch.zoo unimported
+    from repro.branch.zoo.config import PredictorConfig
 
 #: Schema of the merged sweep-level artifact.
 SWEEP_SCHEMA = schema_string("repro.sweep", 1)
@@ -68,6 +71,7 @@ def build_grid(
     values: Sequence[Any] = (),
     widths: Sequence[int] = (),
     machine: MachineConfig = TABLE3_BASELINE,
+    predictor: Optional["PredictorConfig"] = None,
 ) -> List[SweepTask]:
     """Expand benchmarks x widths x knob-settings into sweep tasks.
 
@@ -75,6 +79,9 @@ def build_grid(
     (benchmark, machine); with no ``widths`` the given ``machine`` is
     used as-is.  Every (benchmark, machine) pair also gets a
     ``baseline`` task (deduped by key if repeated across grids).
+    ``predictor`` swaps the hardware direction predictor of every point
+    (baselines included) for a zoo baseline; ``None`` keeps the paper's
+    hybrid.
     """
     base_config = base_config or SSMTConfig()
     if knob is not None and not hasattr(base_config, knob):
@@ -94,14 +101,16 @@ def build_grid(
             blabel = "|".join(part for part in ("baseline", mlabel) if part)
             tasks.append(SweepTask(kind="baseline", benchmark=name,
                                    instructions=instructions,
-                                   label=blabel, machine=mconfig))
+                                   label=blabel, machine=mconfig,
+                                   predictor=predictor))
         for slabel, config in settings:
             label = "|".join(part for part in (slabel, mlabel) if part)
             for name in benchmarks:
                 tasks.append(SweepTask(kind="ssmt", benchmark=name,
                                        instructions=instructions,
                                        label=label, config=config,
-                                       machine=mconfig))
+                                       machine=mconfig,
+                                       predictor=predictor))
     return tasks
 
 

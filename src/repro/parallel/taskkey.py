@@ -8,7 +8,9 @@ rendering of everything that determines the simulation's outcome:
 * the task kind (``baseline`` / ``ssmt`` / ``oracle`` / ``potential``),
 * the full :class:`~repro.core.ssmt.SSMTConfig` (or
   :class:`~repro.core.oracle.PotentialConfig`) when one applies,
-* the full :class:`~repro.uarch.config.MachineConfig`, and
+* the full :class:`~repro.uarch.config.MachineConfig`,
+* the :class:`~repro.branch.zoo.config.PredictorConfig` when the point
+  runs a zoo baseline predictor (``None`` = the paper's hybrid), and
 * :data:`CODE_SCHEMA_VERSION`.
 
 Two tasks with equal keys produce bit-identical result payloads, so a
@@ -32,11 +34,14 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.core.oracle import PotentialConfig
 from repro.core.ssmt import SSMTConfig
 from repro.uarch.config import TABLE3_BASELINE, MachineConfig
+
+if TYPE_CHECKING:  # pragma: no cover — keeps repro.branch.zoo unimported
+    from repro.branch.zoo.config import PredictorConfig
 
 # Re-exported from their canonical (leaf) home so the many existing
 # importers of ``taskkey.CODE_SCHEMA_VERSION`` keep working, and so the
@@ -98,6 +103,9 @@ class SweepTask:
     config: Optional[SSMTConfig] = None
     potential: Optional[PotentialConfig] = None
     machine: MachineConfig = TABLE3_BASELINE
+    #: zoo baseline direction predictor; ``None`` is the paper's hybrid
+    #: (the default path never imports :mod:`repro.branch.zoo`)
+    predictor: Optional["PredictorConfig"] = None
 
     def __post_init__(self) -> None:
         if self.kind not in TASK_KINDS:
@@ -109,6 +117,16 @@ class SweepTask:
             object.__setattr__(self, "config", SSMTConfig())
         if self.kind == "potential" and self.potential is None:
             object.__setattr__(self, "potential", PotentialConfig())
+        if self.predictor is not None:
+            if self.kind == "oracle":
+                # Oracle direction prediction ignores the hardware
+                # predictor; normalising to None keeps the task key (and
+                # the cache entry) shared across baselines.
+                object.__setattr__(self, "predictor", None)
+            elif not (dataclasses.is_dataclass(self.predictor)
+                      and not isinstance(self.predictor, type)):
+                raise ValueError("predictor must be a PredictorConfig "
+                                 "instance (or None for the paper hybrid)")
         if not self.label:
             object.__setattr__(self, "label", self.kind)
 
@@ -125,6 +143,7 @@ class SweepTask:
             "config": _jsonable(self.config),
             "potential": _jsonable(self.potential),
             "machine": _jsonable(self.machine),
+            "predictor": _jsonable(self.predictor),
         }
 
     @property

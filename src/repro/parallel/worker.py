@@ -59,6 +59,21 @@ def point_ipc(payload: Dict[str, Any]) -> float:
     return timing["instructions"] / cycles if cycles else 0.0
 
 
+def _direction_complex(task: SweepTask) -> BranchPredictorComplex:
+    """The predictor complex a task requests.
+
+    The zoo import is deliberately deferred to this branch: a task with
+    ``predictor=None`` (the paper's hybrid) never imports
+    :mod:`repro.branch.zoo`, keeping the default path zero-cost
+    (``tests/test_zoo_zero_cost.py`` pins this down).
+    """
+    if task.predictor is None:
+        return BranchPredictorComplex()
+    from repro.branch.zoo import make_complex
+
+    return make_complex(task.predictor)
+
+
 def run_task(task: SweepTask) -> Dict[str, Any]:
     """Simulate one sweep point and return its result payload."""
     trace = benchmark_trace(task.benchmark, task.instructions)
@@ -66,14 +81,16 @@ def run_task(task: SweepTask) -> Dict[str, Any]:
     result: TimingResult
     if task.kind == "baseline":
         result = OoOTimingModel(task.machine).run(
-            trace, BranchPredictorComplex())
+            trace, _direction_complex(task))
     elif task.kind == "oracle":
         result = OoOTimingModel(task.machine).run(trace, oracle_complex())
     elif task.kind == "potential":
         result, _ = run_potential(trace, task.potential,
-                                  machine=task.machine)
+                                  machine=task.machine,
+                                  predictor=_direction_complex(task))
     else:  # ssmt (validated by SweepTask.__post_init__)
-        result, engine = run_ssmt(trace, task.config, machine=task.machine)
+        result, engine = run_ssmt(trace, task.config, machine=task.machine,
+                                  predictor=_direction_complex(task))
         metrics = engine_metrics(engine)
     payload: Dict[str, Any] = {
         "schema": POINT_SCHEMA,
@@ -84,6 +101,8 @@ def run_task(task: SweepTask) -> Dict[str, Any]:
         "instructions": task.instructions,
         "config": asdict(task.config) if task.config is not None else None,
         "machine": asdict(task.machine),
+        "predictor": (asdict(task.predictor)
+                      if task.predictor is not None else None),
         "timing": result.as_dict(),
         "metrics": metrics,
     }

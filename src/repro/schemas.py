@@ -31,7 +31,10 @@ from typing import Dict, Iterator, Tuple
 #: cached results from an older version must never be served as current.
 #: The ``repro lint`` schema-drift gate cross-checks this against the
 #: committed AST-fingerprint manifest (``lint-fingerprints.json``).
-CODE_SCHEMA_VERSION = 1
+#:
+#: History: 2 — sweep tasks gained the ``predictor`` identity field and
+#: point payloads the matching ``predictor`` section (repro.zoo).
+CODE_SCHEMA_VERSION = 2
 
 #: Every versioned artifact schema: name -> version -> owning module.
 #: The owning module is the one that emits the schema string (and
@@ -41,6 +44,7 @@ SCHEMA_REGISTRY: Dict[str, Dict[int, str]] = {
     "repro.bench": {1: "repro.telemetry.report"},
     "repro.sweep": {1: "repro.parallel.sweep"},
     "repro.sweep.point": {1: "repro.parallel.cache"},
+    "repro.arena": {1: "repro.analysis.arena"},
     "repro.perf": {1: "repro.perf.harness"},
     "repro.lint": {1: "repro.lint.report"},
     "repro.lint.fingerprints": {1: "repro.lint.fingerprint"},

@@ -1,0 +1,120 @@
+"""The predictor arena (repro.analysis.arena) and its H2P analytics."""
+
+import pytest
+
+from repro.analysis.arena import ARENA_SCHEMA, run_arena
+from repro.analysis.events import collect_control_events
+from repro.analysis.h2p import (
+    calibration_target,
+    compare_profiles,
+    profile_paths,
+)
+from repro.workloads import benchmark_trace
+
+_INSTRUCTIONS = 4000
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return run_arena(["gcc"], _INSTRUCTIONS)
+
+
+class TestArenaArtifact:
+    def test_schema_and_baseline_count(self, artifact):
+        assert artifact["schema"] == ARENA_SCHEMA == "repro.arena/1"
+        # The study needs the paper hybrid plus at least three modern
+        # baselines.
+        assert len(artifact["baselines"]) >= 4
+        assert {"hybrid", "tage", "perceptron",
+                "h2p-tage"} <= set(artifact["baselines"])
+
+    def test_per_benchmark_rows(self, artifact):
+        for label, row in artifact["baselines"].items():
+            bench = row["per_benchmark"]["gcc"]
+            assert 0.0 < bench["accuracy"] <= 1.0
+            assert bench["baseline_ipc"] > 0
+            assert bench["ssmt_speedup"] > 0
+            assert bench["potential_speedup"] > 0
+            # Perfect prediction can only help.
+            assert bench["oracle_speedup"] >= 1.0
+            assert set(bench["timeliness"]) == {"early", "late", "useless",
+                                                "total"}
+            assert row["predictor"]["config_version"] == 1
+
+    def test_headroom_rows(self, artifact):
+        assert set(artifact["headroom"]) == set(artifact["baselines"])
+        for row in artifact["headroom"].values():
+            assert set(row) == {"mean_accuracy", "geomean_ssmt_speedup",
+                                "geomean_potential_speedup",
+                                "geomean_oracle_headroom"}
+
+    def test_h2p_analytics(self, artifact):
+        reference = artifact["context"]["reference"]
+        assert reference == "hybrid"
+        for label, per_bench in artifact["h2p"].items():
+            summary = per_bench["gcc"]
+            assert set(summary["regimes"]) == {"easy", "transient", "h2p"}
+            assert sum(summary["regimes"].values()) \
+                == summary["unique_paths"]
+            if label == reference:
+                assert "vs_reference" not in summary
+            else:
+                diff = summary["vs_reference"]
+                assert diff["killed"] + diff["surviving"] \
+                    == diff["reference_h2p"]
+
+    def test_calibration_targets(self, artifact):
+        target = artifact["calibration_targets"]["gcc"]
+        assert target["strongest_baseline"] in artifact["baselines"]
+        assert set(target["per_baseline_h2p"]) == set(artifact["baselines"])
+        assert target["surviving_h2p_paths"] \
+            == min(target["per_baseline_h2p"].values())
+
+    def test_oracle_points_shared_across_baselines(self, artifact):
+        """One oracle per benchmark: 1 + 4 baselines x 3 kinds."""
+        expected = 1 + len(artifact["baselines"]) * 3
+        assert artifact["context"]["points"] == expected
+
+
+class TestExecutionModes:
+    def _strip_context(self, art):
+        return {k: v for k, v in art.items() if k != "context"}
+
+    def test_serial_parallel_cached_identical(self, tmp_path, artifact):
+        """The artifact outside ``context`` is bit-identical whether the
+        grid ran serially, across a pool, or from the result cache."""
+        cache = str(tmp_path / "cache")
+        parallel = run_arena(["gcc"], _INSTRUCTIONS, jobs=2,
+                             cache_dir=cache)
+        cached = run_arena(["gcc"], _INSTRUCTIONS, cache_dir=cache)
+        assert cached["context"]["cache_hits"] \
+            == cached["context"]["points"]
+        assert self._strip_context(parallel) == self._strip_context(artifact)
+        assert self._strip_context(cached) == self._strip_context(artifact)
+
+    def test_subset_and_unknown_baselines(self):
+        small = run_arena(["gcc"], 2000, baselines=["hybrid", "tage"])
+        assert set(small["baselines"]) == {"hybrid", "tage"}
+        with pytest.raises(ValueError):
+            run_arena(["gcc"], 2000, baselines=["not-a-predictor"])
+
+
+class TestH2PModule:
+    def test_profile_and_compare(self):
+        from repro.branch.zoo import ARENA_BASELINES, make_complex
+
+        trace = benchmark_trace("gcc", _INSTRUCTIONS)
+        hybrid = profile_paths(collect_control_events(
+            trace, predictor=make_complex(ARENA_BASELINES["hybrid"])))
+        tage = profile_paths(collect_control_events(
+            trace, predictor=make_complex(ARENA_BASELINES["tage"])))
+        assert 0.0 < hybrid.accuracy <= 1.0
+        assert hybrid.regimes["h2p"] == len(hybrid.h2p_paths())
+        diff = compare_profiles(hybrid, tage)
+        assert diff["killed"] + diff["surviving"] == diff["reference_h2p"]
+        target = calibration_target({"hybrid": hybrid, "tage": tage})
+        assert target["strongest_baseline"] in ("hybrid", "tage")
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            calibration_target({})

@@ -102,6 +102,62 @@ class TestTaskKey:
         with pytest.raises(ValueError):
             t(instructions=0)
 
+    def test_predictor_is_part_of_the_key(self):
+        from repro.branch.zoo import small_config
+
+        default = t()
+        tage = t(predictor=small_config("tage"))
+        perceptron = t(predictor=small_config("perceptron"))
+        assert default.identity()["predictor"] is None
+        assert tage.identity()["predictor"]["scheme"] == "tage"
+        assert len({default.key, tage.key, perceptron.key}) == 3
+        assert t(predictor=small_config("tage")).key == tage.key
+
+    def test_oracle_normalises_predictor_to_none(self):
+        """Oracle prediction ignores the hardware predictor, so oracle
+        points share one cache entry across all arena baselines."""
+        from repro.branch.zoo import small_config
+
+        plain = t(kind="oracle", config=None)
+        zoo = t(kind="oracle", config=None,
+                predictor=small_config("tage"))
+        assert zoo.predictor is None
+        assert zoo.key == plain.key
+
+    def test_predictor_must_be_a_config_instance(self):
+        with pytest.raises(ValueError):
+            t(predictor="tage")
+
+
+class TestSchemaVersionMigration:
+    def test_version_was_bumped_for_the_predictor_field(self):
+        assert CODE_SCHEMA_VERSION >= 2
+
+    def test_old_version_cache_entry_is_a_clean_miss(self, tmp_path,
+                                                     monkeypatch):
+        """An entry cached under the previous CODE_SCHEMA_VERSION is
+        unreachable by construction — a plain miss, never an
+        invalid/corrupt read."""
+        import repro.parallel.taskkey as taskkey_mod
+
+        task = t()
+        current_key = task.key
+        monkeypatch.setattr(taskkey_mod, "CODE_SCHEMA_VERSION",
+                            CODE_SCHEMA_VERSION - 1)
+        old_key = task.key
+        monkeypatch.undo()
+        assert old_key != current_key
+        assert task.key == current_key
+
+        cache = ResultCache(str(tmp_path))
+        cache.put(old_key, {"schema": POINT_SCHEMA, "task_key": old_key,
+                            "value": 1})
+        assert cache.get(current_key) is None
+        assert cache.misses == 1
+        assert cache.invalid == 0
+        # The stale entry is intact on disk, readable under its own key.
+        assert cache.get(old_key)["value"] == 1
+
 
 class TestParseKnobValue:
     def test_types(self):
@@ -282,6 +338,17 @@ class TestGridAndMerge:
         assert set(agg["per_benchmark"]) == {"comp", "gcc"}
         assert agg["mean_speedup"] > 0.5
 
+    def test_build_grid_predictor_threads_through(self):
+        from repro.branch.zoo import small_config
+
+        config = small_config("tage")
+        tasks = build_grid(("comp",), SHORT, predictor=config)
+        assert all(task.predictor == config for task in tasks)
+        default = build_grid(("comp",), SHORT)
+        assert all(task.predictor is None for task in default)
+        assert {task.key for task in tasks}.isdisjoint(
+            {task.key for task in default})
+
     def test_merge_without_baseline_has_no_speedup(self):
         outcome = SweepRunner(jobs=1).run([GRID[1]])
         merged = merge_sweep(outcome.results)
@@ -323,3 +390,13 @@ class TestSweepCLI:
     def test_values_require_knob(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--values", "4"])
+
+    def test_predictor_flag_runs_zoo_baseline(self, capsys):
+        assert main(["sweep", "--benchmarks", "comp", "--instructions",
+                     "2000", "--predictor", "tage"]) == 0
+        assert "simulated=2" in capsys.readouterr().out
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmarks", "comp", "--instructions",
+                  "2000", "--predictor", "mystery-meat"])

@@ -62,6 +62,9 @@ INTERNAL_MODULES = [
     "repro.branch.hybrid", "repro.branch.btb", "repro.branch.ras",
     "repro.branch.target_cache", "repro.branch.unit",
     "repro.branch.confidence",
+    "repro.branch.zoo", "repro.branch.zoo.config",
+    "repro.branch.zoo.registry", "repro.branch.zoo.tage",
+    "repro.branch.zoo.perceptron", "repro.branch.zoo.h2p",
     "repro.valuepred.stride", "repro.valuepred.address",
     "repro.valuepred.trainer",
     "repro.uarch.config", "repro.uarch.caches", "repro.uarch.timing",
@@ -74,7 +77,8 @@ INTERNAL_MODULES = [
     "repro.analysis.coverage", "repro.analysis.experiments",
     "repro.analysis.report", "repro.analysis.confidence",
     "repro.analysis.sweeps", "repro.analysis.summary",
-    "repro.analysis.paper_data",
+    "repro.analysis.paper_data", "repro.analysis.arena",
+    "repro.analysis.h2p",
     "repro.telemetry.registry", "repro.telemetry.sampler",
     "repro.telemetry.tracer", "repro.telemetry.report",
     "repro.telemetry.session",

@@ -1,0 +1,126 @@
+"""Property tests for the predictor zoo (repro.branch.zoo).
+
+The repo-wide fused-interface contract — split ``predict()`` /
+``update()`` and fused ``predict_and_update()`` are bit-identical in
+both prediction and state — is checked here for **every** registered
+scheme on hypothesis-generated branch streams, so a new zoo predictor
+cannot ship a divergent fused path.  Config plumbing (canonical
+round-trips, validation, the arena baseline set) rides along.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.branch.hybrid import HybridPredictor
+from repro.branch.unit import BranchPredictorComplex
+from repro.branch.zoo import (
+    ARENA_BASELINES,
+    PredictorConfig,
+    config_from_dict,
+    make_complex,
+    make_predictor,
+    registered_schemes,
+    small_config,
+)
+
+SCHEMES = registered_schemes()
+
+_STREAM = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=4095), st.booleans()),
+    max_size=120)
+_PROBES = st.lists(st.integers(min_value=0, max_value=4095), max_size=16)
+
+
+class TestFusedSplitContract:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @settings(deadline=None, max_examples=25)
+    @given(stream=_STREAM, probes=_PROBES)
+    def test_fused_matches_split(self, scheme, stream, probes):
+        """predict_and_update == predict-then-update, prediction AND
+        state, for every registered scheme."""
+        fused = make_predictor(small_config(scheme))
+        split = make_predictor(small_config(scheme))
+        for pc, taken in stream:
+            expected = split.predict(pc)
+            split.update(pc, taken)
+            assert fused.predict_and_update(pc, taken) == expected
+        # Hidden state divergence would surface as disagreeing
+        # predictions on probe PCs...
+        for pc in probes:
+            assert fused.predict(pc) == split.predict(pc)
+        # ... or under continued training on a shared suffix.
+        for pc in probes:
+            taken = pc % 3 == 0
+            assert (fused.predict_and_update(pc, taken)
+                    == split.predict_and_update(pc, taken))
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_update_trains(self, scheme):
+        """A heavily-biased stream must be learned by every scheme."""
+        predictor = make_predictor(small_config(scheme))
+        for _ in range(64):
+            predictor.predict_and_update(0x40, True)
+        assert predictor.predict(0x40) is True
+
+
+class TestConfig:
+    def test_round_trip(self):
+        for scheme in SCHEMES:
+            config = small_config(scheme)
+            assert config_from_dict(dataclasses.asdict(config)) == config
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises((TypeError, ValueError)):
+            config_from_dict({"scheme": "tage", "no_such_knob": 1})
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises((KeyError, ValueError)):
+            make_predictor(PredictorConfig(scheme="neural-net-9000"))
+
+    def test_h2p_base_cannot_self_nest(self):
+        with pytest.raises(ValueError):
+            PredictorConfig(scheme="h2p", h2p_base="h2p")
+
+
+class TestRegistry:
+    def test_arena_baselines(self):
+        """The arena races at least the four baselines the study needs."""
+        assert len(ARENA_BASELINES) >= 4
+        assert {"hybrid", "tage", "perceptron",
+                "h2p-tage"} <= set(ARENA_BASELINES)
+        for config in ARENA_BASELINES.values():
+            unit = make_complex(config)
+            assert isinstance(unit, BranchPredictorComplex)
+
+    def test_hybrid_scheme_is_the_paper_default(self):
+        unit = make_complex(PredictorConfig(scheme="hybrid"))
+        default = BranchPredictorComplex()
+        assert isinstance(unit.direction, HybridPredictor)
+        assert type(unit.direction) is type(default.direction)
+
+    def test_every_scheme_constructs(self):
+        for scheme in SCHEMES:
+            predictor = make_predictor(small_config(scheme))
+            assert predictor.predict(0x10) in (True, False)
+
+
+class TestSchemeBehaviour:
+    def test_tage_allocates_on_mispredicts(self):
+        predictor = make_predictor(small_config("tage"))
+        # History-correlated pattern the bimodal base cannot learn.
+        for i in range(512):
+            predictor.predict_and_update(0x80, (i % 4) < 2)
+        assert predictor.allocations > 0
+        assert sum(predictor.provider_hits[:-1]) > 0  # tagged providers hit
+
+    def test_h2p_promotes_hard_branches(self):
+        predictor = make_predictor(
+            small_config("h2p", h2p_base="bimodal"))
+        # Alternating outcomes keep the bimodal base near 50% — exactly
+        # the hard-to-predict profile the side-table exists for.
+        for i in range(256):
+            predictor.predict_and_update(0xC0, i % 2 == 0)
+        assert predictor.promoted_count >= 1

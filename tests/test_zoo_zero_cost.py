@@ -1,0 +1,67 @@
+"""The zoo must be zero-cost when unused (the hot-path guard).
+
+The default simulation path — ``SweepTask.predictor is None``, i.e. the
+paper's hybrid — must not import :mod:`repro.branch.zoo` at all: the
+worker defers the import to the non-default branch, ``taskkey`` only
+imports the config under ``TYPE_CHECKING``, and the CLI resolves
+``--predictor`` lazily.  This keeps the telemetry-overhead and
+throughput gates (``benchmarks/test_simulator_throughput.py``)
+measuring exactly the code they measured before the zoo existed.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.branch.hybrid import HybridPredictor
+from repro.branch.unit import BranchPredictorComplex
+from repro.parallel.taskkey import SweepTask
+from repro.parallel.worker import _direction_complex, run_task
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def test_default_run_task_never_imports_zoo():
+    """A fresh interpreter running a default task keeps the zoo (and its
+    predictors) out of sys.modules entirely."""
+    program = (
+        "import sys\n"
+        "from repro.parallel.taskkey import SweepTask\n"
+        "from repro.parallel.worker import run_task\n"
+        "payload = run_task(SweepTask(kind='baseline', benchmark='gcc',\n"
+        "                             instructions=2000))\n"
+        "zoo = [m for m in sys.modules if m.startswith('repro.branch.zoo')]\n"
+        "print(__import__('json').dumps(\n"
+        "    {'zoo_modules': zoo, 'predictor': payload['predictor']}))\n"
+    )
+    proc = subprocess.run([sys.executable, "-c", program],
+                          capture_output=True, text=True,
+                          env={"PYTHONPATH": SRC, "PATH": ""},
+                          check=True)
+    outcome = json.loads(proc.stdout.strip().splitlines()[-1])
+    assert outcome["zoo_modules"] == []
+    assert outcome["predictor"] is None
+
+
+def test_default_task_uses_paper_hybrid():
+    task = SweepTask(kind="baseline", benchmark="gcc", instructions=1000)
+    unit = _direction_complex(task)
+    assert isinstance(unit, BranchPredictorComplex)
+    assert isinstance(unit.direction, HybridPredictor)
+
+
+def test_default_payload_marks_no_predictor():
+    payload = run_task(SweepTask(kind="baseline", benchmark="gcc",
+                                 instructions=1000))
+    assert payload["predictor"] is None
+
+
+def test_zoo_task_payload_carries_config():
+    from repro.branch.zoo import small_config
+
+    payload = run_task(SweepTask(kind="baseline", benchmark="gcc",
+                                 instructions=1000,
+                                 predictor=small_config("tage")))
+    assert payload["predictor"]["scheme"] == "tage"
+    assert payload["predictor"]["config_version"] == 1

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs consistency checks, run as a CI job (and runnable locally).
 
-Four checks keep the documentation honest as the code moves:
+Five checks keep the documentation honest as the code moves:
 
 1. every ``docs/*.md`` file is linked from the README (no orphan docs),
    and every ``docs/...`` link in the README resolves to a real file;
@@ -13,7 +13,11 @@ Four checks keep the documentation honest as the code moves:
    (checked by dry-parsing each ``python -m repro ...`` line);
 4. the lint rule catalogue and ``docs/lint.md`` agree: every ``LINT*``
    id in ``repro.lint.rules.LINT_RULES`` appears in the doc, and every
-   ``LINT*`` id the doc mentions exists in the catalogue.
+   ``LINT*`` id the doc mentions exists in the catalogue;
+5. every registered predictor-zoo scheme
+   (``repro.branch.zoo.registered_schemes``) appears in
+   ``docs/predictors.md``, and every arena baseline label is documented
+   there too.
 
 Exits non-zero with a list of violations.
 
@@ -124,6 +128,25 @@ def check_lint_rules_documented(errors: list) -> None:
                       f"repro.lint.rules.LINT_RULES")
 
 
+def check_zoo_schemes_documented(errors: list) -> None:
+    from repro.branch.zoo import ARENA_BASELINES, registered_schemes
+
+    doc_path = DOCS / "predictors.md"
+    if not doc_path.exists():
+        errors.append("docs/predictors.md does not exist but the predictor "
+                      "zoo registry does")
+        return
+    doc = doc_path.read_text()
+    for scheme in registered_schemes():
+        if not re.search(rf"`{re.escape(scheme)}`", doc):
+            errors.append(f"zoo scheme '{scheme}' is registered but not "
+                          f"documented in docs/predictors.md")
+    for label in sorted(ARENA_BASELINES):
+        if f"`{label}`" not in doc:
+            errors.append(f"arena baseline '{label}' is not documented in "
+                          f"docs/predictors.md")
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO / "src"))
     errors: list = []
@@ -131,6 +154,7 @@ def main() -> int:
     check_subcommands_exist(errors)
     check_quickstart_fences(errors)
     check_lint_rules_documented(errors)
+    check_zoo_schemes_documented(errors)
     if errors:
         print("docs check failed:")
         for error in errors:
