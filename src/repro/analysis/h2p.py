@@ -80,14 +80,26 @@ class PathRegimeProfile:
         }
 
 
-def _classify(occurrences: int, mispredicts: int, easy_threshold: float,
-              difficult_threshold: float, min_occurrences: int) -> str:
+def classify_counts(occurrences: int, mispredicts: int,
+                    easy_threshold: float, difficult_threshold: float,
+                    min_occurrences: int) -> str:
+    """Regime of one path's raw counts (see module docstring).
+
+    This is the single classification rule for the whole toolkit: the
+    offline arena profiles above and the online misprediction flight
+    recorder (:mod:`repro.obs.flight`) both call it, so "H2P" means the
+    same thing in an arena report and in a post-mortem dump.
+    """
     rate = mispredicts / occurrences if occurrences else 0.0
     if rate <= easy_threshold:
         return "easy"
     if rate > difficult_threshold and occurrences >= min_occurrences:
         return "h2p"
     return "transient"
+
+
+#: Internal alias kept for the profile code below.
+_classify = classify_counts
 
 
 def profile_paths(

@@ -7,7 +7,14 @@
   ``--metrics-out`` it also writes a full machine-readable telemetry
   report (see ``docs/telemetry.md``),
 * ``trace`` — microthread lifecycle spans (promote → build → spawn →
-  execute → outcome) on one benchmark,
+  execute → outcome) on one benchmark; ``--perfetto`` additionally
+  writes the run's ``repro.obs/1`` Chrome trace-event timeline and
+  ``--flight-out`` the misprediction flight recorder's
+  ``repro.obs.flight/1`` post-mortem dumps (see
+  ``docs/observability.md``),
+* ``postmortem`` — render (and with ``--diff`` compare) flight-recorder
+  artifacts: which H2P branches triggered, what the machine was doing
+  in the cycles before each misprediction,
 * ``profile`` — Table 1/2-style difficult-path profiling; with
   ``--perf`` it instead profiles the *simulator* under cProfile and
   reports (or writes, with ``--out``) a per-subsystem time breakdown
@@ -19,7 +26,9 @@
   parallel sweep runner with on-disk result caching (``--jobs``,
   ``--cache-dir``, ``--no-resume``; see ``docs/telemetry.md``);
   ``--predictor`` swaps the hardware direction predictor for a zoo
-  baseline (see ``docs/predictors.md``),
+  baseline (see ``docs/predictors.md``); ``--trace-out`` collects
+  per-worker ``repro.obs/1`` trace shards and merges them, and
+  ``--live`` streams heartbeat progress lines with stall surfacing,
 * ``arena`` — the predictor arena: re-run the figure pipeline once per
   zoo baseline and emit the ``repro.arena/1``
   SSMT-headroom-vs-baseline-strength artifact with per-path H2P
@@ -234,12 +243,40 @@ def cmd_lint(args) -> int:
 def cmd_trace(args) -> int:
     """Microthread lifecycle tracing: every promotion/build outcome and
     every spawned instance's span, one line each."""
+    import time
+
     name = _check_benchmark(args.benchmark)
     trace = benchmark_trace(name, args.instructions)
-    telemetry = TelemetrySession(sample_every=0, max_spans=args.max_spans,
-                                 term_pc=args.term_pc)
+    flight = None
+    obs_requested = bool(args.perfetto or args.flight_out)
+    if obs_requested:
+        # Deferred import: plain tracing never touches repro.obs
+        # (tests/test_obs.py pins the untraced path down).
+        from repro.obs import FlightRecorder, ObsSession
+        from repro.obs.events import PH_COMPLETE
+        # classification deliberately stays on the repro.analysis.h2p
+        # defaults, NOT --threshold: the promotion knob must not move
+        # the H2P yardstick, or an SSMT-off run (--threshold ~1) would
+        # classify nothing as H2P and postmortem diffs would compare
+        # different regimes instead of different machines
+        flight = FlightRecorder(window=args.flight_window)
+        telemetry: TelemetrySession = ObsSession(
+            sample_every=0, max_spans=args.max_spans,
+            term_pc=args.term_pc, flight=flight)
+    else:
+        telemetry = TelemetrySession(sample_every=0,
+                                     max_spans=args.max_spans,
+                                     term_pc=args.term_pc)
     config = SSMTConfig(n=args.n, difficulty_threshold=args.threshold)
+    wall_start = time.monotonic()
     result, engine = run_ssmt(trace, config, telemetry=telemetry)
+    if obs_requested:
+        # One wall-domain span for the whole simulation, so the
+        # artifact renders both clock domains as separate tracks.
+        telemetry.recorder.wall(
+            "task_run", ph=PH_COMPLETE, ts=0.0,
+            dur=(time.monotonic() - wall_start) * 1e6,
+            label=name, kind="ssmt")
     tracer = telemetry.tracer
     assert tracer is not None
     scope = (f" for branch@{args.term_pc}"
@@ -269,6 +306,83 @@ def cmd_trace(args) -> int:
     if args.out:
         telemetry.build_report(name, result, engine).write(args.out)
         print(f"\nwrote {args.out}")
+    if obs_requested:
+        context = {"benchmark": name, "instructions": args.instructions,
+                   "n": args.n, "threshold": args.threshold}
+        if args.perfetto:
+            payload = telemetry.write_trace(args.perfetto, context=context)
+            print(f"\nwrote {args.perfetto} "
+                  f"({len(payload['traceEvents'])} trace events; open at "
+                  f"https://ui.perfetto.dev)")
+        if args.flight_out:
+            from repro.obs.flight import write_flight
+            assert flight is not None
+            write_flight(args.flight_out, flight, context=context)
+            print(f"wrote {args.flight_out} "
+                  f"({flight.h2p_mispredicts} H2P mispredicts, "
+                  f"{len(flight.dumps)} dumps; "
+                  f"render with 'repro postmortem')")
+    return 0
+
+
+def cmd_postmortem(args) -> int:
+    """Render (and optionally diff) flight-recorder artifacts."""
+    from repro.obs.flight import diff_flight, load_flight
+
+    try:
+        payload = load_flight(args.run)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load flight artifact: {exc}", file=sys.stderr)
+        return 1
+    print(f"flight: {args.run}")
+    thresholds = payload["thresholds"]
+    print(f"h2p_mispredicts={payload['h2p_mispredicts']} "
+          f"dumps={len(payload['dumps'])} "
+          f"trigger_pcs={len(payload['triggers_by_pc'])} "
+          f"window={payload['window']} "
+          f"(difficult>{thresholds['difficult']}, "
+          f"min_occurrences={thresholds['min_occurrences']})")
+    for dump in payload["dumps"][:args.dumps]:
+        rate = dump["mispredict_rate"]
+        print(f"\ndump#{dump['dump_id']} branch@{dump['pc']} "
+              f"idx={dump['idx']} cycle={dump['cycle']} "
+              f"rate={rate:.2f} "
+              f"({dump['mispredicts']}/{dump['occurrences']})")
+        path = dump["path"]
+        print(f"  path: {path}")
+        for event in dump["events"][-args.events:]:
+            rendered = " ".join(f"{k}={v}" for k, v
+                                in sorted(event["args"].items()))
+            print(f"  cycle {event['ts']:>8} {event['name']:<24} "
+                  f"{rendered}")
+        for inflight in dump["inflight"]:
+            print(f"  in-flight branch@{inflight['term_pc']} "
+                  f"spawned@{inflight['spawn_cycle']} "
+                  f"arrival@{inflight['arrival_cycle']} "
+                  f"slack={inflight['slack_vs_trigger']:+d} "
+                  f"aborted={inflight['aborted']}")
+    shown = min(args.dumps, len(payload["dumps"]))
+    if shown < len(payload["dumps"]):
+        print(f"\n... ({len(payload['dumps']) - shown} more dumps; "
+              f"raise --dumps)")
+    if args.diff:
+        try:
+            other = load_flight(args.diff)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load diff artifact: {exc}", file=sys.stderr)
+            return 1
+        diff = diff_flight(payload, other)
+        print(f"\n== diff vs {args.diff} ==")
+        print(f"h2p mispredicts: {diff['reference_h2p_mispredicts']} -> "
+              f"{diff['candidate_h2p_mispredicts']}")
+        print(f"repaired pcs:   {diff['repaired_pcs']}")
+        print(f"surviving pcs:  {diff['surviving_pcs']}")
+        print(f"introduced pcs: {diff['introduced_pcs']}")
+        changed = {name: mix for name, mix in diff["event_mix"].items()
+                   if mix["reference"] != mix["candidate"]}
+        for event_name, mix in sorted(changed.items()):
+            print(f"  {event_name:<24} {mix['reference']:>6} -> "
+                  f"{mix['candidate']}")
     return 0
 
 
@@ -457,9 +571,25 @@ def cmd_sweep(args) -> int:
                        knob=args.knob, values=values,
                        widths=tuple(args.widths or ()),
                        predictor=predictor)
+    runner_kwargs: Dict[str, Any] = {}
+    observer = None
+    if args.trace_out or args.live:
+        # Deferred import: an untraced sweep never touches repro.obs
+        # (tests/test_obs.py pins the default path down).
+        from repro.obs import SweepObs
+        observer = SweepObs(live=args.live,
+                            heartbeat_interval=args.heartbeat)
+        runner_kwargs["observer"] = observer
+    if args.trace_out:
+        import functools
+
+        from repro.parallel.worker import run_task_traced
+        os.makedirs(args.trace_out, exist_ok=True)
+        runner_kwargs["worker"] = functools.partial(
+            run_task_traced, trace_dir=args.trace_out)
     runner = SweepRunner(jobs=args.jobs, cache_dir=args.cache_dir,
                          resume=args.resume, task_timeout=args.timeout,
-                         max_retries=args.retries)
+                         max_retries=args.retries, **runner_kwargs)
     outcome = runner.run(tasks)
     merged = merge_sweep(outcome.results, context={
         "benchmarks": list(benchmarks),
@@ -486,6 +616,24 @@ def cmd_sweep(args) -> int:
     print(outcome.summary_line())
     for key, reason in outcome.errors.items():
         print(f"  failed {key[:16]}: {reason}", file=sys.stderr)
+
+    if args.trace_out:
+        from repro.obs.sweepobs import load_shards, write_merged_trace
+        shards = load_shards(args.trace_out)
+        merged_path = os.path.join(args.trace_out,
+                                   "sweep-merged.perfetto.json")
+        write_merged_trace(merged_path, shards, context={
+            "benchmarks": list(benchmarks),
+            "instructions": args.instructions,
+        })
+        print(f"wrote {merged_path} ({len(shards)} shards; open at "
+              f"https://ui.perfetto.dev)")
+        if observer is not None:
+            runner_path = os.path.join(args.trace_out,
+                                       "sweep-runner.perfetto.json")
+            observer.write_trace(runner_path,
+                                 context={"jobs": outcome.jobs})
+            print(f"wrote {runner_path}")
 
     if args.json_out:
         os.makedirs(os.path.dirname(args.json_out) or ".", exist_ok=True)
@@ -608,6 +756,14 @@ def build_parser() -> argparse.ArgumentParser:
                               help="most recent spans to print (0 = all)")
     trace_parser.add_argument("--out", metavar="PATH",
                               help="also write the full report JSON here")
+    trace_parser.add_argument("--perfetto", metavar="PATH",
+                              help="write a repro.obs/1 Chrome trace "
+                                   "(open at https://ui.perfetto.dev)")
+    trace_parser.add_argument("--flight-out", metavar="PATH",
+                              help="write the misprediction flight "
+                                   "recorder artifact (repro.obs.flight/1)")
+    trace_parser.add_argument("--flight-window", type=int, default=64,
+                              help="ring size per flight-recorder dump")
 
     profile_parser = sub.add_parser("profile",
                                     help="difficult-path profiling")
@@ -696,6 +852,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--bench-out", metavar="DIR",
                               help="write a BENCH_sweep.json trajectory "
                                    "artifact into DIR")
+    sweep_parser.add_argument("--trace-out", metavar="DIR",
+                              help="write per-task repro.obs/1 trace "
+                                   "shards plus a merged Perfetto "
+                                   "timeline into DIR")
+    sweep_parser.add_argument("--live", action="store_true",
+                              help="echo live progress lines (heartbeats, "
+                                   "stalls, pool rebuilds)")
+    sweep_parser.add_argument("--heartbeat", type=float, default=5.0,
+                              metavar="SECONDS",
+                              help="progress heartbeat interval for "
+                                   "--live / --trace-out")
+
+    postmortem_parser = sub.add_parser(
+        "postmortem",
+        help="inspect a misprediction flight-recorder artifact")
+    postmortem_parser.add_argument("run",
+                                   help="repro.obs.flight/1 JSON written "
+                                        "by `repro trace --flight-out`")
+    postmortem_parser.add_argument("--diff", metavar="PATH",
+                                   help="second flight artifact to compare "
+                                        "against (e.g. after a config "
+                                        "change)")
+    postmortem_parser.add_argument("--dumps", type=int, default=4,
+                                   help="dumps to render (0 = all)")
+    postmortem_parser.add_argument("--events", type=int, default=8,
+                                   help="ring-tail events to show per dump")
 
     arena_parser = sub.add_parser(
         "arena",
@@ -809,6 +991,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "experiment": cmd_experiment,
     "sweep": cmd_sweep,
+    "postmortem": cmd_postmortem,
     "arena": cmd_arena,
     "disasm": cmd_disasm,
     "report": cmd_report,

@@ -28,6 +28,8 @@ from repro.telemetry.registry import StatsBase
 from repro.telemetry.tracer import (
     CAUSE_MEMDEP_VIOLATION,
     CAUSE_PATH_DEVIATION,
+    REJECT_NO_CONTEXT,
+    REJECT_PATH_PREFIX,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -107,12 +109,18 @@ class SpawnManager:
                 self.stats.pre_allocation_aborts += 1
                 if log is not None:
                     log.emit("pre_alloc_abort", idx, cycle, thread.term_pc)
+                if self.tracer is not None:
+                    self.tracer.on_spawn_rejected(thread, idx, cycle,
+                                                  REJECT_PATH_PREFIX)
                 return None
         context_id = self._find_free_context(cycle)
         if context_id is None:
             self.stats.no_free_context += 1
             if log is not None:
                 log.emit("no_context", idx, cycle, thread.term_pc)
+            if self.tracer is not None:
+                self.tracer.on_spawn_rejected(thread, idx, cycle,
+                                              REJECT_NO_CONTEXT)
             return None
         instance = ActiveMicrothread(
             thread=thread,

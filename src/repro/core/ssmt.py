@@ -209,6 +209,11 @@ class SSMTEngine:
         #: pass-through ``on_retire`` is not on the hot path)
         self._telemetry_retire = (telemetry.retire_hook
                                   if telemetry is not None else None)
+        #: per-terminating-branch observability callable, bound once
+        #: (``None`` for plain telemetry sessions; see
+        #: ``TelemetrySession.control_hook``)
+        self._telemetry_control = (telemetry.control_hook
+                                   if telemetry is not None else None)
         if telemetry is not None:
             telemetry.attach(self)
 
@@ -267,6 +272,10 @@ class SSMTEngine:
                    resolve_cycle: int) -> None:
         if rec.inst.is_path_terminating:
             self._pending_mispredict[idx] = outcome.mispredicted
+            control_hook = self._telemetry_control
+            if control_hook is not None:
+                control_hook(self, idx, rec, outcome, fetch_cycle,
+                             resolve_cycle)
 
     def on_prediction_outcome(self, idx: int, rec: DynamicInstruction,
                               kind: str, used: bool, correct: bool,

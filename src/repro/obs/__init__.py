@@ -1,0 +1,81 @@
+"""repro.obs — dual-domain structured-event tracing (see docs/observability.md).
+
+The observability layer above :mod:`repro.telemetry`: where telemetry
+*aggregates* (counters, windowed samples, bounded spans), ``repro.obs``
+records **individual events on a timeline**, in two clock domains:
+
+* the **cycle domain** — simulated-cycle events from inside a run
+  (mispredicts, Path Cache promote/demote, microthread
+  build → spawn → execute → outcome, timing-model occupancy), and
+* the **wall domain** — wall-clock events around runs (sweep task
+  dispatch, cache hits/misses, worker heartbeats, pool rebuilds,
+  stalls).
+
+Both export as Chrome trace-event JSON (``repro.obs/1``) that loads
+directly in Perfetto with one process track per domain.  On top of the
+cycle stream sits the **misprediction flight recorder**: a bounded ring
+that, on each hard-to-predict (H2P) misprediction, dumps the last-N
+causally-tagged events for post-mortem analysis (``repro postmortem``).
+
+This package is strictly opt-in: nothing on the default simulation or
+sweep path imports it (``tests/test_obs.py`` proves that in a
+subprocess), and an attached :class:`ObsSession` stays inside the same
+≤10% overhead budget the telemetry layer honours.
+"""
+
+from repro.obs.events import (
+    CYCLE_DOMAIN,
+    EVENT_CATALOG,
+    WALL_DOMAIN,
+    EventRecorder,
+    ObsEvent,
+)
+from repro.obs.export import (
+    OBS_SCHEMA,
+    events_from_chrome,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FlightDump,
+    FlightRecorder,
+    diff_flight,
+    load_flight,
+    write_flight,
+)
+from repro.obs.session import ObsSession, ObsThreadTracer
+from repro.obs.sweepobs import (
+    SweepObs,
+    load_shards,
+    merge_shards,
+    timeline_identity,
+    write_merged_trace,
+    write_shard,
+)
+
+__all__ = [
+    "CYCLE_DOMAIN",
+    "WALL_DOMAIN",
+    "EVENT_CATALOG",
+    "ObsEvent",
+    "EventRecorder",
+    "OBS_SCHEMA",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "events_from_chrome",
+    "FLIGHT_SCHEMA",
+    "FlightDump",
+    "FlightRecorder",
+    "diff_flight",
+    "load_flight",
+    "write_flight",
+    "ObsSession",
+    "ObsThreadTracer",
+    "SweepObs",
+    "load_shards",
+    "merge_shards",
+    "timeline_identity",
+    "write_merged_trace",
+    "write_shard",
+]

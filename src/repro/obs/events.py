@@ -1,0 +1,224 @@
+"""The dual-domain event model and its bounded recorder.
+
+Every observation is one :class:`ObsEvent` in exactly one clock domain:
+
+* :data:`CYCLE_DOMAIN` (``"cycle"``) — ``ts`` is a simulated cycle
+  number.  Deterministic: two runs of the same simulation emit the same
+  cycle-domain stream (``tests/test_obs_sweep.py`` property-checks this
+  across serial, parallel, and cached sweep executions).
+* :data:`WALL_DOMAIN` (``"wall"``) — ``ts`` is wall-clock microseconds
+  since the recorder was created.  Inherently nondeterministic; the
+  merge identity projection (:func:`repro.obs.sweepobs.timeline_identity`)
+  excludes wall timestamps for exactly that reason.
+
+``seq`` is a per-recorder monotonic sequence number, so the canonical
+total order of any merged timeline is ``(domain, ts, seq)`` — cycle
+events first (their order is semantic), wall events after.
+
+The recorder is **bounded**: at most ``max_events`` events are stored,
+with per-category drop counters that see everything (the same
+stored + dropped accounting contract as the core
+:class:`~repro.core.events.EventLog`).
+
+:data:`EVENT_CATALOG` is the taxonomy — every event name the toolkit
+emits, with its domain and category.  ``tools/check_docs.py`` asserts
+each catalogued name is documented in ``docs/observability.md``, and
+the recorder refuses names outside the catalogue so the taxonomy cannot
+drift silently.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
+
+#: Simulated-cycle clock domain (deterministic timestamps).
+CYCLE_DOMAIN = "cycle"
+#: Wall-clock domain (microseconds since recorder creation).
+WALL_DOMAIN = "wall"
+
+DOMAINS = (CYCLE_DOMAIN, WALL_DOMAIN)
+
+#: name -> (domain, category).  The single source of truth for the
+#: event taxonomy; docs and the recorder both validate against it.
+EVENT_CATALOG: Dict[str, Tuple[str, str]] = {
+    # -- cycle domain: branch outcomes ------------------------------------
+    "mispredict": (CYCLE_DOMAIN, "branch"),
+    "h2p_mispredict": (CYCLE_DOMAIN, "branch"),
+    "prediction_consumed": (CYCLE_DOMAIN, "branch"),
+    # -- cycle domain: Path Cache / builder -------------------------------
+    "promote": (CYCLE_DOMAIN, "path_cache"),
+    "demote": (CYCLE_DOMAIN, "path_cache"),
+    "build": (CYCLE_DOMAIN, "builder"),
+    "build_failed": (CYCLE_DOMAIN, "builder"),
+    # -- cycle domain: microthread lifecycle ------------------------------
+    "spawn": (CYCLE_DOMAIN, "microthread"),
+    "spawn_rejected": (CYCLE_DOMAIN, "microthread"),
+    "microthread_execute": (CYCLE_DOMAIN, "microthread"),
+    "store_pcache": (CYCLE_DOMAIN, "microthread"),
+    "microthread_abort": (CYCLE_DOMAIN, "microthread"),
+    "microthread_complete": (CYCLE_DOMAIN, "microthread"),
+    "microthread_span": (CYCLE_DOMAIN, "microthread"),
+    # -- cycle domain: timing-model occupancy counters --------------------
+    "active_contexts": (CYCLE_DOMAIN, "occupancy"),
+    "prediction_cache_occupancy": (CYCLE_DOMAIN, "occupancy"),
+    "run": (CYCLE_DOMAIN, "run"),
+    # -- wall domain: sweep execution -------------------------------------
+    "task_dispatch": (WALL_DOMAIN, "sweep"),
+    "task_run": (WALL_DOMAIN, "sweep"),
+    "cache_hit": (WALL_DOMAIN, "sweep"),
+    "cache_miss": (WALL_DOMAIN, "sweep"),
+    "heartbeat": (WALL_DOMAIN, "sweep"),
+    "pool_rebuild": (WALL_DOMAIN, "sweep"),
+    "stall": (WALL_DOMAIN, "sweep"),
+    "task_failed": (WALL_DOMAIN, "sweep"),
+}
+
+#: Chrome trace-event phases the model uses.
+PH_INSTANT = "i"
+PH_COMPLETE = "X"
+PH_COUNTER = "C"
+
+
+class ObsEvent:
+    """One structured event on one clock-domain timeline."""
+
+    __slots__ = ("domain", "ts", "seq", "name", "cat", "ph", "dur", "args")
+
+    def __init__(self, domain: str, ts: float, seq: int, name: str,
+                 cat: str, ph: str = PH_INSTANT, dur: float = 0.0,
+                 args: Optional[Dict[str, Any]] = None):
+        self.domain = domain
+        self.ts = ts
+        self.seq = seq
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.dur = dur
+        self.args = args if args is not None else {}
+
+    def sort_key(self) -> Tuple[str, float, int]:
+        """The canonical total order of a merged timeline."""
+        return (self.domain, self.ts, self.seq)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "domain": self.domain,
+            "ts": self.ts,
+            "seq": self.seq,
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "args": dict(self.args),
+        }
+        if self.ph == PH_COMPLETE:
+            out["dur"] = self.dur
+        return out
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, Any]) -> "ObsEvent":
+        return cls(domain=row["domain"], ts=row["ts"], seq=row["seq"],
+                   name=row["name"], cat=row["cat"],
+                   ph=row.get("ph", PH_INSTANT), dur=row.get("dur", 0.0),
+                   args=dict(row.get("args", {})))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ObsEvent({self.domain}@{self.ts} #{self.seq} "
+                f"{self.name} {self.args})")
+
+
+class EventRecorder:
+    """Bounded dual-domain event sink with drop accounting.
+
+    One recorder per traced run (or per sweep-side process).  Events are
+    appended through :meth:`cycle` / :meth:`wall`; the flight recorder
+    taps the cycle stream through an optional ``cycle_tap`` callback
+    that sees *every* cycle event, stored or dropped, so a full main
+    buffer can never blind a post-mortem.
+    """
+
+    def __init__(self, max_events: int = 200_000,
+                 clock=time.monotonic):
+        if max_events <= 0:
+            raise ValueError("event capacity must be positive")
+        self.events: Deque[ObsEvent] = deque(maxlen=max_events)
+        self.max_events = max_events
+        self.dropped: Counter = Counter()
+        self._seq = 0
+        self._clock = clock
+        self._wall_base = clock()
+        #: optional callable fed every cycle-domain event (flight tap)
+        self.cycle_tap = None
+
+    # -- emission ----------------------------------------------------------
+
+    def _emit(self, event: ObsEvent) -> ObsEvent:
+        if len(self.events) == self.max_events:
+            self.dropped[self.events[0].cat] += 1
+        self.events.append(event)
+        return event
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def cycle(self, name: str, ts: int, ph: str = PH_INSTANT,
+              dur: float = 0.0, **args: Any) -> ObsEvent:
+        """Record one simulated-cycle event."""
+        domain, cat = EVENT_CATALOG[name]
+        if domain != CYCLE_DOMAIN:
+            raise ValueError(f"{name!r} is a {domain}-domain event")
+        event = ObsEvent(CYCLE_DOMAIN, ts, self._next_seq(), name, cat,
+                         ph=ph, dur=dur, args=args)
+        tap = self.cycle_tap
+        if tap is not None:
+            tap(event)
+        return self._emit(event)
+
+    def wall(self, name: str, ph: str = PH_INSTANT, dur: float = 0.0,
+             ts: Optional[float] = None, **args: Any) -> ObsEvent:
+        """Record one wall-clock event (timestamp in µs since start)."""
+        domain, cat = EVENT_CATALOG[name]
+        if domain != WALL_DOMAIN:
+            raise ValueError(f"{name!r} is a {domain}-domain event")
+        if ts is None:
+            ts = (self._clock() - self._wall_base) * 1e6
+        event = ObsEvent(WALL_DOMAIN, ts, self._next_seq(), name, cat,
+                         ph=ph, dur=dur, args=args)
+        return self._emit(event)
+
+    # -- queries / export --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped.values())
+
+    def sorted_events(self) -> List[ObsEvent]:
+        """Stored events in canonical ``(domain, ts, seq)`` order."""
+        return sorted(self.events, key=ObsEvent.sort_key)
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return [event.as_dict() for event in self.sorted_events()]
+
+    def counts(self) -> Dict[str, int]:
+        """Stored-event counts per event name."""
+        tally: Counter = Counter(event.name for event in self.events)
+        return dict(sorted(tally.items()))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Aggregate surface (registry-collector compatible)."""
+        out: Dict[str, Any] = {"stored": len(self.events),
+                               "dropped": self.total_dropped}
+        for name, count in self.counts().items():
+            out[f"count_{name}"] = count
+        return out
+
+
+def sort_events(events: Iterable[ObsEvent]) -> List[ObsEvent]:
+    """Normalize any event collection into canonical timeline order."""
+    return sorted(events, key=ObsEvent.sort_key)

@@ -1,0 +1,161 @@
+"""Chrome trace-event JSON export (loads directly in Perfetto).
+
+The artifact (schema ``repro.obs/1``) is the Chrome trace-event *object
+form* — ``{"traceEvents": [...], ...}`` — which both ``chrome://tracing``
+and https://ui.perfetto.dev open as-is.  Extra top-level keys (the
+schema marker, context) are permitted by the format and ignored by the
+viewers.
+
+Track layout
+------------
+Each clock domain renders as its own **process** so the two timelines
+can never be confused:
+
+* ``pid 1`` — *sim cycles*: ``ts`` is the simulated cycle number
+  (displayed as µs; one cycle = one µs of trace time).
+* ``pid 2`` — *wall clock*: ``ts`` is real microseconds since the
+  recorder started.
+
+Within a process, each event **category** gets its own named thread
+track (``branch``, ``path_cache``, ``builder``, ``microthread``,
+``occupancy``, ``run``, ``sweep``), emitted via standard ``M``
+(metadata) events.  Instants use phase ``i``, spans phase ``X`` with a
+``dur``, occupancy counters phase ``C``.
+
+Every exported event also carries its ``domain`` and ``seq`` so
+:func:`events_from_chrome` can round-trip an artifact back into
+:class:`~repro.obs.events.ObsEvent` rows (used by shard merging and
+``repro postmortem``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.events import (
+    CYCLE_DOMAIN,
+    PH_COUNTER,
+    WALL_DOMAIN,
+    ObsEvent,
+    sort_events,
+)
+from repro.schemas import schema_string
+
+#: Schema of the exported Chrome trace-event artifact.
+OBS_SCHEMA = schema_string("repro.obs", 1)
+
+#: Domain -> Chrome process id (one process track per clock domain).
+DOMAIN_PIDS = {CYCLE_DOMAIN: 1, WALL_DOMAIN: 2}
+DOMAIN_PROCESS_NAMES = {CYCLE_DOMAIN: "sim cycles",
+                        WALL_DOMAIN: "wall clock"}
+
+#: Category -> Chrome thread id within its domain's process.
+CATEGORY_TIDS = {
+    "branch": 1,
+    "path_cache": 2,
+    "builder": 3,
+    "microthread": 4,
+    "occupancy": 5,
+    "run": 6,
+    "sweep": 1,
+}
+
+
+def _metadata_events(domains: Iterable[str],
+                     categories: Dict[str, set]) -> List[Dict[str, Any]]:
+    out: List[Dict[str, Any]] = []
+    for domain in sorted(domains):
+        pid = DOMAIN_PIDS[domain]
+        out.append({"ph": "M", "pid": pid, "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": DOMAIN_PROCESS_NAMES[domain]}})
+        out.append({"ph": "M", "pid": pid, "tid": 0,
+                    "name": "process_sort_index",
+                    "args": {"sort_index": pid}})
+        for cat in sorted(categories.get(domain, ())):
+            out.append({"ph": "M", "pid": pid,
+                        "tid": CATEGORY_TIDS.get(cat, 99),
+                        "name": "thread_name", "args": {"name": cat}})
+    return out
+
+
+def _trace_event(event: ObsEvent) -> Dict[str, Any]:
+    pid = DOMAIN_PIDS[event.domain]
+    tid = CATEGORY_TIDS.get(event.cat, 99)
+    row: Dict[str, Any] = {
+        "name": event.name,
+        "cat": event.cat,
+        "ph": event.ph,
+        "ts": event.ts,
+        "pid": pid,
+        "tid": tid,
+        "domain": event.domain,
+        "seq": event.seq,
+    }
+    if event.ph == "X":
+        row["dur"] = event.dur
+    if event.ph == PH_COUNTER:
+        # Counter events render their args as stacked series values.
+        row["args"] = {k: v for k, v in event.args.items()
+                       if isinstance(v, (int, float))}
+    else:
+        row["args"] = dict(event.args)
+    if event.ph == "i":
+        row["s"] = "t"  # instant scope: thread
+    return row
+
+
+def to_chrome_trace(events: Iterable[ObsEvent],
+                    context: Optional[Dict[str, Any]] = None,
+                    dropped: int = 0) -> Dict[str, Any]:
+    """Render events into one ``repro.obs/1`` Chrome trace object."""
+    ordered = sort_events(events)
+    domains = {event.domain for event in ordered}
+    categories: Dict[str, set] = {}
+    for event in ordered:
+        categories.setdefault(event.domain, set()).add(event.cat)
+    trace_events = _metadata_events(domains, categories)
+    trace_events.extend(_trace_event(event) for event in ordered)
+    return {
+        "schema": OBS_SCHEMA,
+        "displayTimeUnit": "ms",
+        "traceEvents": trace_events,
+        "otherData": dict(context or {}, events=len(ordered),
+                          dropped=dropped),
+    }
+
+
+def write_chrome_trace(path: str, events: Iterable[ObsEvent],
+                       context: Optional[Dict[str, Any]] = None,
+                       dropped: int = 0) -> Dict[str, Any]:
+    """Write the artifact; returns the payload that was written."""
+    payload = to_chrome_trace(events, context=context, dropped=dropped)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def events_from_chrome(payload: Dict[str, Any]) -> List[ObsEvent]:
+    """Round-trip a ``repro.obs/1`` artifact back into event rows.
+
+    Metadata (``M``) events are synthetic track labels, not
+    observations, and are skipped.
+    """
+    if payload.get("schema") != OBS_SCHEMA:
+        raise ValueError(f"not a {OBS_SCHEMA} artifact: "
+                         f"schema={payload.get('schema')!r}")
+    out: List[ObsEvent] = []
+    for row in payload.get("traceEvents", []):
+        if row.get("ph") == "M":
+            continue
+        out.append(ObsEvent(
+            domain=row["domain"], ts=row["ts"], seq=row["seq"],
+            name=row["name"], cat=row["cat"], ph=row.get("ph", "i"),
+            dur=row.get("dur", 0.0), args=dict(row.get("args", {}))))
+    return sort_events(out)

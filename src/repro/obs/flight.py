@@ -1,0 +1,282 @@
+"""The misprediction flight recorder (post-mortems for H2P branches).
+
+Constantinou et al. ("The Non-Predictability of Mispredicted Branches
+using Timing Information", PAPERS.md) make the case that the event
+stream *around* a misprediction is the analysis substrate — aggregate
+rates cannot say why one particular prediction failed.  The flight
+recorder implements that: a small ring buffer taps every cycle-domain
+event (stored or dropped by the main buffer), and whenever a
+**hard-to-predict** path mispredicts, the ring is dumped together with
+the machine's in-flight microthread state.
+
+"Hard-to-predict" reuses :mod:`repro.analysis.h2p`'s regime taxonomy
+verbatim: a path is H2P once its online mispredict rate exceeds the
+difficult threshold over at least ``min_occurrences`` executions — the
+same classification the arena applies offline, computed incrementally
+here so the recorder can fire mid-run.
+
+Each :class:`FlightDump` carries:
+
+* the **trigger** — trace index, branch PC, cycle, the taken-branch
+  path history, and the path's occurrence/mispredict counts,
+* the last-N **events** from the ring (causally tagged: every
+  microthread event names its terminating branch), and
+* the **in-flight microthread state** at the trigger — per active
+  instance its target, arrival cycle, and slack against the trigger —
+  exactly what "was a repair in flight, and was it going to make it?"
+  needs.
+
+Dumps are bounded (``max_dumps``) but the ``h2p_mispredicts`` tally
+sees every firing.  ``repro postmortem`` renders and diffs the written
+``repro.obs.flight/1`` artifact, e.g. between an SSMT-on and an
+SSMT-off run of the same workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
+
+from repro.analysis.h2p import classify_counts
+from repro.obs.events import ObsEvent
+from repro.schemas import schema_string
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.spawn import SpawnManager
+
+#: Schema of the written flight-recorder artifact.
+FLIGHT_SCHEMA = schema_string("repro.obs.flight", 1)
+
+
+@dataclass
+class FlightDump:
+    """One post-mortem snapshot, taken at an H2P misprediction."""
+
+    dump_id: int
+    idx: int                    # trace index of the mispredicted branch
+    pc: int
+    cycle: int
+    path: Tuple[int, ...]       # taken-branch history at the trigger
+    occurrences: int
+    mispredicts: int
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    inflight: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.occurrences if self.occurrences else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "dump_id": self.dump_id,
+            "idx": self.idx,
+            "pc": self.pc,
+            "cycle": self.cycle,
+            "path": list(self.path),
+            "occurrences": self.occurrences,
+            "mispredicts": self.mispredicts,
+            "mispredict_rate": round(self.mispredict_rate, 6),
+            "events": list(self.events),
+            "inflight": list(self.inflight),
+        }
+
+
+def _inflight_state(spawner: Optional["SpawnManager"],
+                    cycle: int) -> List[Dict[str, Any]]:
+    """Serializable view of every live microthread at the trigger."""
+    if spawner is None:
+        return []
+    out: List[Dict[str, Any]] = []
+    for instance in spawner.active:
+        out.append({
+            "term_pc": instance.thread.term_pc,
+            "path_id": instance.thread.path_id,
+            "spawn_idx": instance.spawn_idx,
+            "target_seq": instance.target_seq,
+            "spawn_cycle": instance.spawn_cycle,
+            "arrival_cycle": instance.arrival_cycle,
+            "aborted": instance.aborted,
+            "suffix_progress": instance.suffix_progress,
+            # negative = the Store_PCache had not landed by the trigger
+            "slack_vs_trigger": cycle - instance.arrival_cycle,
+        })
+    return out
+
+
+class FlightRecorder:
+    """Online H2P classification + bounded ring of recent events."""
+
+    def __init__(self, window: int = 64, max_dumps: int = 16,
+                 easy_threshold: float = 0.01,
+                 difficult_threshold: float = 0.10,
+                 min_occurrences: int = 4):
+        if window <= 0 or max_dumps <= 0:
+            raise ValueError("flight window/dump capacity must be positive")
+        self.window = window
+        self.max_dumps = max_dumps
+        self.easy_threshold = easy_threshold
+        self.difficult_threshold = difficult_threshold
+        self.min_occurrences = min_occurrences
+        self.ring: Deque[ObsEvent] = deque(maxlen=window)
+        self.dumps: List[FlightDump] = []
+        #: every H2P misprediction, including ones past ``max_dumps``
+        self.h2p_mispredicts = 0
+        self.triggers_by_pc: Counter = Counter()
+        self._counts: Dict[Tuple[int, Tuple[int, ...]], List[int]] = {}
+
+    # -- the cycle-stream tap ---------------------------------------------
+
+    def tap(self, event: ObsEvent) -> None:
+        """Feed one cycle-domain event into the ring (recorder tap)."""
+        self.ring.append(event)
+
+    # -- classification + triggering --------------------------------------
+
+    def regime(self, pc: int, path: Tuple[int, ...]) -> str:
+        counts = self._counts.get((pc, path))
+        if counts is None:
+            return "transient"
+        return classify_counts(counts[0], counts[1], self.easy_threshold,
+                               self.difficult_threshold,
+                               self.min_occurrences)
+
+    def on_branch(self, idx: int, pc: int, path: Any,
+                  mispredicted: bool, cycle: int,
+                  spawner: Optional["SpawnManager"] = None,
+                  path_fn: Optional[Any] = None,
+                  ) -> Optional[FlightDump]:
+        """Observe one terminating branch; returns a dump if it fired.
+
+        The regime is evaluated *before* this observation is added, so
+        a trigger reflects the path's history up to (not including) the
+        mispredict that fired it — the same "frequently executed yet
+        still wrong" reading as the offline profile.
+
+        ``path`` is only a classification *key* — any hashable works,
+        and the hot caller passes the tracker's integer path id to keep
+        this O(1) per branch.  The full taken-branch history is needed
+        only when a dump actually fires, so it arrives lazily through
+        ``path_fn`` (falling back to ``path`` itself when it is the
+        history tuple).
+        """
+        key = (pc, path)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = self._counts[key] = [0, 0]
+        occurrences = counts[0]
+        counts[0] = occurrences + 1
+        if not mispredicted:
+            # correctly-predicted fast path: count the occurrence only
+            return None
+        mispredicts = counts[1]
+        counts[1] = mispredicts + 1
+        # pre-observation regime, inlining classify_counts(...) == "h2p"
+        # (the cold paths re-derive it through the shared rule)
+        if not (occurrences >= self.min_occurrences
+                and mispredicts > occurrences * self.difficult_threshold
+                and mispredicts > occurrences * self.easy_threshold):
+            return None
+        self.h2p_mispredicts += 1
+        self.triggers_by_pc[pc] += 1
+        if len(self.dumps) >= self.max_dumps:
+            return None
+        history = tuple(path_fn()) if path_fn is not None else (
+            tuple(path) if isinstance(path, (tuple, list)) else (path,))
+        dump = FlightDump(
+            dump_id=len(self.dumps),
+            idx=idx, pc=pc, cycle=cycle, path=history,
+            occurrences=counts[0], mispredicts=counts[1],
+            events=[event.as_dict() for event in self.ring],
+            inflight=_inflight_state(spawner, cycle),
+        )
+        self.dumps.append(dump)
+        return dump
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "h2p_mispredicts": self.h2p_mispredicts,
+            "dumps_recorded": len(self.dumps),
+            "unique_trigger_pcs": len(self.triggers_by_pc),
+        }
+
+    def payload(self, context: Optional[Dict[str, Any]] = None,
+                ) -> Dict[str, Any]:
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "context": dict(context or {}),
+            "window": self.window,
+            "thresholds": {
+                "easy": self.easy_threshold,
+                "difficult": self.difficult_threshold,
+                "min_occurrences": self.min_occurrences,
+            },
+            "h2p_mispredicts": self.h2p_mispredicts,
+            "triggers_by_pc": {str(pc): count for pc, count
+                               in sorted(self.triggers_by_pc.items())},
+            "dumps": [dump.as_dict() for dump in self.dumps],
+        }
+
+
+def write_flight(path: str, recorder: FlightRecorder,
+                 context: Optional[Dict[str, Any]] = None,
+                 ) -> Dict[str, Any]:
+    """Write the ``repro.obs.flight/1`` artifact; returns the payload."""
+    payload = recorder.payload(context=context)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def load_flight(path: str) -> Dict[str, Any]:
+    """Load and validate a flight artifact."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(f"{path}: not a {FLIGHT_SCHEMA} artifact "
+                         f"(schema={payload.get('schema')!r})")
+    return payload
+
+
+def diff_flight(reference: Dict[str, Any],
+                candidate: Dict[str, Any]) -> Dict[str, Any]:
+    """Diff two flight artifacts (e.g. SSMT-on vs SSMT-off).
+
+    Triggers are matched by branch PC: ``repaired`` PCs fired in the
+    reference but not the candidate (the mechanism fixed them),
+    ``surviving`` fired in both, ``introduced`` only in the candidate.
+    ``event_mix`` diffs the per-event-name histograms of the dumped
+    windows — what the machine was doing around mispredictions in one
+    run but not the other.
+    """
+    ref_pcs = {int(pc) for pc in reference.get("triggers_by_pc", {})}
+    cand_pcs = {int(pc) for pc in candidate.get("triggers_by_pc", {})}
+
+    def event_mix(payload: Dict[str, Any]) -> Counter:
+        mix: Counter = Counter()
+        for dump in payload.get("dumps", []):
+            for event in dump.get("events", []):
+                mix[event["name"]] += 1
+        return mix
+
+    ref_mix = event_mix(reference)
+    cand_mix = event_mix(candidate)
+    names = sorted(set(ref_mix) | set(cand_mix))
+    return {
+        "reference_h2p_mispredicts": reference.get("h2p_mispredicts", 0),
+        "candidate_h2p_mispredicts": candidate.get("h2p_mispredicts", 0),
+        "repaired_pcs": sorted(ref_pcs - cand_pcs),
+        "surviving_pcs": sorted(ref_pcs & cand_pcs),
+        "introduced_pcs": sorted(cand_pcs - ref_pcs),
+        "event_mix": {name: {"reference": ref_mix.get(name, 0),
+                             "candidate": cand_mix.get(name, 0)}
+                      for name in names},
+    }

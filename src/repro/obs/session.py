@@ -1,0 +1,246 @@
+"""ObsSession: a TelemetrySession that also records event timelines.
+
+The session *is a* :class:`~repro.telemetry.session.TelemetrySession`,
+so attaching it costs the engine exactly what PR 2's layer costs — the
+same ``is None`` hook sites, the same bound-method hot-path contract —
+while every hook additionally appends one :class:`ObsEvent` to the
+bounded :class:`~repro.obs.events.EventRecorder`:
+
+* Path Cache / builder hooks -> ``promote`` / ``demote`` / ``build`` /
+  ``build_failed`` instants,
+* the spawn manager's tracer (an :class:`ObsThreadTracer`) ->
+  ``spawn`` / ``spawn_rejected`` / ``microthread_abort`` /
+  ``microthread_complete`` instants plus one ``microthread_span``
+  complete-event per closed span,
+* microthread execution -> a ``microthread_execute`` span (dispatch to
+  ``Store_PCache``) and a ``store_pcache`` instant at arrival,
+* prediction consumption -> ``prediction_consumed`` with the timeliness
+  kind, and
+* the engine's **control hook** (new in this layer; the base session
+  returns ``None`` from :attr:`control_hook` so plain telemetry pays
+  nothing) -> ``mispredict`` instants per mispredicted terminating
+  branch, throttled ``active_contexts`` /
+  ``prediction_cache_occupancy`` counters, and — when a
+  :class:`~repro.obs.flight.FlightRecorder` is attached — online H2P
+  classification with ``h2p_mispredict`` triggers and post-mortem
+  dumps.
+
+All cycle-domain timestamps are simulated cycle numbers, so two runs of
+the same simulation produce the same event stream (the determinism the
+shard-merge property test relies on).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+
+from repro.obs.events import PH_COMPLETE, PH_COUNTER, EventRecorder
+from repro.obs.export import to_chrome_trace, write_chrome_trace
+from repro.obs.flight import FlightRecorder
+from repro.telemetry.session import TelemetrySession
+from repro.telemetry.tracer import ThreadTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.branch.unit import BranchOutcome
+    from repro.core.microthread import Microthread
+    from repro.core.path import PathEvent
+    from repro.core.spawn import ActiveMicrothread
+    from repro.core.ssmt import SSMTEngine
+    from repro.sim.trace import DynamicInstruction
+    from repro.uarch.timing import TimingResult
+
+
+class ObsThreadTracer(ThreadTracer):
+    """A ThreadTracer that mirrors lifecycle transitions as events.
+
+    The spawn manager already notifies its tracer of every instance
+    transition; routing those notifications into the recorder here
+    means the engine needs no additional microthread hook sites.
+    """
+
+    def __init__(self, recorder: EventRecorder, max_spans: int = 10_000,
+                 max_routines: int = 10_000,
+                 term_pc: Optional[int] = None):
+        super().__init__(max_spans=max_spans, max_routines=max_routines,
+                         term_pc=term_pc)
+        self.recorder = recorder
+
+    def on_spawn(self, instance: "ActiveMicrothread") -> None:
+        super().on_spawn(instance)
+        self.recorder.cycle("spawn", instance.spawn_cycle,
+                            pc=instance.thread.term_pc,
+                            ctx=instance.context_id,
+                            target_seq=instance.target_seq)
+
+    def on_spawn_rejected(self, thread: "Microthread", idx: int,
+                          cycle: int, reason: str) -> None:
+        super().on_spawn_rejected(thread, idx, cycle, reason)
+        self.recorder.cycle("spawn_rejected", cycle, pc=thread.term_pc,
+                            reason=reason)
+
+    def _close_event(self, instance: "ActiveMicrothread", name: str,
+                     cycle: int, **args: Any) -> None:
+        span = self._live.get(id(instance))
+        self.recorder.cycle(name, cycle, pc=instance.thread.term_pc, **args)
+        if span is not None:
+            self.recorder.cycle(
+                "microthread_span", span.spawn_cycle, ph=PH_COMPLETE,
+                dur=max(0, cycle - span.spawn_cycle),
+                pc=span.term_pc, span_id=span.span_id)
+
+    def on_abort(self, instance: "ActiveMicrothread", cause: str,
+                 idx: int, cycle: int) -> None:
+        self._close_event(instance, "microthread_abort", cycle, cause=cause)
+        super().on_abort(instance, cause, idx, cycle)
+
+    def on_complete(self, instance: "ActiveMicrothread", idx: int,
+                    cycle: int) -> None:
+        self._close_event(instance, "microthread_complete", cycle)
+        super().on_complete(instance, idx, cycle)
+
+
+class ObsSession(TelemetrySession):
+    """Telemetry session + dual-domain event recorder; see module doc."""
+
+    def __init__(self, sample_every: int = 2000,
+                 trace_spans: bool = True,
+                 max_spans: int = 10_000,
+                 term_pc: Optional[int] = None,
+                 max_samples: int = 100_000,
+                 max_events: int = 200_000,
+                 flight: Optional[FlightRecorder] = None,
+                 occupancy_every: int = 1000):
+        super().__init__(sample_every=sample_every, trace_spans=False,
+                         term_pc=term_pc, max_samples=max_samples)
+        self.recorder = EventRecorder(max_events=max_events)
+        self.flight = flight
+        if flight is not None:
+            # the flight ring sees every cycle event, stored or dropped
+            self.recorder.cycle_tap = flight.tap
+        if trace_spans:
+            self.tracer = ObsThreadTracer(self.recorder,
+                                          max_spans=max_spans,
+                                          term_pc=term_pc)
+        self.occupancy_every = max(1, occupancy_every)
+        self._next_occupancy_cycle = 0
+        self._last_cycle = 0
+
+    # -- attachment --------------------------------------------------------
+
+    def attach(self, engine: "SSMTEngine") -> None:
+        super().attach(engine)
+        self.registry.register_callback("obs", self.recorder.as_dict)
+        if self.flight is not None:
+            self.registry.register_callback("obs.flight",
+                                            self.flight.as_dict)
+
+    # -- the per-terminating-branch control hook ---------------------------
+
+    @property
+    def control_hook(self) -> Optional[Callable[..., None]]:
+        """Bound per-terminating-branch callable (base sessions return
+        ``None``, so the engine's dispatch stays one identity test)."""
+        return self._on_control
+
+    def _on_control(self, engine: "SSMTEngine", idx: int,
+                    rec: "DynamicInstruction", outcome: "BranchOutcome",
+                    fetch_cycle: int, resolve_cycle: int) -> None:
+        self._last_cycle = resolve_cycle
+        recorder = self.recorder
+        mispredicted = outcome.mispredicted
+        if mispredicted:
+            recorder.cycle("mispredict", resolve_cycle, pc=rec.pc, idx=idx)
+        flight = self.flight
+        if flight is not None:
+            # key by the tracker's integer path id (O(1)); the full
+            # history tuple is materialised only when a dump fires
+            tracker = engine.tracker
+            before = flight.h2p_mispredicts
+            dump = flight.on_branch(
+                idx, rec.pc, tracker.current_path_id(), mispredicted,
+                resolve_cycle, engine.spawner, tracker.current_branches)
+            if flight.h2p_mispredicts != before:
+                recorder.cycle(
+                    "h2p_mispredict", resolve_cycle, pc=rec.pc, idx=idx,
+                    dump=dump.dump_id if dump is not None else -1)
+        if resolve_cycle >= self._next_occupancy_cycle:
+            self._next_occupancy_cycle = resolve_cycle + self.occupancy_every
+            recorder.cycle("active_contexts", resolve_cycle, ph=PH_COUNTER,
+                           active=len(engine.spawner.active))
+            recorder.cycle("prediction_cache_occupancy", resolve_cycle,
+                           ph=PH_COUNTER,
+                           entries=len(engine.prediction_cache))
+
+    # -- telemetry hooks, mirrored into the recorder -----------------------
+
+    def on_promote(self, event: "PathEvent", cycle: int) -> None:
+        super().on_promote(event, cycle)
+        self._last_cycle = cycle
+        self.recorder.cycle("promote", cycle, pc=event.key.term_pc,
+                            path_id=event.path_id)
+
+    def on_build(self, thread: "Microthread", event: "PathEvent",
+                 cycle: int, build_latency: int) -> None:
+        super().on_build(thread, event, cycle, build_latency)
+        self.recorder.cycle("build", cycle, pc=thread.term_pc,
+                            size=thread.routine_size,
+                            chain=thread.longest_chain,
+                            sep=thread.separation, latency=build_latency)
+
+    def on_build_failed(self, event: "PathEvent", cycle: int,
+                        reason: str) -> None:
+        super().on_build_failed(event, cycle, reason)
+        self.recorder.cycle("build_failed", cycle, pc=event.key.term_pc,
+                            reason=reason)
+
+    def on_demote(self, term_pc: int) -> None:
+        super().on_demote(term_pc)
+        # the demote hook carries no cycle; the control hook's last
+        # resolve cycle is the tightest timestamp available
+        self.recorder.cycle("demote", self._last_cycle, pc=term_pc)
+
+    def on_execute(self, instance: "ActiveMicrothread",
+                   dispatch_cycle: int) -> None:
+        super().on_execute(instance, dispatch_cycle)
+        pc = instance.thread.term_pc
+        self.recorder.cycle(
+            "microthread_execute", dispatch_cycle, ph=PH_COMPLETE,
+            dur=max(0, instance.arrival_cycle - dispatch_cycle),
+            pc=pc, ctx=instance.context_id)
+        self.recorder.cycle("store_pcache", instance.arrival_cycle, pc=pc,
+                            target_seq=instance.target_seq)
+
+    def on_outcome(self, idx: int, rec: "DynamicInstruction", kind: str,
+                   correct: bool) -> None:
+        # peek before the base class pops the lookup stash
+        stashed = self._lookup_stash.get(idx)
+        super().on_outcome(idx, rec, kind, correct)
+        if stashed is not None:
+            self.recorder.cycle("prediction_consumed", stashed[1],
+                                pc=rec.pc, idx=idx, kind=kind,
+                                correct=correct)
+
+    def on_run_end(self, engine: "SSMTEngine",
+                   result: "TimingResult") -> None:
+        self.recorder.cycle("run", 0, ph=PH_COMPLETE,
+                            dur=float(result.cycles),
+                            instructions=result.instructions)
+        super().on_run_end(engine, result)
+
+    # -- export ------------------------------------------------------------
+
+    def chrome_payload(self,
+                       context: Optional[Dict[str, Any]] = None,
+                       ) -> Dict[str, Any]:
+        """The run's ``repro.obs/1`` Chrome trace object."""
+        return to_chrome_trace(self.recorder.sorted_events(),
+                               context=context,
+                               dropped=self.recorder.total_dropped)
+
+    def write_trace(self, path: str,
+                    context: Optional[Dict[str, Any]] = None,
+                    ) -> Dict[str, Any]:
+        """Write the run's trace artifact; returns the payload."""
+        return write_chrome_trace(path, self.recorder.sorted_events(),
+                                  context=context,
+                                  dropped=self.recorder.total_dropped)

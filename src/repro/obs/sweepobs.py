@@ -1,0 +1,235 @@
+"""Sweep-side observability: trace shards, merging, and live progress.
+
+Cross-process aggregation works by **sharding**: each traced worker
+writes its own ``repro.obs/1`` artifact into the sweep's trace
+directory, named by the task's content-addressed key
+(``<task_key>.trace.json``).  Because the key already identifies the
+simulation bit-exactly, shards compose with the result cache for free —
+a cached sweep re-uses the shard a previous run wrote, and a re-run
+overwrites with identical content.  :func:`merge_shards` folds any set
+of shards into one timeline, normalised by the canonical
+``(domain, ts, seq)`` order; ``tests/test_obs_sweep.py`` property-checks
+that serial, parallel, and cached executions of the same grid merge to
+event-identical timelines (via :func:`timeline_identity`, which
+projects away the only legitimately nondeterministic coordinates: wall
+timestamps and durations).
+
+:class:`SweepObs` is the runner-side observer: it records the sweep's
+own **wall-domain** events (dispatch, cache hit/miss, per-task run
+spans, heartbeats, pool rebuilds, stalls) into an
+:class:`~repro.obs.events.EventRecorder`, and in ``--live`` mode echoes
+heartbeat progress lines — surfacing a stalled pool *while* it stalls
+instead of after the timeout fires.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.events import (
+    CYCLE_DOMAIN,
+    PH_COMPLETE,
+    EventRecorder,
+    ObsEvent,
+)
+from repro.obs.export import events_from_chrome, write_chrome_trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.taskkey import SweepTask
+
+#: Shard filename suffix inside a sweep trace directory.
+SHARD_SUFFIX = ".trace.json"
+
+
+# -- shard I/O --------------------------------------------------------------
+
+def shard_path(trace_dir: str, key: str) -> str:
+    """Where the worker shard for one task key lives."""
+    return os.path.join(trace_dir, f"{key}{SHARD_SUFFIX}")
+
+
+def write_shard(trace_dir: str, key: str, events: List[ObsEvent],
+                context: Optional[Dict[str, Any]] = None,
+                dropped: int = 0) -> str:
+    """Write one task's shard; returns its path."""
+    path = shard_path(trace_dir, key)
+    write_chrome_trace(path, events,
+                       context=dict(context or {}, task_key=key),
+                       dropped=dropped)
+    return path
+
+
+def load_shard(trace_dir: str, key: str) -> List[ObsEvent]:
+    """Events of one task's shard, in canonical order."""
+    with open(shard_path(trace_dir, key), encoding="utf-8") as handle:
+        return events_from_chrome(json.load(handle))
+
+
+def load_shards(trace_dir: str) -> Dict[str, List[ObsEvent]]:
+    """Every shard in a trace directory, keyed by task key."""
+    shards: Dict[str, List[ObsEvent]] = {}
+    for name in sorted(os.listdir(trace_dir)):
+        if not name.endswith(SHARD_SUFFIX):
+            continue
+        key = name[:-len(SHARD_SUFFIX)]
+        shards[key] = load_shard(trace_dir, key)
+    return shards
+
+
+# -- merging ----------------------------------------------------------------
+
+def merge_shards(shards: Dict[str, List[ObsEvent]]) -> List[ObsEvent]:
+    """Fold per-task shards into one timeline.
+
+    Every event is re-tagged with a short ``task`` arg so merged tracks
+    stay attributable, then the whole set is normalised into the
+    canonical ``(domain, ts, seq)`` order — ties across shards break by
+    task key, and sequence numbers are reassigned so the merged
+    timeline is itself a valid single-recorder stream.
+    """
+    tagged: List[Tuple[str, ObsEvent]] = []
+    for key in sorted(shards):
+        for event in shards[key]:
+            tagged.append((key, event))
+    tagged.sort(key=lambda pair: (pair[1].domain, pair[1].ts, pair[0],
+                                  pair[1].seq))
+    merged: List[ObsEvent] = []
+    for seq, (key, event) in enumerate(tagged):
+        merged.append(ObsEvent(
+            domain=event.domain, ts=event.ts, seq=seq,
+            name=event.name, cat=event.cat, ph=event.ph, dur=event.dur,
+            args=dict(event.args, task=key[:12])))
+    return merged
+
+
+def write_merged_trace(path: str, shards: Dict[str, List[ObsEvent]],
+                       context: Optional[Dict[str, Any]] = None,
+                       ) -> Dict[str, Any]:
+    """Write the merged ``repro.obs/1`` artifact for a whole sweep."""
+    return write_chrome_trace(path, merge_shards(shards),
+                              context=dict(context or {},
+                                           shards=len(shards)))
+
+
+def timeline_identity(shards: Dict[str, List[ObsEvent]],
+                      ) -> List[Tuple[Any, ...]]:
+    """The deterministic projection of a sharded timeline.
+
+    Two sweep executions are *event-identical* iff their identities are
+    equal.  Cycle-domain events project completely (the simulation is
+    deterministic, so name, cycle, duration, and args must all match);
+    wall-domain events keep their name and per-shard emission order but
+    drop timestamps and durations, which legitimately differ between
+    runs.
+    """
+    identity: List[Tuple[Any, ...]] = []
+    for key in sorted(shards):
+        for event in sorted(shards[key], key=lambda e: e.seq):
+            if event.domain == CYCLE_DOMAIN:
+                identity.append((
+                    key, event.seq, event.domain, event.name, event.ph,
+                    event.ts, event.dur,
+                    json.dumps(event.args, sort_keys=True)))
+            else:
+                identity.append((key, event.seq, event.domain, event.name,
+                                 event.ph))
+    return identity
+
+
+# -- the runner-side observer ----------------------------------------------
+
+class SweepObs:
+    """Wall-domain observer for :class:`~repro.parallel.runner.SweepRunner`.
+
+    Implements the runner's observer protocol (duck-typed; the parallel
+    layer never imports this module).  All timestamps land in the
+    recorder's wall domain; with ``live=True`` each heartbeat / stall /
+    rebuild also echoes a human progress line.
+    """
+
+    def __init__(self, live: bool = False,
+                 heartbeat_interval: float = 5.0,
+                 max_events: int = 200_000,
+                 echo: Callable[[str], None] = print):
+        #: how often the runner should wake to report progress (seconds)
+        self.heartbeat_interval = max(0.1, heartbeat_interval)
+        self.live = live
+        self.recorder = EventRecorder(max_events=max_events)
+        self._echo = echo
+        self._dispatch_ts: Dict[str, float] = {}
+        self._done = 0
+        self._failed = 0
+        self._start = time.monotonic()
+
+    def _say(self, line: str) -> None:
+        if self.live:
+            self._echo(f"sweep[live]: {line}")
+
+    # -- runner protocol ---------------------------------------------------
+
+    def on_cache_hit(self, task: "SweepTask") -> None:
+        self.recorder.wall("cache_hit", key=task.key[:12], label=task.label)
+
+    def on_cache_miss(self, task: "SweepTask") -> None:
+        self.recorder.wall("cache_miss", key=task.key[:12],
+                           label=task.label)
+
+    def on_dispatch(self, task: "SweepTask") -> None:
+        self._dispatch_ts[task.key] = time.monotonic()
+        self.recorder.wall("task_dispatch", key=task.key[:12],
+                           label=task.label)
+
+    def on_task_done(self, task: "SweepTask") -> None:
+        self._done += 1
+        started = self._dispatch_ts.pop(task.key, None)
+        now = time.monotonic()
+        dur_s = now - started if started is not None else 0.0
+        started_us = ((started if started is not None else now)
+                      - self._start) * 1e6
+        self.recorder.wall("task_run", ph=PH_COMPLETE, dur=dur_s * 1e6,
+                           ts=started_us, key=task.key[:12],
+                           label=task.label)
+        self._say(f"done {task.label} ({dur_s:.2f}s)")
+
+    def on_task_failed(self, task: "SweepTask", reason: str) -> None:
+        self._failed += 1
+        self._dispatch_ts.pop(task.key, None)
+        self.recorder.wall("task_failed", key=task.key[:12],
+                           label=task.label, reason=reason)
+        self._say(f"FAILED {task.label}: {reason}")
+
+    def on_heartbeat(self, done: int, total: int, inflight: int,
+                     waited: float) -> None:
+        self.recorder.wall("heartbeat", done=done, total=total,
+                           inflight=inflight,
+                           waited_s=round(waited, 3))
+        elapsed = time.monotonic() - self._start
+        stall = (f" (no completion for {waited:.1f}s)"
+                 if waited >= 2 * self.heartbeat_interval else "")
+        self._say(f"{done}/{total} done, {inflight} in flight, "
+                  f"elapsed {elapsed:.1f}s{stall}")
+
+    def on_stall(self, keys: List[str], timeout: float) -> None:
+        self.recorder.wall("stall", cancelled=len(keys),
+                           timeout_s=timeout)
+        self._say(f"STALL: no completion within {timeout:.1f}s; "
+                  f"cancelling {len(keys)} point(s)")
+
+    def on_rebuild(self, count: int) -> None:
+        self.recorder.wall("pool_rebuild", rebuilds=count)
+        self._say(f"worker pool broke; rebuilding (#{count})")
+
+    # -- export ------------------------------------------------------------
+
+    def write_trace(self, path: str,
+                    context: Optional[Dict[str, Any]] = None,
+                    ) -> Dict[str, Any]:
+        """Write the runner's own wall-domain trace artifact."""
+        return write_chrome_trace(
+            path, self.recorder.sorted_events(),
+            context=dict(context or {}, done=self._done,
+                         failed=self._failed),
+            dropped=self.recorder.total_dropped)

@@ -64,6 +64,9 @@ class SweepOutcome:
     failures: int = 0      # unique points with no result
     retries: int = 0       # pool rebuilds after worker crashes
     jobs: int = 1
+    cache_misses: int = 0  # unique points the cache was asked for but lacked
+    workers: int = 0       # pool workers actually engaged (1 when serial)
+    rebuilds: int = 0      # worker pools rebuilt after crashes
     elapsed: float = 0.0
     errors: Dict[str, str] = field(default_factory=dict)  # key -> reason
 
@@ -72,11 +75,17 @@ class SweepOutcome:
         return len(self.results)
 
     def summary_line(self) -> str:
-        """One greppable line (CI asserts on it; keep the format stable)."""
+        """One greppable line (CI asserts on it; keep the format stable).
+
+        New fields go *after* ``jobs=`` — existing consumers assert on
+        the prefix up to and including that field.
+        """
         return (f"sweep: points={self.points} simulated={self.simulated} "
                 f"cache_hits={self.cache_hits} deduped={self.deduped} "
                 f"failures={self.failures} retries={self.retries} "
-                f"jobs={self.jobs} elapsed={self.elapsed:.2f}s")
+                f"jobs={self.jobs} cache_misses={self.cache_misses} "
+                f"workers={self.workers} rebuilds={self.rebuilds} "
+                f"elapsed={self.elapsed:.2f}s")
 
 
 class SweepRunner:
@@ -87,7 +96,8 @@ class SweepRunner:
                  resume: bool = True,
                  task_timeout: Optional[float] = None,
                  max_retries: int = 1,
-                 worker: WorkerFn = run_task):
+                 worker: WorkerFn = run_task,
+                 observer: Optional[Any] = None):
         self.jobs = default_jobs() if jobs is None else max(1, jobs)
         self.cache = ResultCache(cache_dir) if cache_dir else None
         #: read cached points (writes always happen with a cache_dir)
@@ -95,6 +105,13 @@ class SweepRunner:
         self.task_timeout = task_timeout
         self.max_retries = max(0, max_retries)
         self.worker = worker
+        #: optional duck-typed observer (e.g. ``repro.obs.SweepObs``):
+        #: on_cache_hit/on_cache_miss/on_dispatch/on_task_done/
+        #: on_task_failed/on_heartbeat/on_stall/on_rebuild, plus a
+        #: ``heartbeat_interval`` (seconds) the drain loop wakes on.
+        #: ``None`` keeps every call site at one identity test, and the
+        #: parallel layer never imports ``repro.obs`` itself.
+        self.observer = observer
 
     # -- public API ----------------------------------------------------------
 
@@ -114,22 +131,31 @@ class SweepRunner:
                 unique[key] = task
 
         # 2. cache reads
+        observer = self.observer
+        reading_cache = self.cache is not None and self.resume
         payloads: Dict[str, Dict[str, Any]] = {}
         pending: List[SweepTask] = []
         for key, task in unique.items():
-            hit = (self.cache.get(key)
-                   if self.cache is not None and self.resume else None)
+            hit = self.cache.get(key) if reading_cache else None
             if hit is not None:
                 payloads[key] = hit
                 outcome.cache_hits += 1
+                if observer is not None:
+                    observer.on_cache_hit(task)
             else:
                 pending.append(task)
+                if reading_cache:
+                    outcome.cache_misses += 1
+                    if observer is not None:
+                        observer.on_cache_miss(task)
 
         # 3. execute what's left
         if pending:
             if self.jobs <= 1:
+                outcome.workers = 1
                 computed = self._run_serial(pending, outcome)
             else:
+                outcome.workers = min(self.jobs, len(pending))
                 computed = self._run_parallel(pending, outcome)
             for key, payload in computed.items():
                 payloads[key] = payload
@@ -152,12 +178,21 @@ class SweepRunner:
 
     def _run_serial(self, tasks: List[SweepTask],
                     outcome: SweepOutcome) -> Dict[str, Dict[str, Any]]:
+        observer = self.observer
         done: Dict[str, Dict[str, Any]] = {}
         for task in tasks:
+            if observer is not None:
+                observer.on_dispatch(task)
             try:
                 done[task.key] = self.worker(task)
             except Exception as exc:  # deterministic failure: no retry
-                outcome.errors[task.key] = f"{type(exc).__name__}: {exc}"
+                reason = f"{type(exc).__name__}: {exc}"
+                outcome.errors[task.key] = reason
+                if observer is not None:
+                    observer.on_task_failed(task, reason)
+            else:
+                if observer is not None:
+                    observer.on_task_done(task)
         return done
 
     def _run_parallel(self, tasks: List[SweepTask],
@@ -167,6 +202,7 @@ class SweepRunner:
         except Exception as exc:  # pool unavailable on this platform
             outcome.errors["__pool__"] = (f"pool unavailable, running "
                                           f"serially: {exc}")
+            outcome.workers = 1
             return self._run_serial(tasks, outcome)
 
         done: Dict[str, Dict[str, Any]] = {}
@@ -186,6 +222,9 @@ class SweepRunner:
                 executor.shutdown(wait=False)
                 rebuilds += 1
                 outcome.retries += 1
+                outcome.rebuilds += 1
+                if self.observer is not None:
+                    self.observer.on_rebuild(rebuilds)
                 if rebuilds > self.max_retries:
                     outcome.errors["__pool__"] = (
                         f"worker pool broke {rebuilds} times; finishing "
@@ -202,26 +241,57 @@ class SweepRunner:
                     done: Dict[str, Dict[str, Any]],
                     outcome: SweepOutcome) -> bool:
         """Submit ``tasks`` and collect results.  Returns True when the
-        pool broke (caller decides whether to rebuild)."""
+        pool broke (caller decides whether to rebuild).
+
+        With an observer attached, the wait loop wakes every
+        ``observer.heartbeat_interval`` seconds to report progress; the
+        stall contract is unchanged — the outstanding points are
+        cancelled once *no* point has completed for ``task_timeout``
+        seconds (heartbeats surface the stall while it develops).
+        """
+        observer = self.observer
         futures: Dict[Future[Dict[str, Any]], SweepTask] = {}
         try:
             for task in tasks:
+                if observer is not None:
+                    observer.on_dispatch(task)
                 futures[executor.submit(self.worker, task)] = task
         except BrokenProcessPool:
             return True
+        quantum = self.task_timeout
+        if observer is not None:
+            beat = float(observer.heartbeat_interval)
+            quantum = beat if quantum is None else min(beat, quantum)
         not_done = set(futures)
+        last_progress = time.monotonic()
         while not_done:
-            finished, not_done = wait(not_done, timeout=self.task_timeout,
+            finished, not_done = wait(not_done, timeout=quantum,
                                       return_when=FIRST_COMPLETED)
             if not finished:
+                waited = time.monotonic() - last_progress
+                stalled_out = (self.task_timeout is not None
+                               and (observer is None
+                                    or waited >= self.task_timeout))
+                if not stalled_out:
+                    # Heartbeat wake-up, not (yet) a stall.
+                    if observer is not None:
+                        observer.on_heartbeat(
+                            done=len(futures) - len(not_done),
+                            total=len(futures),
+                            inflight=len(not_done), waited=waited)
+                    continue
                 # No point completed within the timeout window: stall.
+                stalled = [futures[fut].key for fut in not_done]
                 for fut in not_done:
                     fut.cancel()
                     key = futures[fut].key
                     outcome.errors[key] = (
                         f"timeout: no completion within "
                         f"{self.task_timeout}s; point cancelled")
+                if observer is not None:
+                    observer.on_stall(stalled, self.task_timeout)
                 return False
+            last_progress = time.monotonic()
             for fut in finished:
                 task = futures[fut]
                 try:
@@ -229,6 +299,11 @@ class SweepRunner:
                 except BrokenProcessPool:
                     return True
                 except Exception as exc:
-                    outcome.errors[task.key] = (
-                        f"{type(exc).__name__}: {exc}")
+                    reason = f"{type(exc).__name__}: {exc}"
+                    outcome.errors[task.key] = reason
+                    if observer is not None:
+                        observer.on_task_failed(task, reason)
+                else:
+                    if observer is not None:
+                        observer.on_task_done(task)
         return False

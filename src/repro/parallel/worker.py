@@ -18,6 +18,7 @@ sweep-level aggregation and single-run tooling read the same fields.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import asdict
 from typing import Any, Dict, Optional
 
@@ -74,8 +75,16 @@ def _direction_complex(task: SweepTask) -> BranchPredictorComplex:
     return make_complex(task.predictor)
 
 
-def run_task(task: SweepTask) -> Dict[str, Any]:
-    """Simulate one sweep point and return its result payload."""
+def run_task(task: SweepTask, telemetry: Optional[Any] = None,
+             ) -> Dict[str, Any]:
+    """Simulate one sweep point and return its result payload.
+
+    ``telemetry`` (an optional :class:`~repro.telemetry.session.
+    TelemetrySession`) is attached to SSMT-kind points only — the other
+    kinds run bare timing models with no hook sites.  Telemetry is
+    strictly observational, so the returned payload is bit-identical
+    with or without it.
+    """
     trace = benchmark_trace(task.benchmark, task.instructions)
     metrics: Optional[Dict[str, Any]] = None
     result: TimingResult
@@ -90,7 +99,8 @@ def run_task(task: SweepTask) -> Dict[str, Any]:
                                   predictor=_direction_complex(task))
     else:  # ssmt (validated by SweepTask.__post_init__)
         result, engine = run_ssmt(trace, task.config, machine=task.machine,
-                                  predictor=_direction_complex(task))
+                                  predictor=_direction_complex(task),
+                                  telemetry=telemetry)
         metrics = engine_metrics(engine)
     payload: Dict[str, Any] = {
         "schema": POINT_SCHEMA,
@@ -111,3 +121,35 @@ def run_task(task: SweepTask) -> Dict[str, Any]:
     normalised: Dict[str, Any] = json.loads(
         json.dumps(payload, sort_keys=True))
     return normalised
+
+
+def run_task_traced(task: SweepTask, trace_dir: str) -> Dict[str, Any]:
+    """:func:`run_task` plus a per-task ``repro.obs/1`` trace shard.
+
+    Used by traced sweeps via ``functools.partial(run_task_traced,
+    trace_dir=...)`` — both pieces pickle by reference/value, so the
+    pool ships it like the plain worker.  The :mod:`repro.obs` import is
+    deferred into the body: an untraced sweep (the default worker)
+    never pays for it, which the zero-cost subprocess test pins down.
+
+    The shard is a *side artifact* keyed by the task's content hash
+    (written into ``trace_dir``); the returned payload is byte-identical
+    to the untraced worker's, so cached results and task keys are
+    unaffected.
+    """
+    from repro.obs import ObsSession
+    from repro.obs.events import PH_COMPLETE
+    from repro.obs.sweepobs import write_shard
+
+    session = ObsSession(sample_every=0, trace_spans=True)
+    wall_start = time.monotonic()
+    payload = run_task(task, telemetry=session)
+    dur_us = (time.monotonic() - wall_start) * 1e6
+    session.recorder.wall("task_run", ph=PH_COMPLETE, dur=dur_us, ts=0.0,
+                          label=task.label, kind=task.kind)
+    write_shard(trace_dir, task.key, session.recorder.sorted_events(),
+                context={"label": task.label, "kind": task.kind,
+                         "benchmark": task.benchmark,
+                         "instructions": task.instructions},
+                dropped=session.recorder.total_dropped)
+    return payload

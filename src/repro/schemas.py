@@ -49,6 +49,8 @@ SCHEMA_REGISTRY: Dict[str, Dict[int, str]] = {
     "repro.lint": {1: "repro.lint.report"},
     "repro.lint.fingerprints": {1: "repro.lint.fingerprint"},
     "repro.lint.baseline": {1: "repro.lint.baseline"},
+    "repro.obs": {1: "repro.obs.export"},
+    "repro.obs.flight": {1: "repro.obs.flight"},
 }
 
 

@@ -169,6 +169,22 @@ class TelemetrySession:
         """
         return self.sampler.on_retire if self.sampler is not None else None
 
+    @property
+    def control_hook(self) -> Optional[Callable[..., None]]:
+        """Bound per-terminating-branch callable, or None when nothing
+        observes branch resolutions.
+
+        The engine binds this once at construction and dispatches
+        ``(engine, idx, rec, outcome, fetch_cycle, resolve_cycle)`` per
+        path-terminating branch.  The base session records nothing per
+        branch (its counters come from the structures' own stats), so it
+        returns ``None`` and the engine's dispatch stays one identity
+        test; the observability layer's session
+        (:class:`repro.obs.session.ObsSession`) overrides this to emit
+        mispredict/occupancy events and drive the flight recorder.
+        """
+        return None
+
     def on_promote(self, event: "PathEvent", cycle: int) -> None:
         if self.tracer is not None:
             self.tracer.on_promote(event, cycle)

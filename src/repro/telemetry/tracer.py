@@ -27,7 +27,7 @@ from __future__ import annotations
 from collections import Counter as TallyCounter
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.core.microthread import Microthread
@@ -40,6 +40,13 @@ SPAN_STATUSES = ("completed", "aborted", "violated", "in_flight")
 #: abort cause attribution
 CAUSE_PATH_DEVIATION = "path_deviation"
 CAUSE_MEMDEP_VIOLATION = "memdep_violation"
+
+#: pre-allocation spawn rejection reasons (before any span exists)
+REJECT_PATH_PREFIX = "path_prefix_mismatch"
+REJECT_NO_CONTEXT = "no_free_context"
+
+#: closed spans kept reachable for late outcome attribution
+_CLOSED_KEEP = 64
 
 
 @dataclass
@@ -183,6 +190,7 @@ class _TracerTallies:
     statuses: TallyCounter = field(default_factory=TallyCounter)
     outcomes: TallyCounter = field(default_factory=TallyCounter)
     abort_causes: TallyCounter = field(default_factory=TallyCounter)
+    spawn_rejections: TallyCounter = field(default_factory=TallyCounter)
 
 
 class ThreadTracer:
@@ -199,6 +207,15 @@ class ThreadTracer:
         self.routines: Deque[RoutineRecord] = deque(maxlen=max_routines)
         self.tallies = _TracerTallies()
         self._live: Dict[int, ThreadSpan] = {}   # id(instance) -> span
+        # Recently closed spans, keyed like ``_live``.  An aborted
+        # instance's prediction can still be consumed afterwards (its
+        # ``Store_PCache`` may already have landed), so the terminal
+        # outcome kind must be attributable after the span closed.  The
+        # map retains the instance itself, which both prevents id reuse
+        # while an entry is held and bounds its own lifetime via
+        # ``_CLOSED_KEEP``.
+        self._closed: Dict[int, Tuple["ActiveMicrothread", ThreadSpan]] = {}
+        self._closed_order: Deque[int] = deque()
         self._next_span_id = 0
 
     def _traced(self, term_pc: int) -> bool:
@@ -246,6 +263,22 @@ class ThreadTracer:
 
     # -- instance lifecycle (spawn -> outcome) -------------------------------
 
+    def on_spawn_rejected(self, thread: "Microthread", idx: int,
+                          cycle: int, reason: str) -> None:
+        """The spawn manager refused this invocation before allocation
+        (path-prefix mismatch or microcontext exhaustion): no span ever
+        opens, but the rejection is still attributed by cause."""
+        self.tallies.spawn_rejections[reason] += 1
+
+    def _close(self, instance: "ActiveMicrothread",
+               span: ThreadSpan) -> None:
+        key = id(instance)
+        if key not in self._closed:
+            self._closed_order.append(key)
+        self._closed[key] = (instance, span)
+        while len(self._closed_order) > _CLOSED_KEEP:
+            self._closed.pop(self._closed_order.popleft(), None)
+
     def on_spawn(self, instance: "ActiveMicrothread") -> None:
         self.tallies.spawns += 1
         if not self._traced(instance.thread.term_pc):
@@ -285,6 +318,7 @@ class ThreadTracer:
         span.end_idx = idx
         span.end_cycle = cycle
         span.suffix_progress = instance.suffix_progress
+        self._close(instance, span)
 
     def on_complete(self, instance: "ActiveMicrothread", idx: int,
                     cycle: int) -> None:
@@ -297,6 +331,7 @@ class ThreadTracer:
         span.end_idx = idx
         span.end_cycle = cycle
         span.suffix_progress = instance.suffix_progress
+        self._close(instance, span)
 
     def on_outcome(self, instance: "ActiveMicrothread", kind: str,
                    correct: bool, target_fetch_cycle: int) -> None:
@@ -304,7 +339,14 @@ class ThreadTracer:
         self.tallies.outcomes[kind] += 1
         span = self._live.get(id(instance))
         if span is None:
-            return
+            # The span may already be closed (aborted-then-consumed:
+            # the Store_PCache landed before the abort, so the cached
+            # prediction outlives the instance).  Attribute the
+            # terminal outcome kind to the closed span.
+            closed = self._closed.get(id(instance))
+            if closed is None:
+                return
+            span = closed[1]
         span.outcome = kind
         span.outcome_correct = correct
         span.target_fetch_cycle = target_fetch_cycle
@@ -315,6 +357,8 @@ class ThreadTracer:
             span.status = "in_flight"
             self.tallies.statuses["in_flight"] += 1
         self._live.clear()
+        self._closed.clear()
+        self._closed_order.clear()
 
     # -- queries / export ------------------------------------------------------
 
@@ -341,6 +385,8 @@ class ThreadTracer:
             out[f"outcome_{kind}"] = count
         for cause, count in sorted(tallies.abort_causes.items()):
             out[f"abort_{cause}"] = count
+        for reason, count in sorted(tallies.spawn_rejections.items()):
+            out[f"rejected_{reason}"] = count
         return out
 
     def span_rows(self) -> List[Dict[str, Any]]:

@@ -1,0 +1,570 @@
+"""Tests for the repro.obs observability layer.
+
+Covers the dual-domain event model (catalogue validation, bounded
+recorder with drop accounting, the flight tap), the Chrome trace-event
+export and its round-trip, the misprediction flight recorder (online
+H2P classification, dump bounding, artifact diffing), the ObsSession
+integration on a promoting benchmark, the tracer's rejected-spawn and
+aborted-then-consumed attribution fixes, the obs CLI surface, and the
+zero-cost guarantee (a default run never imports repro.obs, proven in
+a fresh subprocess).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cli import main
+from repro.core.ssmt import SSMTConfig, run_ssmt
+from repro.obs import (
+    CYCLE_DOMAIN,
+    EVENT_CATALOG,
+    FLIGHT_SCHEMA,
+    OBS_SCHEMA,
+    WALL_DOMAIN,
+    EventRecorder,
+    FlightRecorder,
+    ObsEvent,
+    ObsSession,
+    diff_flight,
+    events_from_chrome,
+    load_flight,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_flight,
+)
+from repro.obs.events import PH_COMPLETE, PH_COUNTER
+from repro.obs.export import CATEGORY_TIDS, DOMAIN_PIDS
+from repro.telemetry.tracer import (
+    CAUSE_PATH_DEVIATION,
+    REJECT_NO_CONTEXT,
+    REJECT_PATH_PREFIX,
+    ThreadTracer,
+)
+from repro.workloads import benchmark_trace
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: a benchmark/length pair known to promote paths and spawn microthreads
+SPAN_BENCH = "li"
+SPAN_LENGTH = 50_000
+
+
+@pytest.fixture(scope="module")
+def obs_run():
+    """One instrumented run shared by the integration tests."""
+    trace = benchmark_trace(SPAN_BENCH, SPAN_LENGTH)
+    flight = FlightRecorder(window=32)
+    session = ObsSession(sample_every=0, flight=flight)
+    result, engine = run_ssmt(trace, SSMTConfig(), telemetry=session)
+    return session, result, engine
+
+
+# -- event model --------------------------------------------------------------
+
+
+class TestEventModel:
+    def test_catalog_domains_are_valid(self):
+        for name, (domain, cat) in EVENT_CATALOG.items():
+            assert domain in (CYCLE_DOMAIN, WALL_DOMAIN), name
+            assert cat in CATEGORY_TIDS, name
+
+    def test_cycle_event(self):
+        rec = EventRecorder()
+        event = rec.cycle("mispredict", 42, pc=7)
+        assert event.domain == CYCLE_DOMAIN
+        assert event.ts == 42
+        assert event.args == {"pc": 7}
+
+    def test_wall_event_timestamps_advance(self):
+        tick = iter(range(100))
+        rec = EventRecorder(clock=lambda: next(tick))
+        first = rec.wall("cache_hit", key="a")
+        second = rec.wall("cache_hit", key="b")
+        assert second.ts > first.ts >= 0
+
+    def test_unknown_name_rejected(self):
+        rec = EventRecorder()
+        with pytest.raises(KeyError):
+            rec.cycle("not_an_event", 0)
+
+    def test_wrong_domain_rejected(self):
+        rec = EventRecorder()
+        with pytest.raises(ValueError):
+            rec.cycle("cache_hit", 0)       # wall-domain name
+        with pytest.raises(ValueError):
+            rec.wall("mispredict")          # cycle-domain name
+
+    def test_bounded_with_drop_accounting(self):
+        rec = EventRecorder(max_events=3)
+        for cycle in range(5):
+            rec.cycle("mispredict", cycle)
+        assert len(rec) == 3
+        assert rec.total_dropped == 2
+        assert rec.dropped["branch"] == 2
+        # oldest events were evicted
+        assert [e.ts for e in rec.sorted_events()] == [2, 3, 4]
+
+    def test_cycle_tap_sees_dropped_events(self):
+        rec = EventRecorder(max_events=2)
+        tapped = []
+        rec.cycle_tap = tapped.append
+        for cycle in range(5):
+            rec.cycle("mispredict", cycle)
+        assert len(tapped) == 5     # the tap is never blinded by bounding
+
+    def test_sort_order_is_domain_ts_seq(self):
+        rec = EventRecorder(clock=lambda: 0.0)
+        rec.wall("cache_hit")
+        rec.cycle("mispredict", 10)
+        rec.cycle("promote", 5, pc=1)
+        names = [e.name for e in rec.sorted_events()]
+        assert names == ["promote", "mispredict", "cache_hit"]
+
+    def test_event_round_trip(self):
+        event = ObsEvent(CYCLE_DOMAIN, 9, 3, "build", "builder",
+                         ph=PH_COMPLETE, dur=4.0, args={"pc": 1})
+        back = ObsEvent.from_dict(event.as_dict())
+        assert back.as_dict() == event.as_dict()
+
+    def test_as_dict_counts(self):
+        rec = EventRecorder()
+        rec.cycle("mispredict", 1)
+        rec.cycle("mispredict", 2)
+        rec.cycle("promote", 3, pc=0)
+        out = rec.as_dict()
+        assert out["stored"] == 3
+        assert out["count_mispredict"] == 2
+        assert out["count_promote"] == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventRecorder(max_events=0)
+
+
+# -- Chrome trace export ------------------------------------------------------
+
+
+class TestChromeExport:
+    def _events(self):
+        rec = EventRecorder(clock=lambda: 0.0)
+        rec.cycle("mispredict", 10, pc=5, idx=100)
+        rec.cycle("microthread_span", 3, ph=PH_COMPLETE, dur=7.0, pc=5,
+                  span_id=0)
+        rec.cycle("active_contexts", 10, ph=PH_COUNTER, active=2)
+        rec.wall("task_dispatch", key="abc")
+        return rec.sorted_events()
+
+    def test_payload_shape(self):
+        payload = to_chrome_trace(self._events(), context={"bench": "li"})
+        assert payload["schema"] == OBS_SCHEMA
+        assert payload["otherData"]["bench"] == "li"
+        assert payload["otherData"]["events"] == 4
+
+    def test_domains_get_distinct_processes(self):
+        payload = to_chrome_trace(self._events())
+        rows = [r for r in payload["traceEvents"] if r["ph"] != "M"]
+        pids = {r["domain"]: r["pid"] for r in rows}
+        assert pids == {"cycle": DOMAIN_PIDS[CYCLE_DOMAIN],
+                        "wall": DOMAIN_PIDS[WALL_DOMAIN]}
+
+    def test_metadata_tracks_named(self):
+        payload = to_chrome_trace(self._events())
+        meta = [r for r in payload["traceEvents"] if r["ph"] == "M"]
+        names = {r["args"]["name"] for r in meta
+                 if r["name"] == "process_name"}
+        assert names == {"sim cycles", "wall clock"}
+        threads = {r["args"]["name"] for r in meta
+                   if r["name"] == "thread_name"}
+        assert {"branch", "microthread", "occupancy", "sweep"} <= threads
+
+    def test_phases_and_durations(self):
+        payload = to_chrome_trace(self._events())
+        by_name = {r["name"]: r for r in payload["traceEvents"]
+                   if r["ph"] != "M"}
+        assert by_name["mispredict"]["ph"] == "i"
+        assert by_name["mispredict"]["s"] == "t"
+        assert by_name["microthread_span"]["ph"] == "X"
+        assert by_name["microthread_span"]["dur"] == 7.0
+        assert by_name["active_contexts"]["ph"] == "C"
+        assert by_name["active_contexts"]["args"] == {"active": 2}
+
+    def test_round_trip(self, tmp_path):
+        events = self._events()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), events, dropped=3)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["otherData"]["dropped"] == 3
+        back = events_from_chrome(payload)
+        assert [e.as_dict() for e in back] == [e.as_dict() for e in events]
+
+    def test_round_trip_rejects_wrong_schema(self):
+        with pytest.raises(ValueError):
+            events_from_chrome({"schema": "repro.sweep/1",
+                                "traceEvents": []})
+
+
+# -- flight recorder ----------------------------------------------------------
+
+
+class TestFlightRecorder:
+    def test_regime_transitions(self):
+        flight = FlightRecorder()
+        path = (1, 2)
+        assert flight.regime(9, path) == "transient"
+        # three always-mispredicting executions: not yet min_occurrences
+        for idx in range(3):
+            assert flight.on_branch(idx, 9, path, True, idx * 10) is None
+        assert flight.regime(9, path) == "transient"
+        # the 4th execution crosses min_occurrences -> path becomes H2P
+        assert flight.on_branch(3, 9, path, True, 30) is None
+        assert flight.regime(9, path) == "h2p"
+
+    def test_trigger_requires_prior_h2p_regime(self):
+        """The regime is evaluated *before* the triggering observation,
+        so the first firing is the (min_occurrences+1)-th mispredict."""
+        flight = FlightRecorder()
+        path = (1,)
+        for idx in range(4):
+            flight.on_branch(idx, 9, path, True, idx)
+        assert flight.h2p_mispredicts == 0
+        dump = flight.on_branch(4, 9, path, True, 40)
+        assert dump is not None
+        assert flight.h2p_mispredicts == 1
+        assert dump.occurrences == 5 and dump.mispredicts == 5
+
+    def test_correct_prediction_never_triggers(self):
+        flight = FlightRecorder()
+        path = (1,)
+        for idx in range(10):
+            flight.on_branch(idx, 9, path, True, idx)
+        assert flight.on_branch(10, 9, path, False, 100) is None
+
+    def test_easy_path_never_triggers(self):
+        flight = FlightRecorder()
+        path = (2,)
+        for idx in range(200):
+            flight.on_branch(idx, 5, path, False, idx)
+        flight.on_branch(200, 5, path, True, 200)
+        assert flight.h2p_mispredicts == 0
+        assert flight.regime(5, path) == "easy"
+
+    def test_dump_carries_ring_and_inflight(self):
+        flight = FlightRecorder(window=2)
+        for seq, cycle in enumerate((1, 2, 3)):
+            flight.tap(ObsEvent(CYCLE_DOMAIN, cycle, seq, "mispredict",
+                                "branch"))
+        spawner = SimpleNamespace(active=[SimpleNamespace(
+            thread=SimpleNamespace(term_pc=9, path_id=1),
+            spawn_idx=50, target_seq=60, spawn_cycle=100,
+            arrival_cycle=140, aborted=False, suffix_progress=2)])
+        path = (1,)
+        for idx in range(4):
+            flight.on_branch(idx, 9, path, True, idx)
+        dump = flight.on_branch(4, 9, path, True, 150, spawner=spawner)
+        assert [e["ts"] for e in dump.events] == [2, 3]   # window=2
+        assert dump.inflight[0]["term_pc"] == 9
+        assert dump.inflight[0]["slack_vs_trigger"] == 10  # 150 - 140
+
+    def test_dumps_bounded_but_tally_complete(self):
+        flight = FlightRecorder(max_dumps=2)
+        path = (1,)
+        for idx in range(20):
+            flight.on_branch(idx, 9, path, True, idx)
+        assert len(flight.dumps) == 2
+        assert flight.h2p_mispredicts == 16     # every firing counted
+        assert flight.triggers_by_pc[9] == 16
+
+    def test_artifact_round_trip_and_diff(self, tmp_path):
+        def run(pcs):
+            flight = FlightRecorder()
+            for pc in pcs:
+                for idx in range(6):
+                    flight.on_branch(idx, pc, (pc,), True, idx)
+            return flight
+
+        ref_path = tmp_path / "ref.json"
+        cand_path = tmp_path / "cand.json"
+        write_flight(str(ref_path), run([7, 8]), context={"run": "off"})
+        write_flight(str(cand_path), run([8, 11]))
+        reference = load_flight(str(ref_path))
+        assert reference["schema"] == FLIGHT_SCHEMA
+        assert reference["context"] == {"run": "off"}
+        diff = diff_flight(reference, load_flight(str(cand_path)))
+        assert diff["repaired_pcs"] == [7]
+        assert diff["surviving_pcs"] == [8]
+        assert diff["introduced_pcs"] == [11]
+        assert diff["event_mix"] == {}       # no tapped events either run
+
+    def test_load_flight_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"schema": "repro.report/1"}')
+        with pytest.raises(ValueError):
+            load_flight(str(path))
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(window=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(max_dumps=0)
+
+
+# -- ObsSession integration ---------------------------------------------------
+
+
+class TestObsSession:
+    def test_lifecycle_events_recorded(self, obs_run):
+        session, _, engine = obs_run
+        counts = session.recorder.counts()
+        assert counts["promote"] == engine.path_cache.stats.promotions
+        assert counts["build"] == engine.builder.stats.built
+        assert counts["spawn"] == engine.spawner.stats.spawned
+        assert counts["run"] == 1
+        assert counts.get("mispredict", 0) > 0
+        assert counts.get("microthread_span", 0) > 0
+        assert counts.get("store_pcache", 0) > 0
+
+    def test_spans_match_tracer(self, obs_run):
+        session, _, _ = obs_run
+        spans = [e for e in session.recorder.events
+                 if e.name == "microthread_span"]
+        assert len(spans) == len(session.tracer.spans)
+        assert all(e.ph == PH_COMPLETE and e.dur >= 0 for e in spans)
+
+    def test_consumed_predictions_have_kinds(self, obs_run):
+        session, _, engine = obs_run
+        consumed = [e for e in session.recorder.events
+                    if e.name == "prediction_consumed"]
+        assert len(consumed) == sum(engine.prediction_kind_counts.values())
+        assert all(e.args["kind"] for e in consumed)
+
+    def test_occupancy_counters_throttled(self, obs_run):
+        session, result, _ = obs_run
+        gauges = [e for e in session.recorder.events
+                  if e.name == "active_contexts"]
+        assert gauges
+        assert all(e.ph == PH_COUNTER for e in gauges)
+        assert len(gauges) <= result.cycles // session.occupancy_every + 1
+
+    def test_flight_fired_on_h2p(self, obs_run):
+        session, _, _ = obs_run
+        assert session.flight.h2p_mispredicts > 0
+        assert session.flight.dumps
+        markers = [e for e in session.recorder.events
+                   if e.name == "h2p_mispredict"]
+        assert len(markers) == session.flight.h2p_mispredicts
+
+    def test_registry_exports_obs_counters(self, obs_run):
+        session, _, _ = obs_run
+        snapshot = session.registry.snapshot()
+        assert snapshot["obs.stored"] == len(session.recorder)
+        assert snapshot["obs.flight.h2p_mispredicts"] > 0
+
+    def test_run_determinism(self, obs_run):
+        """Two ObsSession runs of the same trace produce identical
+        cycle-domain streams (the property shard merging relies on)."""
+        session, _, _ = obs_run
+        trace = benchmark_trace(SPAN_BENCH, SPAN_LENGTH)
+        again = ObsSession(sample_every=0)
+        run_ssmt(trace, SSMTConfig(), telemetry=again)
+
+        def stream(s):
+            # seq is projected away: the fixture's flight recorder
+            # interleaves h2p_mispredict events that shift numbering
+            return [(e.ts, e.name, e.ph, e.dur,
+                     json.dumps(e.args, sort_keys=True))
+                    for e in s.recorder.sorted_events()
+                    if e.domain == CYCLE_DOMAIN
+                    and e.name != "h2p_mispredict"]
+
+        assert stream(session) == stream(again)
+
+    def test_chrome_payload_loads_round_trip(self, obs_run):
+        session, _, _ = obs_run
+        payload = session.chrome_payload(context={"benchmark": SPAN_BENCH})
+        assert payload["schema"] == OBS_SCHEMA
+        back = events_from_chrome(payload)
+        assert len(back) == len(session.recorder)
+
+    def test_report_still_builds(self, obs_run):
+        """ObsSession stays a full TelemetrySession."""
+        session, result, engine = obs_run
+        report = session.build_report(SPAN_BENCH, result, engine)
+        assert report.metrics["spawn.spawned"] > 0
+        assert report.metrics["obs.stored"] == len(session.recorder)
+
+
+# -- tracer attribution fixes -------------------------------------------------
+
+
+def _instance(term_pc=9, spawn_cycle=100):
+    return SimpleNamespace(
+        thread=SimpleNamespace(term_pc=term_pc, path_id=1),
+        spawn_idx=50, target_seq=60, spawn_cycle=spawn_cycle,
+        completion_cycle=120, arrival_cycle=118, aborted=False,
+        suffix_progress=1)
+
+
+class TestTracerAttribution:
+    def test_spawn_rejections_tallied_by_reason(self):
+        tracer = ThreadTracer()
+        thread = SimpleNamespace(term_pc=9)
+        tracer.on_spawn_rejected(thread, 1, 10, REJECT_PATH_PREFIX)
+        tracer.on_spawn_rejected(thread, 2, 20, REJECT_PATH_PREFIX)
+        tracer.on_spawn_rejected(thread, 3, 30, REJECT_NO_CONTEXT)
+        out = tracer.as_dict()
+        assert out[f"rejected_{REJECT_PATH_PREFIX}"] == 2
+        assert out[f"rejected_{REJECT_NO_CONTEXT}"] == 1
+        assert len(tracer) == 0     # no span ever opened
+
+    def test_aborted_then_consumed_outcome_attributed(self):
+        """An aborted instance's prediction can still be consumed (its
+        Store_PCache landed before the kill); the outcome must land on
+        the closed span instead of being dropped."""
+        tracer = ThreadTracer()
+        instance = _instance()
+        tracer.on_spawn(instance)
+        tracer.on_execute(instance, 105)
+        tracer.on_abort(instance, CAUSE_PATH_DEVIATION, idx=70, cycle=119)
+        tracer.on_outcome(instance, "late_partial", False,
+                          target_fetch_cycle=117)
+        span = tracer.spans[0]
+        assert span.status == "aborted"
+        assert span.outcome == "late_partial"
+        assert span.target_fetch_cycle == 117
+        assert span.slack_cycles == -1      # arrived 1 cycle late
+
+    def test_closed_retention_bounded(self):
+        tracer = ThreadTracer()
+        instances = [_instance() for _ in range(80)]
+        for instance in instances:
+            tracer.on_spawn(instance)
+            tracer.on_complete(instance, idx=70, cycle=130)
+        assert len(tracer._closed) <= 64
+        # the oldest closed span is no longer attributable...
+        tracer.on_outcome(instances[0], "early", True, 117)
+        assert tracer.spans[0].outcome == ""
+        # ...but recent ones still are
+        tracer.on_outcome(instances[-1], "early", True, 117)
+        assert tracer.spans[-1].outcome == "early"
+
+    def test_finish_clears_closed(self):
+        tracer = ThreadTracer()
+        instance = _instance()
+        tracer.on_spawn(instance)
+        tracer.on_complete(instance, idx=70, cycle=130)
+        tracer.finish()
+        tracer.on_outcome(instance, "early", True, 117)
+        assert tracer.spans[0].outcome == ""
+
+
+# -- engine wiring ------------------------------------------------------------
+
+
+class TestEngineWiring:
+    def test_rejections_recorded_on_real_run(self, obs_run):
+        """The spawn manager reports pre-allocation rejections; on a
+        promoting benchmark the invoke/spawn gap must be attributed."""
+        session, _, engine = obs_run
+        tally = session.tracer.tallies.spawn_rejections
+        stats = engine.spawner.stats
+        assert tally[REJECT_PATH_PREFIX] == stats.pre_allocation_aborts
+        assert tally[REJECT_NO_CONTEXT] == stats.no_free_context
+
+    def test_base_session_control_hook_is_none(self):
+        from repro.telemetry import TelemetrySession
+        assert TelemetrySession().control_hook is None
+
+    def test_plain_run_matches_obs_run(self):
+        """Observation is strictly observational: cycles and IPC are
+        bit-identical with and without an attached ObsSession."""
+        trace = benchmark_trace(SPAN_BENCH, 20_000)
+        bare, _ = run_ssmt(trace, SSMTConfig())
+        observed, _ = run_ssmt(benchmark_trace(SPAN_BENCH, 20_000),
+                               SSMTConfig(),
+                               telemetry=ObsSession(sample_every=0))
+        assert bare.as_dict() == observed.as_dict()
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestObsCli:
+    def test_trace_writes_perfetto_and_flight(self, tmp_path, capsys):
+        perfetto = tmp_path / "run.perfetto.json"
+        flight = tmp_path / "flight.json"
+        rc = main(["trace", SPAN_BENCH, "--instructions", "30000",
+                   "--limit", "0", "--perfetto", str(perfetto),
+                   "--flight-out", str(flight)])
+        assert rc == 0
+        payload = json.loads(perfetto.read_text())
+        assert payload["schema"] == OBS_SCHEMA
+        domains = {r.get("domain") for r in payload["traceEvents"]
+                   if r["ph"] != "M"}
+        assert domains == {"cycle", "wall"}
+        assert load_flight(str(flight))["h2p_mispredicts"] > 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out
+
+    def test_postmortem_renders_dumps(self, tmp_path, capsys):
+        flight = tmp_path / "flight.json"
+        main(["trace", SPAN_BENCH, "--instructions", "30000",
+              "--limit", "0", "--flight-out", str(flight)])
+        capsys.readouterr()
+        rc = main(["postmortem", str(flight), "--dumps", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "h2p_mispredicts=" in out
+        assert "dump#0" in out
+
+    def test_postmortem_diff(self, tmp_path, capsys):
+        flight = tmp_path / "flight.json"
+        main(["trace", SPAN_BENCH, "--instructions", "30000",
+              "--limit", "0", "--flight-out", str(flight)])
+        capsys.readouterr()
+        rc = main(["postmortem", str(flight), "--diff", str(flight),
+                   "--dumps", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repaired pcs" in out
+        assert "introduced pcs: []" in out
+
+
+# -- the zero-cost guarantee --------------------------------------------------
+
+
+class TestZeroCost:
+    def test_default_paths_never_import_obs(self):
+        """A fresh interpreter running the default worker, a plain
+        telemetry run, and an untraced CLI sweep keeps repro.obs out of
+        sys.modules entirely."""
+        program = (
+            "import sys\n"
+            "from repro.parallel.taskkey import SweepTask\n"
+            "from repro.parallel.worker import run_task\n"
+            "run_task(SweepTask(kind='ssmt', benchmark='gcc',\n"
+            "                   instructions=2000))\n"
+            "from repro.telemetry import TelemetrySession\n"
+            "from repro.core.ssmt import SSMTConfig, run_ssmt\n"
+            "from repro.workloads import benchmark_trace\n"
+            "run_ssmt(benchmark_trace('gcc', 2000), SSMTConfig(),\n"
+            "         telemetry=TelemetrySession())\n"
+            "from repro.cli import main\n"
+            "main(['sweep', '--benchmarks', 'gcc',\n"
+            "      '--instructions', '2000'])\n"
+            "obs = [m for m in sys.modules if m.startswith('repro.obs')]\n"
+            "print('OBS_MODULES=' + __import__('json').dumps(obs))\n"
+        )
+        proc = subprocess.run([sys.executable, "-c", program],
+                              capture_output=True, text=True,
+                              env={"PYTHONPATH": SRC, "PATH": ""},
+                              check=True)
+        marker = [line for line in proc.stdout.splitlines()
+                  if line.startswith("OBS_MODULES=")]
+        assert marker, proc.stdout
+        assert json.loads(marker[0][len("OBS_MODULES="):]) == []

@@ -1,0 +1,336 @@
+"""Sweep-side observability tests.
+
+The centrepiece is the event-identity property: serial, parallel, and
+cached executions of the same grid produce trace shards whose merged
+timelines are event-identical under :func:`timeline_identity` (the
+projection that drops only the legitimately nondeterministic wall
+timestamps).  Around it: shard I/O and merge mechanics, the
+:class:`SweepObs` runner observer (wall events, live echo lines,
+heartbeat/stall surfacing), the extended summary-line accounting
+(cache_misses / workers / rebuilds), and the traced-worker payload
+bit-identity guarantee.
+"""
+
+import functools
+import json
+import time
+
+from repro.cli import main
+from repro.obs import (
+    OBS_SCHEMA,
+    SweepObs,
+    load_shards,
+    merge_shards,
+    timeline_identity,
+    write_merged_trace,
+    write_shard,
+)
+from repro.obs.events import CYCLE_DOMAIN, WALL_DOMAIN, EventRecorder
+from repro.obs.sweepobs import load_shard, shard_path
+from repro.parallel.runner import SweepOutcome, SweepRunner
+from repro.parallel.taskkey import SweepTask
+from repro.parallel.worker import run_task, run_task_traced
+
+SHORT = 3000
+
+GRID = [
+    SweepTask(kind="baseline", benchmark="comp", instructions=SHORT),
+    SweepTask(kind="ssmt", benchmark="comp", instructions=SHORT),
+    SweepTask(kind="ssmt", benchmark="li", instructions=SHORT),
+]
+
+
+def t(**overrides):
+    defaults = dict(kind="ssmt", benchmark="comp", instructions=SHORT)
+    defaults.update(overrides)
+    return SweepTask(**defaults)
+
+
+def traced_runner(trace_dir, **kwargs):
+    worker = functools.partial(run_task_traced, trace_dir=str(trace_dir))
+    return SweepRunner(worker=worker, **kwargs)
+
+
+# -- the event-identity property ---------------------------------------------
+
+
+class TestTimelineIdentity:
+    def test_serial_parallel_cached_event_identical(self, tmp_path):
+        """The tentpole property: three execution strategies, one
+        timeline."""
+        dirs = [tmp_path / name for name in ("serial", "parallel", "cached")]
+        cache = tmp_path / "cache"
+
+        serial = traced_runner(dirs[0], jobs=1).run(GRID)
+        parallel = traced_runner(dirs[1], jobs=2,
+                                 cache_dir=str(cache)).run(GRID)
+        # warm cache: nothing simulates, shards come from the first pass
+        cached = traced_runner(dirs[1], jobs=2,
+                               cache_dir=str(cache)).run(GRID)
+        assert serial.simulated == parallel.simulated == len(GRID)
+        assert cached.simulated == 0 and cached.cache_hits == len(GRID)
+
+        identities = [timeline_identity(load_shards(str(d)))
+                      for d in (dirs[0], dirs[1])]
+        assert identities[0] == identities[1]
+        assert identities[0]     # non-trivial: events actually recorded
+        # payloads are bit-identical across all three strategies too
+        assert (json.dumps(serial.results, sort_keys=True)
+                == json.dumps(parallel.results, sort_keys=True)
+                == json.dumps(cached.results, sort_keys=True))
+
+    def test_identity_excludes_wall_coordinates(self):
+        def shard(wall_ts):
+            rec = EventRecorder(clock=lambda: wall_ts)
+            rec.cycle("mispredict", 10, pc=1)
+            rec.wall("task_run", dur=wall_ts)
+            return {"k": list(rec.events)}
+
+        assert timeline_identity(shard(1.0)) == timeline_identity(shard(9.0))
+
+    def test_identity_sees_cycle_divergence(self):
+        def shard(cycle):
+            rec = EventRecorder(clock=lambda: 0.0)
+            rec.cycle("mispredict", cycle, pc=1)
+            return {"k": list(rec.events)}
+
+        assert timeline_identity(shard(10)) != timeline_identity(shard(11))
+
+
+# -- shards and merging -------------------------------------------------------
+
+
+class TestShards:
+    def _events(self, cycle):
+        rec = EventRecorder(clock=lambda: 0.0)
+        rec.cycle("mispredict", cycle, pc=1)
+        rec.wall("task_run")
+        return rec.sorted_events()
+
+    def test_shard_round_trip(self, tmp_path):
+        events = self._events(5)
+        path = write_shard(str(tmp_path), "k1", events,
+                           context={"label": "x"})
+        assert path == shard_path(str(tmp_path), "k1")
+        back = load_shard(str(tmp_path), "k1")
+        assert [e.as_dict() for e in back] == [e.as_dict() for e in events]
+
+    def test_load_shards_skips_foreign_files(self, tmp_path):
+        write_shard(str(tmp_path), "k1", self._events(5))
+        (tmp_path / "sweep-merged.perfetto.json").write_text("{}")
+        (tmp_path / "notes.txt").write_text("hi")
+        assert sorted(load_shards(str(tmp_path))) == ["k1"]
+
+    def test_merge_orders_and_tags(self, tmp_path):
+        shards = {"bbb": self._events(5), "aaa": self._events(9)}
+        merged = merge_shards(shards)
+        # cycle events first (both shards), then wall events
+        assert [e.domain for e in merged] == [CYCLE_DOMAIN, CYCLE_DOMAIN,
+                                              WALL_DOMAIN, WALL_DOMAIN]
+        assert [e.ts for e in merged[:2]] == [5, 9]
+        assert [e.args["task"] for e in merged[:2]] == ["bbb", "aaa"]
+        assert [e.seq for e in merged] == [0, 1, 2, 3]  # reassigned
+
+    def test_write_merged_trace(self, tmp_path):
+        shards = {"k1": self._events(5), "k2": self._events(6)}
+        path = tmp_path / "merged.perfetto.json"
+        payload = write_merged_trace(str(path), shards)
+        assert payload["schema"] == OBS_SCHEMA
+        assert payload["otherData"]["shards"] == 2
+        assert json.loads(path.read_text())["otherData"]["events"] == 4
+
+
+# -- the traced worker --------------------------------------------------------
+
+
+class TestTracedWorker:
+    def test_payload_bit_identical_to_untraced(self, tmp_path):
+        task = t(benchmark="li")
+        plain = run_task(task)
+        traced = run_task_traced(task, trace_dir=str(tmp_path))
+        assert (json.dumps(plain, sort_keys=True)
+                == json.dumps(traced, sort_keys=True))
+
+    def test_shard_written_with_context(self, tmp_path):
+        task = t(benchmark="li")
+        run_task_traced(task, trace_dir=str(tmp_path))
+        with open(shard_path(str(tmp_path), task.key)) as handle:
+            payload = json.load(handle)
+        other = payload["otherData"]
+        assert other["task_key"] == task.key
+        assert other["benchmark"] == "li"
+        names = {r["name"] for r in payload["traceEvents"]
+                 if r["ph"] != "M"}
+        assert "task_run" in names      # the wall-domain envelope
+        assert "run" in names           # the cycle-domain run span
+
+
+# -- the runner observer ------------------------------------------------------
+
+
+class _Boom(Exception):
+    pass
+
+
+def _failing_worker(task):
+    raise _Boom(f"no result for {task.label}")
+
+
+class TestSweepObs:
+    def test_wall_events_for_lifecycle(self, tmp_path):
+        obs = SweepObs()
+        runner = SweepRunner(jobs=1, cache_dir=str(tmp_path), observer=obs)
+        runner.run(GRID[:2])
+        counts = obs.recorder.counts()
+        assert counts["task_dispatch"] == 2
+        assert counts["task_run"] == 2
+        assert "cache_hit" not in counts
+
+        rerun = SweepObs()
+        SweepRunner(jobs=1, cache_dir=str(tmp_path),
+                    observer=rerun).run(GRID[:2])
+        assert rerun.recorder.counts() == {"cache_hit": 2}
+
+    def test_cache_miss_only_counted_when_reading(self, tmp_path):
+        obs = SweepObs()
+        outcome = SweepRunner(jobs=1, cache_dir=str(tmp_path),
+                              observer=obs).run(GRID[:1])
+        assert outcome.cache_misses == 1
+        assert obs.recorder.counts()["cache_miss"] == 1
+        # without a cache there is nothing to miss
+        bare = SweepObs()
+        outcome = SweepRunner(jobs=1, observer=bare).run(GRID[:1])
+        assert outcome.cache_misses == 0
+        assert "cache_miss" not in bare.recorder.counts()
+
+    def test_failure_recorded(self):
+        obs = SweepObs()
+        outcome = SweepRunner(jobs=1, worker=_failing_worker,
+                              observer=obs).run(GRID[:1])
+        assert outcome.failures == 1
+        counts = obs.recorder.counts()
+        assert counts["task_failed"] == 1
+        assert "task_run" not in counts
+
+    def test_live_echo_lines(self):
+        lines = []
+        obs = SweepObs(live=True, echo=lines.append)
+        SweepRunner(jobs=1, observer=obs).run(GRID[:1])
+        assert any(line.startswith("sweep[live]: done") for line in lines)
+        silent = []
+        SweepRunner(jobs=1, observer=SweepObs(live=False,
+                                              echo=silent.append)
+                    ).run(GRID[:1])
+        assert silent == []
+
+    def test_heartbeat_and_stall_events(self):
+        lines = []
+        obs = SweepObs(live=True, heartbeat_interval=0.1,
+                       echo=lines.append)
+        obs.on_heartbeat(done=1, total=4, inflight=3, waited=0.05)
+        obs.on_heartbeat(done=1, total=4, inflight=3, waited=5.0)
+        obs.on_stall(["k1", "k2"], 9.0)
+        obs.on_rebuild(1)
+        counts = obs.recorder.counts()
+        assert counts == {"heartbeat": 2, "stall": 1, "pool_rebuild": 1}
+        assert any("no completion for 5.0s" in line for line in lines)
+        assert any("STALL" in line for line in lines)
+        assert any("rebuilding" in line for line in lines)
+
+    def test_heartbeats_fire_during_slow_parallel_run(self):
+        obs = SweepObs(heartbeat_interval=0.1)
+        runner = SweepRunner(jobs=2, observer=obs, worker=_dawdle_worker)
+        outcome = runner.run(GRID[:2])
+        assert outcome.failures == 0
+        assert obs.recorder.counts().get("heartbeat", 0) >= 1
+
+    def test_stall_cancels_and_notifies(self):
+        obs = SweepObs(heartbeat_interval=0.05)
+        runner = SweepRunner(jobs=2, task_timeout=0.3, observer=obs,
+                             worker=_sleepy_worker)
+        outcome = runner.run(GRID[:2])
+        assert outcome.failures == 2
+        counts = obs.recorder.counts()
+        assert counts["stall"] == 1
+        assert counts.get("heartbeat", 0) >= 1   # surfaced while developing
+
+    def test_write_trace(self, tmp_path):
+        obs = SweepObs()
+        SweepRunner(jobs=1, observer=obs).run(GRID[:1])
+        path = tmp_path / "runner.perfetto.json"
+        payload = obs.write_trace(str(path), context={"jobs": 1})
+        assert payload["schema"] == OBS_SCHEMA
+        assert payload["otherData"]["done"] == 1
+        assert payload["otherData"]["jobs"] == 1
+
+
+# module-level workers (must be picklable for the process pool)
+
+
+def _dawdle_worker(task):
+    time.sleep(0.35)
+    return run_task(task)
+
+
+def _sleepy_worker(task):
+    time.sleep(60)
+    return run_task(task)
+
+
+# -- summary-line accounting --------------------------------------------------
+
+
+class TestSummaryAccounting:
+    def test_summary_line_new_fields(self):
+        outcome = SweepOutcome(results=[None], simulated=1, jobs=2,
+                               cache_misses=3, workers=2, rebuilds=1,
+                               elapsed=1.0)
+        line = outcome.summary_line()
+        # existing consumers assert on the prefix through jobs=
+        assert "jobs=2 cache_misses=3 workers=2 rebuilds=1" in line
+        assert line.endswith("elapsed=1.00s")
+
+    def test_serial_counts_one_worker(self):
+        outcome = SweepRunner(jobs=1).run(GRID[:1])
+        assert outcome.workers == 1
+
+    def test_parallel_workers_capped_by_pending(self):
+        outcome = SweepRunner(jobs=8).run(GRID[:2])
+        assert outcome.workers == 2
+
+    def test_all_cached_engages_no_workers(self, tmp_path):
+        SweepRunner(jobs=2, cache_dir=str(tmp_path)).run(GRID[:2])
+        outcome = SweepRunner(jobs=2, cache_dir=str(tmp_path)).run(GRID[:2])
+        assert outcome.workers == 0
+        assert outcome.cache_misses == 0
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestSweepCli:
+    def test_trace_out_writes_shards_and_merged(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        rc = main(["sweep", "--benchmarks", "li", "--instructions",
+                   str(SHORT), "--trace-out", str(trace_dir), "--live"])
+        assert rc == 0
+        shards = load_shards(str(trace_dir))
+        assert len(shards) == 2      # baseline + ssmt
+        merged = json.loads(
+            (trace_dir / "sweep-merged.perfetto.json").read_text())
+        assert merged["schema"] == OBS_SCHEMA
+        assert merged["otherData"]["shards"] == 2
+        runner_trace = json.loads(
+            (trace_dir / "sweep-runner.perfetto.json").read_text())
+        assert runner_trace["otherData"]["done"] == 2
+        out = capsys.readouterr().out
+        assert "sweep[live]: done" in out
+        assert "sweep-merged.perfetto.json" in out
+
+    def test_untraced_sweep_unchanged(self, capsys):
+        rc = main(["sweep", "--benchmarks", "comp", "--instructions",
+                   str(SHORT)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sweep[live]" not in out
+        assert "perfetto" not in out

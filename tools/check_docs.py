@@ -17,7 +17,11 @@ Five checks keep the documentation honest as the code moves:
 5. every registered predictor-zoo scheme
    (``repro.branch.zoo.registered_schemes``) appears in
    ``docs/predictors.md``, and every arena baseline label is documented
-   there too.
+   there too;
+6. every event name in the observability taxonomy
+   (``repro.obs.events.EVENT_CATALOG``) is documented in
+   ``docs/observability.md``, and every backticked event name that doc
+   mentions in its taxonomy tables exists in the catalogue.
 
 Exits non-zero with a list of violations.
 
@@ -147,6 +151,27 @@ def check_zoo_schemes_documented(errors: list) -> None:
                           f"docs/predictors.md")
 
 
+def check_obs_events_documented(errors: list) -> None:
+    from repro.obs.events import EVENT_CATALOG
+
+    doc_path = DOCS / "observability.md"
+    if not doc_path.exists():
+        errors.append("docs/observability.md does not exist but the "
+                      "repro.obs event catalogue does")
+        return
+    doc = doc_path.read_text()
+    # taxonomy rows look like "| `name` | category | phase | ..."
+    mentioned = set(re.findall(
+        r"^\| `([a-z0-9_]+)` \| \w+ \| (?:instant|span|counter) \|",
+        doc, flags=re.M))
+    for name in sorted(set(EVENT_CATALOG) - mentioned):
+        errors.append(f"obs event '{name}' is in EVENT_CATALOG but not "
+                      f"documented in docs/observability.md")
+    for name in sorted(mentioned - set(EVENT_CATALOG)):
+        errors.append(f"docs/observability.md documents obs event "
+                      f"'{name}', which is not in EVENT_CATALOG")
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO / "src"))
     errors: list = []
@@ -155,13 +180,15 @@ def main() -> int:
     check_quickstart_fences(errors)
     check_lint_rules_documented(errors)
     check_zoo_schemes_documented(errors)
+    check_obs_events_documented(errors)
     if errors:
         print("docs check failed:")
         for error in errors:
             print(f"  - {error}")
         return 1
-    print("docs check passed: links, subcommands, quickstart fences and "
-          "the lint rule catalogue are consistent with the code")
+    print("docs check passed: links, subcommands, quickstart fences, the "
+          "lint rule catalogue and the obs event taxonomy are consistent "
+          "with the code")
     return 0
 
 
