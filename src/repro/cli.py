@@ -87,6 +87,40 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="dynamic instructions to simulate")
 
 
+def _add_kernel_args(parser: argparse.ArgumentParser) -> None:
+    """The retire-loop kernel / sampled-simulation flags (repro.kernel)."""
+    parser.add_argument("--kernel", choices=("scalar", "batched"),
+                        default="scalar",
+                        help="retire-loop implementation: the scalar "
+                             "reference loop or the predecoded-column "
+                             "batched kernel (bit-identical, faster; "
+                             "see docs/performance.md)")
+    parser.add_argument("--sample-interval", type=int, default=None,
+                        metavar="N",
+                        help="run sampled simulation with this period in "
+                             "instructions (detailed warmup+measure "
+                             "windows, functional fast-forward between; "
+                             "results are extrapolations marked "
+                             "'sampled')")
+    parser.add_argument("--sample-warmup", type=int, default=2000,
+                        metavar="N",
+                        help="detailed warm-up instructions per sampling "
+                             "period (with --sample-interval)")
+
+
+def _sample_spec(args):
+    """Build a SampleSpec from CLI args; None when sampling is off."""
+    if args.sample_interval is None:
+        return None
+    from repro.kernel.sampling import SampleSpec
+
+    try:
+        return SampleSpec(interval=args.sample_interval,
+                          warmup=args.sample_warmup)
+    except ValueError as error:
+        raise SystemExit(f"--sample-interval: {error}")
+
+
 def _check_benchmark(name: str) -> str:
     if name not in BENCHMARK_NAMES:
         raise SystemExit(
@@ -107,7 +141,30 @@ def cmd_suite(_args) -> int:
 def cmd_run(args) -> int:
     name = _check_benchmark(args.benchmark)
     trace = benchmark_trace(name, args.instructions)
-    base = baseline_run(trace)
+    sample = _sample_spec(args)
+    if args.profile_guided and (sample is not None
+                                or args.kernel != "scalar"):
+        raise SystemExit(
+            "--kernel/--sample-interval select the dynamic engine's "
+            "retire loop; they cannot be combined with --profile-guided")
+    if sample is not None and (args.sanitize or args.metrics_out):
+        raise SystemExit(
+            "--sample-interval fast-forwards between detailed windows, "
+            "which breaks the sanitizer/telemetry contract of observing "
+            "every retired instruction; drop --sanitize/--metrics-out "
+            "or run exact")
+    if sample is not None:
+        from repro.branch.unit import BranchPredictorComplex
+        from repro.kernel.sampling import run_sampled
+
+        base = run_sampled(trace, BranchPredictorComplex(), sample)
+    elif args.kernel == "batched":
+        from repro.branch.unit import BranchPredictorComplex
+        from repro.kernel.batched import BatchedOoOTimingModel
+
+        base = BatchedOoOTimingModel().run(trace, BranchPredictorComplex())
+    else:
+        base = baseline_run(trace)
     config = SSMTConfig(n=args.n, difficulty_threshold=args.threshold,
                         pruning=not args.no_pruning)
     sanitizer = None
@@ -129,8 +186,10 @@ def cmd_run(args) -> int:
         label = "profile-guided SSMT"
     else:
         result, engine = run_ssmt(trace, config, sanitizer=sanitizer,
-                                  telemetry=telemetry)
+                                  telemetry=telemetry,
+                                  kernel=args.kernel, sample=sample)
         label = "dynamic SSMT"
+    suffix = " [sampled]" if sample is not None else ""
     print(format_table(
         ["configuration", "IPC", "mispredicts", "speed-up"],
         [
@@ -138,7 +197,12 @@ def cmd_run(args) -> int:
             [label, round(result.ipc, 3), result.effective_mispredicts,
              round(result.ipc / base.ipc, 3)],
         ],
-        title=f"{name} ({args.instructions} instructions)"))
+        title=f"{name} ({args.instructions} instructions){suffix}"))
+    if sample is not None and result.sample is not None:
+        s = result.sample
+        print(f"sampled: interval={s['interval']} warmup={s['warmup']} "
+              f"measure={s['measure']} windows={s['windows']} "
+              f"measured_fraction={s['measured_fraction']}")
     spawn = engine.spawner.stats
     print(f"\nroutines: {len(engine.microram)}  spawned: {spawn.spawned}  "
           f"aborted: {spawn.aborted_active}  "
@@ -567,10 +631,12 @@ def cmd_sweep(args) -> int:
                 f"unknown predictor {args.predictor!r}; choose from "
                 + ", ".join(sorted(ARENA_BASELINES)))
         predictor = ARENA_BASELINES[args.predictor]
+    sample = _sample_spec(args)
     tasks = build_grid(benchmarks, args.instructions,
                        knob=args.knob, values=values,
                        widths=tuple(args.widths or ()),
-                       predictor=predictor)
+                       predictor=predictor,
+                       kernel=args.kernel, sample=sample)
     runner_kwargs: Dict[str, Any] = {}
     observer = None
     if args.trace_out or args.live:
@@ -591,6 +657,13 @@ def cmd_sweep(args) -> int:
                          resume=args.resume, task_timeout=args.timeout,
                          max_retries=args.retries, **runner_kwargs)
     outcome = runner.run(tasks)
+    context_extra: Dict[str, Any] = {}
+    if args.kernel != "scalar":
+        context_extra["kernel"] = args.kernel
+    if sample is not None:
+        context_extra["sample"] = {"interval": sample.interval,
+                                   "warmup": sample.warmup,
+                                   "measure": sample.measure}
     merged = merge_sweep(outcome.results, context={
         "benchmarks": list(benchmarks),
         "instructions": args.instructions,
@@ -598,6 +671,7 @@ def cmd_sweep(args) -> int:
         "values": list(values),
         "widths": list(args.widths or ()),
         "predictor": args.predictor or None,
+        **context_extra,
         "jobs": outcome.jobs,
         "simulated": outcome.simulated,
         "cache_hits": outcome.cache_hits,
@@ -661,7 +735,9 @@ def cmd_arena(args) -> int:
         artifact = run_arena(benchmarks, args.instructions,
                              baselines=args.predictors or None,
                              jobs=args.jobs, cache_dir=args.cache_dir,
-                             resume=args.resume)
+                             resume=args.resume,
+                             kernel=args.kernel,
+                             sample=_sample_spec(args))
     except ValueError as error:
         raise SystemExit(str(error))
 
@@ -741,6 +817,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="interval sampler period in retired "
                                  "instructions (with --metrics-out; "
                                  "0 disables sampling)")
+    _add_kernel_args(run_parser)
 
     trace_parser = sub.add_parser(
         "trace", help="microthread lifecycle spans on a benchmark")
@@ -863,6 +940,7 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="SECONDS",
                               help="progress heartbeat interval for "
                                    "--live / --trace-out")
+    _add_kernel_args(sweep_parser)
 
     postmortem_parser = sub.add_parser(
         "postmortem",
@@ -904,6 +982,7 @@ def build_parser() -> argparse.ArgumentParser:
     arena_parser.add_argument("--bench-out", metavar="DIR",
                               help="write a BENCH_arena.json trajectory "
                                    "artifact into DIR")
+    _add_kernel_args(arena_parser)
 
     disasm_parser = sub.add_parser("disasm", help="disassemble a benchmark")
     disasm_parser.add_argument("benchmark")

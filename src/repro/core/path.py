@@ -48,7 +48,7 @@ def path_id_hash(branch_pcs: Tuple[int, ...], bits: int = DEFAULT_PATH_ID_BITS) 
     return h
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PathKey:
     """Exact identity of a path: terminating PC + prior taken branches."""
 
@@ -60,7 +60,7 @@ class PathKey:
         return path_id_hash(self.branches, bits)
 
 
-@dataclass
+@dataclass(slots=True)
 class PathEvent:
     """Emitted once per retired terminating branch."""
 
@@ -138,8 +138,15 @@ class PathTracker:
         history.append((pc, idx))
 
     def _make_event(self, rec: DynamicInstruction, idx: int) -> PathEvent:
-        branches = tuple(pc for pc, _ in self._history)
-        idxs = tuple(i for _, i in self._history)
+        # One pass over the history instead of two genexprs: this runs
+        # once per terminating branch, the hottest event path.
+        branch_list = []
+        idx_list = []
+        for pc, i in self._history:
+            branch_list.append(pc)
+            idx_list.append(i)
+        branches = tuple(branch_list)
+        idxs = tuple(idx_list)
         partial = len(branches) < self.n
         scope_start = idxs[0] if idxs else idx
         key = PathKey(term_pc=rec.pc, branches=branches)

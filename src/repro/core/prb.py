@@ -41,7 +41,7 @@ class PostRetirementBuffer:
     """Ring buffer of the last ``capacity`` retired instructions."""
 
     __slots__ = ("capacity", "_ring", "_next_pos", "_reg_writer",
-                 "_mem_writer")
+                 "_mem_writer", "_sweep_at")
 
     def __init__(self, capacity: int = 512):
         if capacity <= 0:
@@ -51,6 +51,9 @@ class PostRetirementBuffer:
         self._next_pos = 0
         self._reg_writer: Dict[int, int] = {}
         self._mem_writer: Dict[int, int] = {}
+        #: next position at which the writer maps are swept for dead
+        #: producers (once per ring wrap; see :meth:`_sweep_writers`)
+        self._sweep_at = capacity
 
     def insert(self, rec: DynamicInstruction, idx: int,
                value_confident: bool = False,
@@ -82,7 +85,72 @@ class PostRetirementBuffer:
             reg_writer[dest] = pos
         if inst.is_store:
             self._mem_writer[rec.ea] = pos
+        if pos >= self._sweep_at:
+            self._sweep_writers(floor)
         return entry
+
+    def insert_decoded(self, rec: DynamicInstruction, idx: int,
+                       value_confident: bool, address_confident: bool,
+                       dest: int, src1: int, src2: int, nsrc: int,
+                       is_load: bool, is_store: bool, ea: int) -> PRBEntry:
+        """Predecoded-column fast path of :meth:`insert`.
+
+        The batched kernel (:mod:`repro.kernel`) has the instruction's
+        dataflow already unpacked into flat columns (``dest``/``src1``/
+        ``src2`` use ``-1`` for "none"), so this variant skips the
+        ``rec.inst`` attribute walk and the producer-tuple generator of
+        the scalar path.  Must stay behaviourally identical to
+        :meth:`insert` — ``tests/test_kernel.py`` property-checks the
+        equivalence.
+        """
+        pos = self._next_pos
+        self._next_pos = pos + 1
+        reg_writer = self._reg_writer
+        floor = pos + 1 - self.capacity
+        if nsrc == 0:
+            src_producers: Tuple[Optional[int], ...] = ()
+        elif nsrc == 1:
+            p = reg_writer.get(src1)
+            src_producers = (p if p is not None and p >= floor else None,)
+        else:
+            p = reg_writer.get(src1)
+            q = reg_writer.get(src2)
+            src_producers = (p if p is not None and p >= floor else None,
+                             q if q is not None and q >= floor else None)
+        mem_producer = None
+        if is_load:
+            p = self._mem_writer.get(ea)
+            if p is not None and p >= floor:
+                mem_producer = p
+        entry = PRBEntry(rec, idx, pos, src_producers, mem_producer,
+                         value_confident, address_confident)
+        self._ring[pos % self.capacity] = entry
+        if dest >= 0:
+            reg_writer[dest] = pos
+        if is_store:
+            self._mem_writer[ea] = pos
+        if pos >= self._sweep_at:
+            self._sweep_writers(floor)
+        return entry
+
+    def _sweep_writers(self, floor: int) -> None:
+        """Prune producer positions that fell below the liveness floor.
+
+        Reads already filter by the floor, so the maps' *contents* never
+        affect builder output — but without pruning ``_mem_writer`` keeps
+        one key per unique store address ever seen (and ``_reg_writer``
+        up to one dead key per register), growing without bound on long
+        traces.  Sweeping once per ring wrap keeps the maps bounded by
+        the addresses touched in the last ``capacity`` instructions at
+        amortized O(1) per insert.
+        """
+        self._sweep_at += self.capacity
+        reg_writer = self._reg_writer
+        for key in [k for k, p in reg_writer.items() if p < floor]:
+            del reg_writer[key]
+        mem_writer = self._mem_writer
+        for key in [k for k, p in mem_writer.items() if p < floor]:
+            del mem_writer[key]
 
     def _live_pos(self, pos: Optional[int]) -> Optional[int]:
         """A producer position, or None if it has fallen out of the buffer."""

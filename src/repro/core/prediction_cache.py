@@ -37,6 +37,12 @@ class PredictionCacheStats(StatsBase):
     stale_deallocations: int = 0
     live_evictions: int = 0
     invalidations: int = 0
+    #: invalidated entries whose slot was actually freed (on lookup
+    #: touch or by reclaim preference); disjoint from
+    #: ``stale_deallocations`` (valid entries reclaimed because their
+    #: ``Seq_Num`` fell behind the front-end) and never larger than
+    #: ``invalidations`` (each entry invalidates once, deallocates once)
+    invalid_deallocations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -69,21 +75,39 @@ class PredictionCache:
         self._entries[key] = entry
 
     def _reclaim(self, current_seq: int) -> None:
-        stale = [k for k in self._entries if k[1] < current_seq]
+        entries = self._entries
+        # Invalidated entries are dead storage — they can never hit
+        # again — so they are the cheapest victims and go first.
+        invalid = [k for k, e in entries.items() if not e.valid]
+        if invalid:
+            for k in invalid:
+                del entries[k]
+            self.stats.invalid_deallocations += len(invalid)
+            return
+        stale = [k for k in entries if k[1] < current_seq]
         if stale:
             for k in stale:
-                del self._entries[k]
+                del entries[k]
             self.stats.stale_deallocations += len(stale)
             return
-        # No stale entries: evict the entry with the most distant target.
-        victim = max(self._entries, key=lambda k: k[1])
-        del self._entries[victim]
+        # No invalid or stale entries: evict the most distant target.
+        victim = max(entries, key=lambda k: k[1])
+        del entries[victim]
         self.stats.live_evictions += 1
 
     def lookup(self, path_id: int, seq: int) -> Optional[PredictionCacheEntry]:
-        entry = self._entries.get((path_id, seq))
-        if entry is None or not entry.valid:
+        key = (path_id, seq)
+        entry = self._entries.get(key)
+        if entry is None:
             self.stats.misses += 1
+            return None
+        if not entry.valid:
+            # Deallocate on touch: an invalidated entry can never hit,
+            # so leaving it resident only wastes one of the 128 slots
+            # until capacity pressure happens to reclaim it.
+            del self._entries[key]
+            self.stats.misses += 1
+            self.stats.invalid_deallocations += 1
             return None
         self.stats.hits += 1
         return entry

@@ -328,32 +328,13 @@ class SSMTEngine:
         # Memory-dependence violation: a store hits an address a live
         # microthread already read -> abort and rebuild (paper §4.2.4).
         is_store = inst.is_store
-        if is_store and rec.ea is not None:
-            log = self.event_log
-            for violated in self.spawner.on_store_retired(rec.ea, idx,
-                                                          retire_cycle):
-                self.prediction_cache.invalidate_writer(violated)
-                if self.sanitizer is not None:
-                    self.sanitizer.note_violation(violated)
-                key = violated.thread.key
-                count = self._violation_counts.get(key, 0) + 1
-                if log is not None:
-                    log.emit("violation", idx, retire_cycle,
-                             violated.thread.term_pc, f"ea={rec.ea}")
-                if count >= self.config.rebuild_violation_threshold:
-                    self._violation_counts[key] = 0
-                    self._schedule_rebuild(violated.thread)
-                else:
-                    self._violation_counts[key] = count
+        if is_store and rec.ea is not None and self.spawner.active:
+            self._retire_store_violation(idx, rec, retire_cycle)
 
         # Path_History deviation aborts (paper §4.3.2).  The SpawnManager
         # emits the ``active_abort`` event itself.
         if inst.is_control and rec.taken and self.spawner.active:
-            for aborted in self.spawner.on_taken_control(rec.pc, idx,
-                                                         retire_cycle):
-                if aborted.arrival_cycle > retire_cycle:
-                    # Store_PCache had not completed: the write never lands.
-                    self.prediction_cache.invalidate_writer(aborted)
+            self._retire_taken_control(idx, rec, retire_cycle)
 
         # Predictor training and PRB insertion (paper §4.2.2, §4.2.5).
         # This happens before promotion handling so that, when the builder
@@ -369,18 +350,7 @@ class SSMTEngine:
             # (warm-up) events, so the stash cannot accumulate entries.
             mispredicted = self._pending_mispredict.pop(idx, False)
             if not event.partial:
-                classify_key, classify_id = self._classification_identity(
-                    event.key, event.path_id)
-                promotion = self.path_cache.update(classify_key, classify_id,
-                                                   mispredicted)
-                if self.sanitizer is not None:
-                    self.sanitizer.note_path_update(self, classify_key,
-                                                    classify_id)
-                if promotion is not None:
-                    if promotion.promote:
-                        self._promote(event, retire_cycle)
-                    else:
-                        self._demote(classify_key, classify_id)
+                self._retire_path_event(event, mispredicted, retire_cycle)
 
         self._spawner_retire_past(idx, retire_cycle)
 
@@ -398,6 +368,59 @@ class SSMTEngine:
         telemetry_retire = self._telemetry_retire
         if telemetry_retire is not None:
             telemetry_retire(self, idx, retire_cycle)
+
+    # -- retire-loop rare paths (shared with the batched kernel) ---------------
+    # These are the single source of truth for the retire loop's
+    # conditional blocks: ``on_retire`` above (the scalar path) and the
+    # fused loop in :mod:`repro.kernel.batched` both dispatch into them,
+    # so the two kernels cannot drift apart behaviourally.
+
+    def _retire_store_violation(self, idx: int, rec: DynamicInstruction,
+                                retire_cycle: int) -> None:
+        """A store retired with live microthreads: check memory-dependence
+        violations and apply the rebuild policy (paper §4.2.4)."""
+        log = self.event_log
+        for violated in self.spawner.on_store_retired(rec.ea, idx,
+                                                      retire_cycle):
+            self.prediction_cache.invalidate_writer(violated)
+            if self.sanitizer is not None:
+                self.sanitizer.note_violation(violated)
+            key = violated.thread.key
+            count = self._violation_counts.get(key, 0) + 1
+            if log is not None:
+                log.emit("violation", idx, retire_cycle,
+                         violated.thread.term_pc, f"ea={rec.ea}")
+            if count >= self.config.rebuild_violation_threshold:
+                self._violation_counts[key] = 0
+                self._schedule_rebuild(violated.thread)
+            else:
+                self._violation_counts[key] = count
+
+    def _retire_taken_control(self, idx: int, rec: DynamicInstruction,
+                              retire_cycle: int) -> None:
+        """A taken control retired with live microthreads: advance
+        Path_History suffix matching, aborting deviators (paper §4.3.2)."""
+        for aborted in self.spawner.on_taken_control(rec.pc, idx,
+                                                     retire_cycle):
+            if aborted.arrival_cycle > retire_cycle:
+                # Store_PCache had not completed: the write never lands.
+                self.prediction_cache.invalidate_writer(aborted)
+
+    def _retire_path_event(self, event: PathEvent, mispredicted: bool,
+                           retire_cycle: int) -> None:
+        """A complete path event retired: train the Path Cache and apply
+        any promotion/demotion decision (paper §4.1, §4.2.1)."""
+        classify_key, classify_id = self._classification_identity(
+            event.key, event.path_id)
+        promotion = self.path_cache.update(classify_key, classify_id,
+                                           mispredicted)
+        if self.sanitizer is not None:
+            self.sanitizer.note_path_update(self, classify_key, classify_id)
+        if promotion is not None:
+            if promotion.promote:
+                self._promote(event, retire_cycle)
+            else:
+                self._demote(classify_key, classify_id)
 
     # -- run lifecycle (timing-model listener extensions) ------------------------
 
@@ -578,13 +601,38 @@ def run_ssmt(
     sanitizer: Optional["SimSanitizer"] = None,
     telemetry: Optional["TelemetrySession"] = None,
     event_log: Optional[EventLog] = None,
+    kernel: str = "scalar",
+    sample: Optional[object] = None,
 ) -> Tuple[TimingResult, SSMTEngine]:
-    """Run the full SSMT machine over ``trace``; returns timing + engine."""
+    """Run the full SSMT machine over ``trace``; returns timing + engine.
+
+    ``kernel`` selects the retire-loop implementation: ``"scalar"`` (the
+    per-record reference loop) or ``"batched"`` (the predecoded-column
+    kernel of :mod:`repro.kernel`, bit-identical and faster).  ``sample``
+    takes a :class:`~repro.kernel.sampling.SampleSpec` to run sampled
+    simulation (detailed windows + functional fast-forward) instead of
+    the exact full run.  Both imports are deferred so the default path
+    never touches :mod:`repro.kernel`.
+    """
     engine = SSMTEngine(config, initial_memory=trace.initial_memory,
                         event_log=event_log,
                         verifier=verifier, sanitizer=sanitizer,
                         telemetry=telemetry)
-    model = OoOTimingModel(machine)
     predictor = predictor if predictor is not None else BranchPredictorComplex()
+    if sample is not None:
+        from repro.kernel.sampling import run_sampled
+
+        result = run_sampled(trace, predictor, sample, machine=machine,
+                             engine=engine)
+        return result, engine
+    if kernel == "batched":
+        from repro.kernel.batched import BatchedOoOTimingModel
+
+        model: OoOTimingModel = BatchedOoOTimingModel(machine)
+    elif kernel == "scalar":
+        model = OoOTimingModel(machine)
+    else:
+        raise ValueError(f"unknown kernel {kernel!r}; "
+                         f"expected 'scalar' or 'batched'")
     result = model.run(trace, predictor, listener=engine)
     return result, engine

@@ -115,7 +115,7 @@ HOOK_ATTRS: Tuple[str, ...] = (
 #: flow into sweep-point payloads or task keys.
 PAYLOAD_PREFIXES: Tuple[str, ...] = (
     "repro/core/", "repro/uarch/", "repro/branch/", "repro/workloads/",
-    "repro/sim/", "repro/valuepred/", "repro/isa/",
+    "repro/sim/", "repro/valuepred/", "repro/isa/", "repro/kernel/",
     "repro/parallel/worker.py", "repro/parallel/taskkey.py",
     "repro/parallel/cache.py", "repro/schemas.py",
 )

@@ -72,6 +72,8 @@ def build_grid(
     widths: Sequence[int] = (),
     machine: MachineConfig = TABLE3_BASELINE,
     predictor: Optional["PredictorConfig"] = None,
+    kernel: str = "scalar",
+    sample: Optional[Any] = None,
 ) -> List[SweepTask]:
     """Expand benchmarks x widths x knob-settings into sweep tasks.
 
@@ -81,7 +83,9 @@ def build_grid(
     ``baseline`` task (deduped by key if repeated across grids).
     ``predictor`` swaps the hardware direction predictor of every point
     (baselines included) for a zoo baseline; ``None`` keeps the paper's
-    hybrid.
+    hybrid.  ``kernel``/``sample`` select the retire-loop kernel and
+    optional sampled simulation for every baseline/ssmt point (see
+    :mod:`repro.kernel`).
     """
     base_config = base_config or SSMTConfig()
     if knob is not None and not hasattr(base_config, knob):
@@ -102,7 +106,8 @@ def build_grid(
             tasks.append(SweepTask(kind="baseline", benchmark=name,
                                    instructions=instructions,
                                    label=blabel, machine=mconfig,
-                                   predictor=predictor))
+                                   predictor=predictor,
+                                   kernel=kernel, sample=sample))
         for slabel, config in settings:
             label = "|".join(part for part in (slabel, mlabel) if part)
             for name in benchmarks:
@@ -110,7 +115,8 @@ def build_grid(
                                        instructions=instructions,
                                        label=label, config=config,
                                        machine=mconfig,
-                                       predictor=predictor))
+                                       predictor=predictor,
+                                       kernel=kernel, sample=sample))
     return tasks
 
 

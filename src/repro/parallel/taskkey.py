@@ -10,7 +10,10 @@ rendering of everything that determines the simulation's outcome:
   :class:`~repro.core.oracle.PotentialConfig`) when one applies,
 * the full :class:`~repro.uarch.config.MachineConfig`,
 * the :class:`~repro.branch.zoo.config.PredictorConfig` when the point
-  runs a zoo baseline predictor (``None`` = the paper's hybrid), and
+  runs a zoo baseline predictor (``None`` = the paper's hybrid),
+* the :class:`~repro.kernel.sampling.SampleSpec` when the point runs
+  sampled simulation (extrapolated results are never interchangeable
+  with exact ones), and
 * :data:`CODE_SCHEMA_VERSION`.
 
 Two tasks with equal keys produce bit-identical result payloads, so a
@@ -19,7 +22,9 @@ key can safely index an on-disk result cache
 every point whose key is already cached.  The display ``label`` is
 deliberately **excluded** — it names a grid column, not a simulation —
 so two grids that run the same point under different labels share one
-cache entry.
+cache entry.  The ``kernel`` field is excluded for the same reason:
+the batched kernel is bit-identical to the scalar loop by contract, so
+a scalar run can satisfy a batched request from cache and vice versa.
 
 :data:`CODE_SCHEMA_VERSION` must be bumped whenever simulator semantics
 change (timing model, workload generator, mechanism behaviour, or the
@@ -57,6 +62,11 @@ from repro.schemas import (  # noqa: F401  (re-exports)
 
 #: Simulations a sweep point can request.
 TASK_KINDS = ("baseline", "ssmt", "oracle", "potential")
+
+#: Retire-loop kernels a task may select.  Mirrors
+#: ``repro.kernel.KERNEL_NAMES`` without importing :mod:`repro.kernel`
+#: (task construction must stay import-light).
+KERNELS = ("scalar", "batched")
 
 
 def _jsonable(value: Any) -> Any:
@@ -106,11 +116,31 @@ class SweepTask:
     #: zoo baseline direction predictor; ``None`` is the paper's hybrid
     #: (the default path never imports :mod:`repro.branch.zoo`)
     predictor: Optional["PredictorConfig"] = None
+    #: retire-loop kernel; NOT part of the key — ``batched`` is
+    #: bit-identical to ``scalar`` by contract, so both share one cache
+    #: entry (``tests/test_kernel.py`` enforces payload identity)
+    kernel: str = "scalar"
+    #: sampled-simulation spec (:class:`repro.kernel.sampling.SampleSpec`);
+    #: IS part of the key — sampled results are extrapolations, never
+    #: interchangeable with exact ones
+    sample: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.kind not in TASK_KINDS:
             raise ValueError(f"unknown task kind {self.kind!r}; "
                              f"expected one of {TASK_KINDS}")
+        if self.kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {self.kernel!r}; "
+                             f"expected one of {KERNELS}")
+        if self.sample is not None:
+            if self.kind not in ("baseline", "ssmt"):
+                raise ValueError(
+                    "sampled simulation applies to baseline/ssmt tasks "
+                    f"only, not {self.kind!r}")
+            if not (dataclasses.is_dataclass(self.sample)
+                    and not isinstance(self.sample, type)):
+                raise ValueError("sample must be a SampleSpec instance "
+                                 "(or None for an exact run)")
         if self.instructions <= 0:
             raise ValueError("instructions must be positive")
         if self.kind == "ssmt" and self.config is None:
@@ -144,6 +174,7 @@ class SweepTask:
             "potential": _jsonable(self.potential),
             "machine": _jsonable(self.machine),
             "predictor": _jsonable(self.predictor),
+            "sample": _jsonable(self.sample),
         }
 
     @property

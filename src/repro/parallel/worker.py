@@ -89,8 +89,19 @@ def run_task(task: SweepTask, telemetry: Optional[Any] = None,
     metrics: Optional[Dict[str, Any]] = None
     result: TimingResult
     if task.kind == "baseline":
-        result = OoOTimingModel(task.machine).run(
-            trace, _direction_complex(task))
+        if task.sample is not None:
+            from repro.kernel.sampling import run_sampled
+
+            result = run_sampled(trace, _direction_complex(task),
+                                 task.sample, machine=task.machine)
+        elif task.kernel == "batched":
+            from repro.kernel.batched import BatchedOoOTimingModel
+
+            result = BatchedOoOTimingModel(task.machine).run(
+                trace, _direction_complex(task))
+        else:
+            result = OoOTimingModel(task.machine).run(
+                trace, _direction_complex(task))
     elif task.kind == "oracle":
         result = OoOTimingModel(task.machine).run(trace, oracle_complex())
     elif task.kind == "potential":
@@ -100,7 +111,8 @@ def run_task(task: SweepTask, telemetry: Optional[Any] = None,
     else:  # ssmt (validated by SweepTask.__post_init__)
         result, engine = run_ssmt(trace, task.config, machine=task.machine,
                                   predictor=_direction_complex(task),
-                                  telemetry=telemetry)
+                                  telemetry=telemetry,
+                                  kernel=task.kernel, sample=task.sample)
         metrics = engine_metrics(engine)
     payload: Dict[str, Any] = {
         "schema": POINT_SCHEMA,
@@ -116,6 +128,12 @@ def run_task(task: SweepTask, telemetry: Optional[Any] = None,
         "timing": result.as_dict(),
         "metrics": metrics,
     }
+    if task.sample is not None:
+        # Sampled results are extrapolations: marked explicitly, never
+        # shaped like (or cached as) exact payloads — the sample spec is
+        # part of the task key.
+        payload["sampled"] = True
+        payload["sample"] = result.sample
     # Normalise to JSON-native types (tuples -> lists, etc.) so fresh,
     # pooled, and cached payloads compare bit-identically.
     normalised: Dict[str, Any] = json.loads(

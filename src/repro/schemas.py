@@ -34,7 +34,12 @@ from typing import Dict, Iterator, Tuple
 #:
 #: History: 2 — sweep tasks gained the ``predictor`` identity field and
 #: point payloads the matching ``predictor`` section (repro.zoo).
-CODE_SCHEMA_VERSION = 2
+#: 3 — Prediction Cache deallocates invalidated entries on touch and
+#: reclaims them first under capacity pressure (changes slot residency
+#: and the ``prediction_cache`` stats section, which grew an
+#: ``invalid_deallocations`` counter); sweep tasks gained the optional
+#: ``sample`` identity field for sampled simulation (:mod:`repro.kernel`).
+CODE_SCHEMA_VERSION = 3
 
 #: Every versioned artifact schema: name -> version -> owning module.
 #: The owning module is the one that emits the schema string (and

@@ -73,3 +73,55 @@ class TestInvalidation:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             PredictionCache(capacity=0)
+
+
+class TestInvalidResidency:
+    """Regression tests for the invalid-entry residency bug: invalidated
+    entries used to stay resident until capacity-pressure reclaim
+    happened to pick them, wasting slots and (on a lookup touch) not
+    being cleaned up at all."""
+
+    def test_lookup_deallocates_invalid_entry(self):
+        cache = PredictionCache(capacity=8)
+        writer = object()
+        cache.write(1, 10, entry(writer=writer), current_seq=0)
+        cache.invalidate_writer(writer)
+        assert len(cache) == 1  # invalid but still resident
+        assert cache.lookup(1, 10) is None
+        assert len(cache) == 0  # freed on touch
+        assert cache.stats.misses == 1
+        assert cache.stats.invalid_deallocations == 1
+        # A second lookup is a plain miss — no double-count.
+        assert cache.lookup(1, 10) is None
+        assert cache.stats.invalid_deallocations == 1
+        assert cache.stats.misses == 2
+
+    def test_reclaim_prefers_invalid_over_stale(self):
+        cache = PredictionCache(capacity=2)
+        writer = object()
+        cache.write(1, 10, entry(writer=writer), current_seq=5)   # -> invalid
+        cache.write(2, 20, entry(), current_seq=5)                # -> stale
+        cache.invalidate_writer(writer)
+        # Full; front-end at 30 makes (2, 20) stale, but the invalid
+        # entry is the cheaper victim and must go alone.
+        cache.write(3, 40, entry(), current_seq=30)
+        assert cache.stats.invalid_deallocations == 1
+        assert cache.stats.stale_deallocations == 0
+        assert cache.lookup(2, 20) is not None  # the stale entry survived
+        assert cache.lookup(3, 40) is not None
+
+    def test_invalid_deallocations_never_exceed_invalidations(self):
+        cache = PredictionCache(capacity=4)
+        writers = [object() for _ in range(4)]
+        for i, w in enumerate(writers):
+            cache.write(i, 10 * (i + 1), entry(writer=w), current_seq=0)
+        for w in writers[:3]:
+            cache.invalidate_writer(w)
+        cache.lookup(0, 10)            # touch-deallocates one
+        cache.write(8, 80, entry(), current_seq=0)  # refill to capacity
+        cache.write(9, 90, entry(), current_seq=0)  # reclaim frees the rest
+        stats = cache.stats
+        assert stats.invalidations == 3
+        assert stats.invalid_deallocations == 3
+        assert stats.invalid_deallocations <= stats.invalidations
+        assert cache.lookup(3, 40) is not None  # valid entry untouched
