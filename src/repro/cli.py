@@ -40,7 +40,15 @@
 * ``lint`` — AST-based determinism / hot-path / schema-governance
   analysis of the codebase itself, including the fingerprint drift gate
   (``--update-manifest`` refreshes it; see ``docs/lint.md``); exits
-  non-zero on errors so CI can gate on it.
+  non-zero on errors so CI can gate on it,
+* ``serve`` — run the sweep service: an HTTP API over a journaled job
+  queue that shards submitted grids across the sweep runner's worker
+  pools, with fair scheduling across tenants and a shared
+  content-addressed result store (see ``docs/service.md``),
+* ``loadtest`` — replay a seeded request mix against a running service
+  and write the ``repro.service.bench/1`` / ``BENCH_service.json``
+  artifact (cold/warm hit rates, latency quantiles, byte-identity
+  check; see ``docs/service.md``).
 """
 
 from __future__ import annotations
@@ -656,7 +664,17 @@ def cmd_sweep(args) -> int:
     runner = SweepRunner(jobs=args.jobs, cache_dir=args.cache_dir,
                          resume=args.resume, task_timeout=args.timeout,
                          max_retries=args.retries, **runner_kwargs)
+    preexisting = len(runner.cache) if runner.cache is not None else 0
     outcome = runner.run(tasks)
+    if (args.resume and preexisting > 0 and outcome.cache_hits == 0
+            and outcome.cache_misses > 0):
+        # Every stored entry missed: almost always a CODE_SCHEMA_VERSION
+        # bump since the cache was written (task keys embed the version,
+        # so foreign-version entries can never match).
+        print("sweep: --resume found a populated cache but no entry "
+              "matched this grid; entries written under a different "
+              "CODE_SCHEMA_VERSION are invalidated by design (see "
+              "docs/service.md, 'Cache invalidation')", file=sys.stderr)
     context_extra: Dict[str, Any] = {}
     if args.kernel != "scalar":
         context_extra["kernel"] = args.kernel
@@ -915,7 +933,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--resume", default=True,
                               action=argparse.BooleanOptionalAction,
                               help="read cached results (--no-resume "
-                                   "recomputes but still writes the cache)")
+                                   "recomputes but still writes the "
+                                   "cache); entries written under a "
+                                   "different CODE_SCHEMA_VERSION never "
+                                   "match and are recomputed")
     sweep_parser.add_argument("--timeout", type=float, default=None,
                               metavar="SECONDS",
                               help="stall timeout: cancel outstanding "
@@ -976,7 +997,10 @@ def build_parser() -> argparse.ArgumentParser:
     arena_parser.add_argument("--resume", default=True,
                               action=argparse.BooleanOptionalAction,
                               help="read cached results (--no-resume "
-                                   "recomputes but still writes the cache)")
+                                   "recomputes but still writes the "
+                                   "cache); entries written under a "
+                                   "different CODE_SCHEMA_VERSION never "
+                                   "match and are recomputed")
     arena_parser.add_argument("--json-out", metavar="PATH",
                               help="write the repro.arena/1 artifact here")
     arena_parser.add_argument("--bench-out", metavar="DIR",
@@ -1043,6 +1067,86 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--output", default="-",
                                help="output file ('-' = stdout)")
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the sweep service: HTTP API + journaled job queue "
+             "over the parallel runner (see docs/service.md)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8752,
+                              help="TCP port (0 picks a free one)")
+    serve_parser.add_argument("--queue-dir", default=".repro-serve",
+                              metavar="DIR",
+                              help="job-queue state directory; holds the "
+                                   "repro.serve.job/1 journal the server "
+                                   "resumes from after a crash")
+    serve_parser.add_argument("--store", metavar="SPEC", default=None,
+                              help="result-store backend: a directory "
+                                   "path (disk cache, shared with repro "
+                                   "sweep --cache-dir) or 'mem://' "
+                                   "(default: <queue-dir>/store)")
+    serve_parser.add_argument("--jobs", type=int, default=None,
+                              help="process-pool workers per shard "
+                                   "(default: $REPRO_JOBS or serial)")
+    serve_parser.add_argument("--shard-size", type=int, default=8,
+                              metavar="N",
+                              help="tasks per scheduler turn; smaller "
+                                   "shards interleave tenants more "
+                                   "fairly")
+    serve_parser.add_argument("--heartbeat", type=float, default=2.0,
+                              metavar="SECONDS",
+                              help="event-stream heartbeat interval")
+    serve_parser.add_argument("--rate", type=float, default=0.0,
+                              metavar="PER_SECOND",
+                              help="per-tenant submit rate limit "
+                                   "(0 = unlimited; excess gets 429)")
+    serve_parser.add_argument("--burst", type=int, default=10,
+                              help="rate-limit burst size per tenant")
+    serve_parser.add_argument("--max-instructions", type=int, default=None,
+                              metavar="N",
+                              help="reject grids whose per-point budget "
+                                   "exceeds N (default: no cap)")
+    serve_parser.add_argument("--resume", default=True,
+                              action=argparse.BooleanOptionalAction,
+                              help="serve stored results as cache hits "
+                                   "(--no-resume recomputes but still "
+                                   "writes); entries written under a "
+                                   "different CODE_SCHEMA_VERSION never "
+                                   "match and are recomputed")
+    serve_parser.add_argument("--timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-shard stall timeout (as repro "
+                                   "sweep --timeout)")
+    serve_parser.add_argument("--retries", type=int, default=1,
+                              help="pool rebuilds after worker crashes "
+                                   "before degrading to serial")
+
+    loadtest_parser = sub.add_parser(
+        "loadtest",
+        help="replay a seeded request mix against a running sweep "
+             "service and write BENCH_service.json")
+    loadtest_parser.add_argument("--url", default="http://127.0.0.1:8752",
+                                 help="base URL of the service")
+    loadtest_parser.add_argument("--requests", type=int, default=12,
+                                 help="submissions in the cold pass")
+    loadtest_parser.add_argument("--overlap", type=float, default=0.5,
+                                 help="fraction of requests repeating an "
+                                      "earlier grid (job-dedup traffic)")
+    loadtest_parser.add_argument("--concurrency", type=int, default=4,
+                                 help="concurrent client threads")
+    loadtest_parser.add_argument("--tenants", type=int, default=3,
+                                 help="distinct X-Tenant values to rotate "
+                                      "through")
+    loadtest_parser.add_argument("--seed", type=int, default=1,
+                                 help="mix-generation seed")
+    loadtest_parser.add_argument("--instructions", type=int, default=3000,
+                                 help="per-point budget of generated "
+                                      "grids")
+    loadtest_parser.add_argument("--out", metavar="PATH", default=None,
+                                 help="write the repro.service.bench/1 "
+                                      "artifact here (e.g. "
+                                      "BENCH_service.json)")
+
     return parser
 
 
@@ -1063,6 +1167,50 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the sweep service HTTP server (see docs/service.md)."""
+    # Deferred import: only `repro serve` / `repro loadtest` ever load
+    # repro.serve (tests/test_serve_zero_cost pins the default path).
+    from repro.serve import ServiceConfig, SweepService, make_store
+    from repro.serve.http import run_server
+
+    store_spec = args.store or os.path.join(args.queue_dir, "store")
+    store = make_store(store_spec)
+    config = ServiceConfig(jobs=args.jobs, shard_size=args.shard_size,
+                           heartbeat=args.heartbeat, rate=args.rate,
+                           burst=args.burst,
+                           max_instructions=args.max_instructions,
+                           resume=args.resume, task_timeout=args.timeout,
+                           max_retries=args.retries)
+    service = SweepService(args.queue_dir, store, config)
+    if service.queue.recovered_tasks:
+        print(f"repro serve: recovered "
+              f"{service.queue.recovered_tasks} interrupted task(s) "
+              f"from the journal; resuming", flush=True)
+    run_server(service, args.host, args.port)
+    return 0
+
+
+def cmd_loadtest(args) -> int:
+    """Replay a request mix against a running sweep service."""
+    from repro.serve.loadtest import run_loadtest, summary_line
+
+    report = run_loadtest(args.url, requests_n=args.requests,
+                          overlap=args.overlap,
+                          concurrency=args.concurrency,
+                          tenants=args.tenants, seed=args.seed,
+                          instructions=args.instructions, out=args.out)
+    print(summary_line(report))
+    if args.out:
+        print(f"wrote {args.out}")
+    failed = report["cold"]["failed_jobs"] + report["warm"]["failed_jobs"]
+    if not report["identity"]["byte_identical"]:
+        print("loadtest: served result diverged from the local sweep "
+              "pipeline", file=sys.stderr)
+        return 1
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "suite": cmd_suite,
     "run": cmd_run,
@@ -1076,6 +1224,8 @@ _COMMANDS = {
     "report": cmd_report,
     "verify": cmd_verify,
     "lint": cmd_lint,
+    "serve": cmd_serve,
+    "loadtest": cmd_loadtest,
 }
 
 

@@ -28,7 +28,7 @@ from repro.parallel.taskkey import (
     canonical_json,
     task_key,
 )
-from repro.parallel.cache import POINT_SCHEMA, ResultCache
+from repro.parallel.cache import POINT_SCHEMA, ResultCache, ResultStore
 from repro.parallel.worker import engine_metrics, point_ipc, run_task
 from repro.parallel.runner import (
     JOBS_ENV,
@@ -51,6 +51,7 @@ __all__ = [
     "task_key",
     "POINT_SCHEMA",
     "ResultCache",
+    "ResultStore",
     "engine_metrics",
     "point_ipc",
     "run_task",

@@ -1,16 +1,21 @@
-"""On-disk result cache for sweep points, keyed by task key.
+"""Content-addressed result stores for sweep points, keyed by task key.
 
-One JSON file per completed point, named ``<task_key>.json`` under the
-cache root.  Writes are atomic (temp file + ``os.replace``) so a killed
-sweep never leaves a torn entry; reads validate the payload's schema and
-embedded ``task_key`` and treat anything unreadable, foreign, or
-mismatched as a miss (the point simply re-runs).
+:class:`ResultStore` is the backend interface: a mapping from task key
+to one completed point payload, with hit/miss/write accounting.  Because
+the task key already encodes the workload spec, both configs and
+:data:`~repro.parallel.taskkey.CODE_SCHEMA_VERSION`, a store can be
+shared freely across sweeps, branches, machines, and service tenants: a
+stale or incompatible entry is unreachable by construction, not filtered
+at read time.
 
-Because the task key already encodes the workload spec, both configs and
-:data:`~repro.parallel.taskkey.CODE_SCHEMA_VERSION`, a cache directory
-can be shared freely across sweeps, branches, and machines: a stale or
-incompatible entry is unreachable by construction, not filtered at read
-time.
+:class:`ResultCache` is the local-disk backend — one JSON file per
+completed point, named ``<task_key>.json`` under the store root.  Writes
+are atomic (temp file + ``os.replace``) so a killed sweep never leaves a
+torn entry; reads validate the payload's schema and embedded
+``task_key`` and treat anything unreadable, foreign, or mismatched as a
+miss (the point simply re-runs).  Further backends (in-memory for tests,
+remote object stores later) subclass :class:`ResultStore` — see
+:mod:`repro.serve.store`.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from abc import ABC, abstractmethod
 from typing import Any, Dict, Optional
 
 from repro.schemas import schema_string
@@ -26,8 +32,57 @@ from repro.schemas import schema_string
 POINT_SCHEMA = schema_string("repro.sweep.point", 1)
 
 
-class ResultCache:
-    """Directory of ``<task_key>.json`` point payloads."""
+class ResultStore(ABC):
+    """Content-addressed store of completed sweep-point payloads.
+
+    The contract every backend must keep:
+
+    * :meth:`get` returns the exact payload :meth:`put` stored (payloads
+      are already JSON-round-trip normalised by the worker, so identity
+      is byte-level after ``json.dumps(..., sort_keys=True)``);
+    * anything unreadable, foreign, or mismatched reads as a miss —
+      never an error — so a shared store can hold torn or alien entries
+      without poisoning a sweep;
+    * :meth:`put` validates that the payload's embedded ``task_key``
+      matches the store key (the content-addressing invariant);
+    * ``hits`` / ``misses`` / ``writes`` / ``invalid`` counters are
+      maintained for observability.
+    """
+
+    hits: int
+    misses: int
+    writes: int
+    invalid: int
+
+    @abstractmethod
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or ``None`` on miss."""
+
+    @abstractmethod
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Persist ``payload`` under ``key`` (atomically, if durable)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of entries currently in the store."""
+
+    def __contains__(self, key: str) -> bool:
+        """Membership without touching the hit/miss counters."""
+        before_hits, before_misses = self.hits, self.misses
+        present = self.get(key) is not None
+        self.hits, self.misses = before_hits, before_misses
+        return present
+
+    @staticmethod
+    def check_key(key: str, payload: Dict[str, Any]) -> None:
+        """Enforce the content-addressing invariant on a write."""
+        if payload.get("task_key") != key:
+            raise ValueError(f"payload task_key {payload.get('task_key')!r} "
+                             f"does not match store key {key!r}")
+
+
+class ResultCache(ResultStore):
+    """Directory of ``<task_key>.json`` point payloads (disk backend)."""
 
     def __init__(self, root: str):
         self.root = root
@@ -66,9 +121,7 @@ class ResultCache:
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Atomically persist ``payload`` under ``key``."""
-        if payload.get("task_key") != key:
-            raise ValueError(f"payload task_key {payload.get('task_key')!r} "
-                             f"does not match cache key {key!r}")
+        self.check_key(key, payload)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:

@@ -33,7 +33,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.parallel.cache import ResultCache
+from repro.parallel.cache import ResultCache, ResultStore
 from repro.parallel.taskkey import SweepTask
 from repro.parallel.worker import run_task
 
@@ -97,9 +97,16 @@ class SweepRunner:
                  task_timeout: Optional[float] = None,
                  max_retries: int = 1,
                  worker: WorkerFn = run_task,
-                 observer: Optional[Any] = None):
+                 observer: Optional[Any] = None,
+                 cache: Optional[ResultStore] = None):
         self.jobs = default_jobs() if jobs is None else max(1, jobs)
-        self.cache = ResultCache(cache_dir) if cache_dir else None
+        #: ``cache`` injects any ResultStore backend (e.g. the service's
+        #: shared store); ``cache_dir`` is the local-disk shorthand.
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either cache= or cache_dir=, not both")
+        self.cache: Optional[ResultStore] = (
+            cache if cache is not None
+            else ResultCache(cache_dir) if cache_dir else None)
         #: read cached points (writes always happen with a cache_dir)
         self.resume = resume
         self.task_timeout = task_timeout

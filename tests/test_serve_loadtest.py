@@ -1,0 +1,146 @@
+"""Loadtest mix generation and the foreign-cache resume warning.
+
+The replay harness itself runs end-to-end in CI (server + ``repro
+loadtest``); what belongs in the unit suite is the deterministic part —
+mix construction, the warm-pass ⊆ cold-pass task-key containment that
+makes ``warm_hit_rate=1.0`` a legitimate assertion, the quantile helper
+and the stable summary line — plus the CLI's one-line warning when
+``--resume`` finds only foreign-version cache entries.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.parallel.cache import POINT_SCHEMA
+from repro.serve.gridspec import normalise_spec, spec_tasks
+from repro.serve.loadtest import (
+    SERVICE_BENCH_SCHEMA,
+    _quantiles,
+    build_mix,
+    summary_line,
+)
+from repro.workloads import BENCHMARK_NAMES
+
+
+# -- mix generation -------------------------------------------------------
+
+
+def test_build_mix_is_deterministic():
+    assert build_mix(12, 0.5, seed=7, instructions=3000) == \
+        build_mix(12, 0.5, seed=7, instructions=3000)
+    a, _ = build_mix(12, 0.5, seed=7, instructions=3000)
+    b, _ = build_mix(12, 0.5, seed=8, instructions=3000)
+    assert a != b                        # the seed matters
+
+
+def test_build_mix_pool_size_and_overlap():
+    cold, _ = build_mix(12, 0.5, seed=1, instructions=3000)
+    assert len(cold) == 12
+    unique = {json.dumps(s, sort_keys=True) for s in cold}
+    assert len(unique) == 6              # round(12 * (1 - 0.5))
+    cold, _ = build_mix(5, 0.0, seed=1, instructions=3000)
+    assert len({json.dumps(s, sort_keys=True) for s in cold}) == 5
+    # overlap ~1 still yields at least one distinct grid.
+    cold, _ = build_mix(4, 0.99, seed=1, instructions=3000)
+    assert len({json.dumps(s, sort_keys=True) for s in cold}) == 1
+    with pytest.raises(ValueError):
+        build_mix(4, 1.0, seed=1, instructions=3000)
+    with pytest.raises(ValueError):
+        build_mix(4, -0.1, seed=1, instructions=3000)
+
+
+def test_cold_specs_are_valid_grids():
+    cold, warm = build_mix(10, 0.4, seed=3, instructions=2000)
+    for spec in cold + warm:
+        normalised = normalise_spec(spec)
+        assert set(normalised["benchmarks"]) <= set(BENCHMARK_NAMES)
+
+
+def test_warm_tasks_are_a_subset_of_cold_tasks():
+    """The property the warm pass leans on: after the cold pass every
+    warm task key is already in the store, so warm hit rate is 1.0."""
+    cold, warm = build_mix(10, 0.5, seed=2, instructions=2000)
+    cold_keys = {t.key for spec in cold
+                 for t in spec_tasks(normalise_spec(spec))}
+    warm_keys = {t.key for spec in warm
+                 for t in spec_tasks(normalise_spec(spec))}
+    assert warm_keys and warm_keys <= cold_keys
+
+
+# -- report helpers -------------------------------------------------------
+
+
+def test_quantiles():
+    assert _quantiles([]) == {"p50": 0.0, "p95": 0.0, "max": 0.0}
+    q = _quantiles([0.4, 0.1, 0.2, 0.3])
+    assert q["p50"] == 0.3 and q["max"] == 0.4
+
+
+def test_summary_line_format():
+    report = {
+        "schema": SERVICE_BENCH_SCHEMA,
+        "cold": {"requests": 12, "deduped_submits": 4, "hit_rate": 0.0,
+                 "store_hits": 0, "failed_jobs": 0},
+        "warm": {"requests": 3, "hit_rate": 1.0, "store_hits": 8,
+                 "failed_jobs": 0},
+        "identity": {"byte_identical": True},
+    }
+    line = summary_line(report)
+    assert line == ("loadtest: requests=12+3 deduped=4 "
+                    "cold_hit_rate=0.00 warm_hit_rate=1.00 warm_hits=8 "
+                    "byte_identical=True failed=0")
+
+
+# -- the foreign-version resume warning -----------------------------------
+
+
+WARNING_MARKER = "no entry matched this grid"
+SWEEP_ARGS = ["sweep", "--benchmarks", "comp", "--instructions", "1000",
+              "--jobs", "1"]
+
+
+def _plant_foreign_entry(cache_dir):
+    """A structurally valid point whose key no current grid produces —
+    exactly what a pre-CODE_SCHEMA_VERSION-bump cache looks like."""
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    key = "f" * 64
+    entry = {"schema": POINT_SCHEMA, "task_key": key, "kind": "baseline",
+             "label": "stale", "benchmark": "comp", "instructions": 1000}
+    (cache_dir / f"{key}.json").write_text(
+        json.dumps(entry, sort_keys=True))
+
+
+def test_resume_warns_when_only_foreign_entries_match_nothing(
+        tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    _plant_foreign_entry(cache_dir)
+    assert main(SWEEP_ARGS + ["--cache-dir", str(cache_dir)]) == 0
+    captured = capsys.readouterr()
+    assert WARNING_MARKER in captured.err
+    assert "CODE_SCHEMA_VERSION" in captured.err
+
+
+def test_no_warning_on_empty_cache(tmp_path, capsys):
+    assert main(SWEEP_ARGS + ["--cache-dir",
+                              str(tmp_path / "cache")]) == 0
+    assert WARNING_MARKER not in capsys.readouterr().err
+
+
+def test_no_warning_when_cache_hits(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(SWEEP_ARGS + ["--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(SWEEP_ARGS + ["--cache-dir", cache_dir]) == 0
+    captured = capsys.readouterr()
+    assert "cache_hits=2" in captured.out
+    assert WARNING_MARKER not in captured.err
+
+
+def test_no_warning_without_resume(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    _plant_foreign_entry(cache_dir)
+    assert main(SWEEP_ARGS + ["--cache-dir", str(cache_dir),
+                              "--no-resume"]) == 0
+    assert WARNING_MARKER not in capsys.readouterr().err

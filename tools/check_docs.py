@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs consistency checks, run as a CI job (and runnable locally).
 
-Five checks keep the documentation honest as the code moves:
+Eight checks keep the documentation honest as the code moves:
 
 1. every ``docs/*.md`` file is linked from the README (no orphan docs),
    and every ``docs/...`` link in the README resolves to a real file;
@@ -21,7 +21,14 @@ Five checks keep the documentation honest as the code moves:
 6. every event name in the observability taxonomy
    (``repro.obs.events.EVENT_CATALOG``) is documented in
    ``docs/observability.md``, and every backticked event name that doc
-   mentions in its taxonomy tables exists in the catalogue.
+   mentions in its taxonomy tables exists in the catalogue;
+7. ``docs/schemas.md`` is exactly what ``tools/gen_schema_docs.py``
+   renders from ``repro.schemas`` — a new schema, field or version
+   cannot land without regenerating the page;
+8. every ``--flag`` the docs mention exists on some CLI subcommand, and
+   whenever a flag appears on the same line as ``repro <subcommand>``
+   it is diffed against that subcommand's live parser options — so a
+   renamed or removed flag goes red in CI instead of rotting in prose.
 
 Exits non-zero with a list of violations.
 
@@ -172,6 +179,84 @@ def check_obs_events_documented(errors: list) -> None:
                       f"'{name}', which is not in EVENT_CATALOG")
 
 
+def check_schema_docs_fresh(errors: list) -> None:
+    """docs/schemas.md must match what the generator renders today."""
+    sys.path.insert(0, str(REPO / "tools"))
+    import gen_schema_docs
+
+    on_disk = gen_schema_docs.OUTPUT
+    if not on_disk.exists():
+        errors.append("docs/schemas.md does not exist; generate it with "
+                      "'PYTHONPATH=src python tools/gen_schema_docs.py'")
+        return
+    if on_disk.read_text() != gen_schema_docs.render():
+        errors.append("docs/schemas.md is stale vs repro.schemas; "
+                      "regenerate with 'PYTHONPATH=src python "
+                      "tools/gen_schema_docs.py'")
+
+
+def _subcommand_options() -> dict:
+    """Subcommand -> set of option strings, from the live parser."""
+    from repro import cli
+
+    parser = cli.build_parser()
+    out: dict = {}
+    for action in parser._actions:
+        if hasattr(action, "choices") and isinstance(action.choices, dict):
+            for name, sub in action.choices.items():
+                out[name] = {opt for a in sub._actions
+                             for opt in a.option_strings}
+    return out
+
+
+def check_cli_flags_documented(errors: list) -> None:
+    """Diff documented ``--flags`` against the live ``--help`` surface.
+
+    Two passes over README + docs/: (a) a flag named on the same line as
+    ``repro <subcommand>`` must be an option of *that* subcommand;
+    (b) any other ``--flag`` token must exist on at least one
+    subcommand (catches flags documented in prose tables away from an
+    invocation).  Long flags only — single-dash short options are not
+    used by the CLI.
+    """
+    options = _subcommand_options()
+    all_flags = set().union(*options.values()) if options else set()
+    flag_re = re.compile(r"(?<![\w/-])--[a-z][a-z0-9-]*\b")
+    # Same-line association: "repro <sub> ... --flag" up to the end of
+    # the inline-code span / parenthetical the invocation sits in —
+    # flags past a closing backtick or paren belong to other prose.
+    line_re = re.compile(r"\brepro ([a-z][a-z0-9_-]*)\b([^\n`)]*)")
+
+    def canon(flag: str) -> str:
+        base = flag.split("=")[0]
+        # BooleanOptionalAction: --no-resume is the negative of --resume.
+        return "--" + base[5:] if base.startswith("--no-") else base
+
+    for path in [README, *sorted(DOCS.glob("*.md"))]:
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if "repro" not in line:
+                continue  # other tools' flags (pytest, ruff) are not ours
+            matched_spans: list = []
+            for m in line_re.finditer(line):
+                sub, rest = m.group(1), m.group(2)
+                if sub not in options:
+                    continue  # check_subcommands_exist reports these
+                for flag in flag_re.findall(rest):
+                    if canon(flag) not in options[sub]:
+                        errors.append(
+                            f"{path.name}:{lineno}: flag '{flag}' is "
+                            f"documented for 'repro {sub}' but its "
+                            f"--help does not accept it")
+                matched_spans.append(m.span(2))
+            for m in flag_re.finditer(line):
+                if any(a <= m.start() < b for a, b in matched_spans):
+                    continue
+                if canon(m.group(0)) not in all_flags:
+                    errors.append(
+                        f"{path.name}:{lineno}: flag '{m.group(0)}' is "
+                        f"documented but no CLI subcommand accepts it")
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO / "src"))
     errors: list = []
@@ -181,13 +266,16 @@ def main() -> int:
     check_lint_rules_documented(errors)
     check_zoo_schemes_documented(errors)
     check_obs_events_documented(errors)
+    check_schema_docs_fresh(errors)
+    check_cli_flags_documented(errors)
     if errors:
         print("docs check failed:")
         for error in errors:
             print(f"  - {error}")
         return 1
     print("docs check passed: links, subcommands, quickstart fences, the "
-          "lint rule catalogue and the obs event taxonomy are consistent "
+          "lint rule catalogue, the obs event taxonomy, the generated "
+          "schema reference and the documented CLI flags are consistent "
           "with the code")
     return 0
 
